@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts the
+*shape* of the result (orderings, trends, rough factors — never absolute
+numbers), prints the rows, and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory experiment outputs are persisted into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Callable saving (and echoing) one experiment's rendered output.
+
+    Pass the result object as the third argument to also persist a
+    machine-readable ``.json`` next to the text table.
+    """
+    from repro.analysis import save_json
+
+    def _record(experiment_id: str, text: str, result=None) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        if result is not None:
+            save_json(result, results_dir / f"{experiment_id}.json")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

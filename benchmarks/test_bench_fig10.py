@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 10 — checkpointing time vs threads."""
+
+from repro.analysis import ordering_holds
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_checkpoint_time(benchmark, record_result):
+    """Locked-checkpoint duration per configuration across thread counts."""
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    record_result("fig10", result.table(), result)
+
+    at_max = {mode: result.at_max_threads(mode) for mode in result.ckpt_ms}
+    # Paper ordering: in-storage checkpointing shortens the checkpoint,
+    # remapping shortens it dramatically. (5% slack for A/B noise.)
+    violation = ordering_holds(
+        at_max, ["baseline", "isc_b", "isc_c", "checkin"],
+        larger_first=True, slack=1.05)
+    assert violation is None, violation
+    # Check-In's checkpoint is an order of magnitude below the baseline's.
+    assert at_max["checkin"] < at_max["baseline"] / 5.0
+    # More threads journal more data: time grows from the smallest sweep
+    # point for the copying configurations.
+    for mode in ("baseline", "isc_a", "isc_b"):
+        series = result.series(mode)
+        assert max(series) >= series[0]
+    # ... while the remapping checkpoint stays nearly flat.
+    checkin = result.series("checkin")
+    assert max(checkin) < 3.0 * min(checkin)

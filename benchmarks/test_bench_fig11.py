@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 11 — overall throughput and latency."""
+
+from repro.experiments.base import QUICK
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_overall_throughput_latency(benchmark, record_result):
+    """Workloads A/F/WO x threads x all five configurations."""
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    text = (result.table() + "\n\n" + result.comparison_table())
+    record_result("fig11", text, result)
+
+    # Headline direction: Check-In improves average throughput and cuts
+    # average latency versus the baseline at the highest thread count.
+    # (The paper reports +8.1% / -10.2% on its testbed; our simulated
+    # checkpoint overhead is relatively heavier, so the gains are larger.)
+    assert result.throughput_gain_pct() > 0.0
+    assert result.latency_reduction_pct() > 0.0
+
+    # Throughput grows (then saturates) with the thread count for every
+    # configuration: the first sweep point is never the maximum.
+    for workload in result.workloads:
+        for mode in ("baseline", "checkin"):
+            series = [result.throughput_qps[(workload, mode, t)]
+                      for t in result.threads]
+            assert max(series) >= series[0]
+            # Latency grows with threads (closed loop deepens queues).
+            lat = [result.latency_us[(workload, mode, t)]
+                   for t in result.threads]
+            assert lat[-1] >= lat[0]
+
+    # Check-In >= baseline throughput for each workload at max threads.
+    top = result.threads[-1]
+    for workload in result.workloads:
+        assert result.throughput_qps[(workload, "checkin", top)] >= \
+            result.throughput_qps[(workload, "baseline", top)]

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 12 — checkpoint-interval sensitivity."""
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_fig12_interval_sensitivity(benchmark, record_result):
+    """Baseline throughput depends on the interval; Check-In is steady."""
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    text = result.table() + (
+        f"\n\nthroughput spread across intervals: "
+        f"baseline {result.spread_pct('baseline'):.1f}%, "
+        f"checkin {result.spread_pct('checkin'):.1f}%")
+    record_result("fig12", text, result)
+
+    # Shape: the baseline's throughput varies strongly with the interval
+    # while Check-In's barely moves (the paper's 'better and steady').
+    assert result.spread_pct("baseline") > 2.0 * result.spread_pct("checkin")
+    assert result.spread_pct("checkin") < 10.0
+    # The baseline gains from longer intervals (last >= first point).
+    baseline = result.throughput_qps["baseline"]
+    assert baseline[-1] >= baseline[0]
+    # Check-In beats the baseline at every interval.
+    for base_qps, checkin_qps in zip(result.throughput_qps["baseline"],
+                                     result.throughput_qps["checkin"]):
+        assert checkin_qps > base_qps

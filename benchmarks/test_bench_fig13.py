@@ -1,0 +1,44 @@
+"""Benchmarks regenerating Figure 13 — mapping-unit sensitivity & space."""
+
+from repro.experiments.fig13 import run_fig13a, run_fig13b
+
+
+def test_fig13a_mapping_unit_throughput(benchmark, record_result):
+    """Throughput for ISC-C and Check-In across mapping-unit sizes.
+
+    Model note (see EXPERIMENTS.md): at simulation scale the dominant
+    cost of large units is read-modify-write amplification, so absolute
+    throughput *decreases* with the unit here, whereas the paper's
+    testbed — dominated by per-unit metadata processing — increased.
+    The comparative claim is preserved: Check-In outperforms ISC-C across
+    units because only its journaling stays remappable/merge-friendly.
+    """
+    result = benchmark.pedantic(run_fig13a, rounds=1, iterations=1)
+    record_result("fig13a", result.table(), result)
+
+    # Check-In >= ISC-C at the main configurations.
+    for unit in (512, 1024, 2048):
+        assert result.gain_at(unit) >= 1.0
+    # Remapping only happens for Check-In, and most at the 512 B unit.
+    remaps = result.remapped_units["checkin"]
+    assert remaps[0] > 0
+    assert remaps[0] >= max(remaps)
+    assert all(r == 0 for r in result.remapped_units["isc_c"])
+
+
+def test_fig13b_space_overhead(benchmark, record_result):
+    """Alignment padding: Check-In vs ISC-C for patterns P1-P4."""
+    result = benchmark.pedantic(run_fig13b, rounds=1, iterations=1)
+    record_result("fig13b", result.table(), result)
+
+    # At the default 512 B unit, merging keeps the overhead negligible
+    # (within a few percent either way of the packed format).
+    for pattern in result.patterns:
+        assert abs(result.overhead_pct(pattern, 512)) < 15.0
+    # At 4 KiB units, padding costs something — the paper reports ~3 %
+    # for its mixed patterns; the widest mix (P4) lands close to that,
+    # and the small-value-heavy patterns pay more.
+    assert 0.0 < result.overhead_pct("P4", 4096) < 15.0
+    for pattern in result.patterns:
+        assert result.overhead_pct(pattern, 4096) > \
+            result.overhead_pct(pattern, 512)

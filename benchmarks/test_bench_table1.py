@@ -1,0 +1,15 @@
+"""Benchmark entry for Table I — render the resolved configuration."""
+
+from repro.experiments.table1 import render_table1
+
+
+def test_table1_configuration(benchmark, record_result):
+    """Render the Table-I analog and sanity-check the resolved values."""
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    record_result("table1", text)
+
+    assert "Flash topology" in text
+    assert "Mapping unit" in text
+    assert "checkin:512" in text
+    assert "baseline:4096" in text
+    assert "P/E cycles" in text

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Crash-consistency demo: sudden power loss and two-level recovery.
+
+Run with::
+
+    python examples/crash_recovery.py
+
+Runs a write workload against a Check-In system, "pulls the plug" at an
+arbitrary simulated instant, then performs the paper's §III-G recovery:
+
+1. device level — rebuild the FTL mapping table from the OOB records and
+   the durable remap/trim log (verified to match the live mapping);
+2. engine level — restore the last checkpoint and replay the journal,
+   then verify every acknowledged update is present and nothing is
+   invented.
+"""
+
+from repro.engine.recovery import (
+    check_durability,
+    recover_store,
+    verify_device_recovery,
+)
+from repro.sim import spawn
+from repro.system import KvSystem, tiny_config
+
+
+def main() -> None:
+    # Recovery verification needs the durable-op log in the FTL.
+    config = tiny_config(mode="checkin", num_keys=64, seed=7,
+                         snapshot_metadata=True, track_op_log=True)
+    system = KvSystem(config)
+    system.load()
+    system.engine.start()
+    engine, sim = system.engine, system.sim
+
+    acknowledged = {}
+
+    def client():
+        for i in range(300):
+            key = i % 64
+            version = yield from engine.put(key)
+            acknowledged[key] = version
+            if i == 150:
+                report = yield from engine.checkpoint()
+                print(f"mid-run checkpoint: {report.entries_checkpointed} "
+                      f"entries, {report.remapped_units} remapped")
+
+    proc = spawn(sim, client())
+    # Crash at an arbitrary point: stop driving the event loop mid-flight.
+    steps = 0
+    while not proc.triggered and steps < 4_000:
+        sim.step()
+        steps += 1
+    print(f"power lost at t={sim.now / 1e6:.2f} ms "
+          f"({len(acknowledged)} keys acknowledged, "
+          f"{'workload finished' if proc.triggered else 'mid-workload'})")
+
+    # --- device-level SPOR ------------------------------------------------
+    verify_device_recovery(system.ssd.ftl)
+    print("device recovery: OOB + op-log scan rebuilt the exact mapping")
+
+    # --- engine-level replay ----------------------------------------------
+    recovered = recover_store(engine)
+    check_durability(engine, acknowledged)
+    replayed = sum(1 for k in acknowledged
+                   if recovered.replayed_from_journal.get(k, 0) >=
+                   acknowledged[k])
+    from_ckpt = sum(1 for k in acknowledged
+                    if recovered.from_checkpoint.get(k, 0) >= acknowledged[k])
+    print(f"engine recovery: every acknowledged update recovered "
+          f"({from_ckpt} keys satisfied by the checkpoint, "
+          f"{replayed} by journal replay)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Flash-lifetime study: GC pressure and Equation (1) across configs.
+
+Run with::
+
+    python examples/lifetime_study.py
+
+Drives a deliberately small device hard enough that the journal ring
+wraps and garbage collection must run, then compares GC invocations,
+block erases and the paper's Equation (1) relative lifetime for the
+baseline, ISC-C and Check-In — the Figure 8(b) story at example scale.
+"""
+
+from repro.analysis import format_table
+from repro.common.units import MIB
+from repro.experiments.base import QUICK, paper_config
+from repro.system.system import run_config
+
+MODES = ("baseline", "isc_c", "checkin")
+PE_CYCLES = 3000
+
+
+def main() -> None:
+    rows = []
+    lifetimes = {}
+    for mode in MODES:
+        config = paper_config(
+            mode, QUICK,
+            workload="WO",
+            total_queries=30_000,
+            num_keys=2_048,
+            blocks_per_plane=5,         # ~20 MiB device -> the ring wraps
+            journal_area_bytes=6 * MIB,
+            checkpoint_interval_ns=10 ** 12,
+            checkpoint_journal_quota=2 * MIB,
+            gc_high_watermark=10,
+        )
+        metrics = run_config(config).metrics
+        # Equation (1) at equal work: T_op normalised to the common query
+        # budget, so configurations compare at the same operations served.
+        erases = max(1, metrics.erase_count())
+        lifetimes[mode] = PE_CYCLES * config.total_queries / erases
+        rows.append([
+            mode,
+            metrics.gc_invocations(),
+            metrics.gc_migrated_units(),
+            metrics.erase_count(),
+            metrics.waf(),
+            lifetimes[mode] / 1e6,
+        ])
+    print(format_table(
+        ["config", "gc_invocations", "migrated_units", "erases", "WAF",
+         "rel_lifetime"],
+        rows, title="GC pressure and Equation (1) lifetime"))
+
+    print(f"\nCheck-In lifetime vs baseline: "
+          f"{lifetimes['checkin'] / lifetimes['baseline']:.2f}x "
+          f"(paper: 3.86x)")
+    print(f"Check-In lifetime vs ISC-C:    "
+          f"{lifetimes['checkin'] / lifetimes['isc_c']:.2f}x "
+          f"(paper: 1.81x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare all five configurations on a YCSB workload.
+
+Run with::
+
+    python examples/ycsb_comparison.py [workload] [threads]
+
+(defaults: workload A, 32 threads).  Prints the throughput / latency /
+redundant-write / checkpoint-time comparison that summarises the paper's
+headline results, using the same full-system runs the benchmarks use.
+"""
+
+import sys
+
+from repro.analysis import format_table, reduction_pct
+from repro.common.units import MIB, MS
+from repro.experiments.base import ALL_MODES, QUICK, paper_config
+from repro.system.system import run_config
+
+
+def main(workload: str = "A", threads: int = 32) -> None:
+    rows = []
+    results = {}
+    for mode in ALL_MODES:
+        config = paper_config(
+            "baseline", QUICK,
+            workload=workload,
+            threads=threads,
+            total_queries=12_000,
+            checkpoint_interval_ns=60 * MS,
+            checkpoint_journal_quota=16 * MIB,
+        ).with_mode(mode)
+        result = run_config(config)
+        results[mode] = result
+        metrics = result.metrics
+        rows.append([
+            mode,
+            metrics.throughput_qps(),
+            metrics.latency_all.mean() / 1e3,
+            metrics.latency_all.p999() / 1e3,
+            result.mean_checkpoint_ns() / 1e6,
+            metrics.redundant_write_bytes() / MIB,
+            metrics.remapped_units(),
+        ])
+    print(format_table(
+        ["config", "qps", "mean_us", "p99.9_us", "ckpt_ms",
+         "redundant_MiB", "remaps"],
+        rows, float_format=".1f",
+        title=f"YCSB workload {workload}, {threads} threads, zipfian"))
+
+    base = results["baseline"].metrics
+    best = results["checkin"].metrics
+    print(f"\nCheck-In vs baseline: "
+          f"throughput {best.throughput_qps() / base.throughput_qps():.2f}x, "
+          f"redundant writes -"
+          f"{reduction_pct(base.redundant_write_bytes(), best.redundant_write_bytes()):.1f}%, "
+          f"p99.9 -"
+          f"{reduction_pct(base.latency_all.p999(), best.latency_all.p999()):.1f}%")
+
+
+if __name__ == "__main__":
+    workload_arg = sys.argv[1] if len(sys.argv) > 1 else "A"
+    threads_arg = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    main(workload_arg, threads_arg)

@@ -1,0 +1,32 @@
+"""Check-In: in-storage checkpointing for key-value stores on flash SSDs.
+
+A from-scratch reproduction of the ISCA 2020 paper as a complete simulated
+system.  The most useful entry points:
+
+>>> from repro import SystemConfig, run_config
+>>> result = run_config(SystemConfig(mode="checkin", total_queries=2000,
+...                                  threads=4, num_keys=512))
+>>> result.metrics.throughput_qps() > 0
+True
+
+Sub-packages: :mod:`repro.sim` (event kernel), :mod:`repro.flash` (NAND),
+:mod:`repro.ftl` (translation layer), :mod:`repro.ssd` (device),
+:mod:`repro.checkin` (the paper's device-side contribution),
+:mod:`repro.engine` (the host storage engine), :mod:`repro.workload`
+(YCSB-like clients), :mod:`repro.system` (wiring + metrics),
+:mod:`repro.experiments` (one module per paper figure) and
+:mod:`repro.analysis` (reporting).
+"""
+
+from repro.system import KvSystem, RunResult, SystemConfig, run_config, tiny_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KvSystem",
+    "RunResult",
+    "SystemConfig",
+    "run_config",
+    "tiny_config",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface: run experiments and single configurations.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8a [--scale quick|full]
+    python -m repro bench --mode checkin --workload A --threads 32
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import format_table
+from repro.experiments.base import FULL, QUICK
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.system import SystemConfig, run_config
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [[exp_id, (runner.__doc__ or "").strip().splitlines()[0]]
+            for exp_id, runner in sorted(EXPERIMENTS.items())]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = FULL if args.scale == "full" else QUICK
+    started = time.time()
+    result = run_experiment(args.experiment, scale)
+    elapsed = time.time() - started
+    print(result if isinstance(result, str) else result.table())
+    for extra in ("comparison_table", "lifetime_table"):
+        if hasattr(result, extra):
+            print()
+            print(getattr(result, extra)())
+    print(f"\n[{args.experiment} at {scale.name} scale: {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = SystemConfig(mode=args.mode, workload=args.workload,
+                          threads=args.threads, total_queries=args.queries,
+                          distribution=args.distribution,
+                          verify_reads=False)
+    started = time.time()
+    result = run_config(config)
+    elapsed = time.time() - started
+    metrics = result.metrics
+    summary = metrics.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    rows.append(["checkpoints", result.checkpoint_count])
+    rows.append(["mean_ckpt_ms", result.mean_checkpoint_ns() / 1e6])
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.mode} / workload {args.workload} / "
+                             f"{args.threads} threads"))
+    print(f"\n[wall: {elapsed:.1f}s, simulated: "
+          f"{metrics.duration_ns / 1e9:.3f}s]")
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import render_table1
+    print(render_table1())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI: list / run / bench / table1 subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Check-In (ISCA 2020) reproduction: experiments and runs")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list reproducible figures/tables") \
+        .set_defaults(handler=_cmd_list)
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", choices=("quick", "full"),
+                            default="quick")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    bench_parser = commands.add_parser(
+        "bench", help="run one configuration and print its metrics")
+    bench_parser.add_argument("--mode", default="checkin",
+                              choices=("baseline", "isc_a", "isc_b",
+                                       "isc_c", "checkin"))
+    bench_parser.add_argument("--workload", default="A",
+                              choices=("A", "B", "C", "F", "WO"))
+    bench_parser.add_argument("--threads", type=int, default=32)
+    bench_parser.add_argument("--queries", type=int, default=20_000)
+    bench_parser.add_argument("--distribution", default="zipfian",
+                              choices=("uniform", "zipfian",
+                                       "scrambled_zipfian"))
+    bench_parser.set_defaults(handler=_cmd_bench)
+
+    commands.add_parser("table1", help="print the Table-I configuration") \
+        .set_defaults(handler=_cmd_table1)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is the Unix way.
+        import os
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Result analysis: tables, paper-vs-measured comparisons, shape checks."""
+
+from repro.analysis.export import save_json, to_jsonable
+from repro.analysis.compare import (
+    Claim,
+    claims_table,
+    improvement_pct,
+    monotonic,
+    ordering_holds,
+    reduction_pct,
+    speedup,
+)
+from repro.analysis.tables import format_cell, format_table
+
+__all__ = [
+    "Claim",
+    "claims_table",
+    "improvement_pct",
+    "monotonic",
+    "ordering_holds",
+    "reduction_pct",
+    "speedup",
+    "format_cell",
+    "format_table",
+    "save_json",
+    "to_jsonable",
+]

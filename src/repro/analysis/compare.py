@@ -1,0 +1,101 @@
+"""Paper-vs-measured comparison helpers.
+
+A reproduction on a different substrate will not match absolute numbers;
+what must hold is the *shape*: who wins, by roughly what factor, and where
+trends bend.  These helpers compute the derived quantities the paper
+reports (percent reductions, speedup factors) and render side-by-side
+comparisons for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percent reduction of ``improved`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return (1.0 - improved / baseline) * 100.0
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Percent increase of ``improved`` over ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return (improved / baseline - 1.0) * 100.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times larger ``baseline`` is than ``improved``."""
+    if improved == 0:
+        return float("inf")
+    return baseline / improved
+
+
+@dataclass
+class Claim:
+    """One paper claim with the measured counterpart."""
+
+    figure: str
+    metric: str
+    paper_value: float
+    measured_value: float
+    unit: str = "%"
+    note: str = ""
+
+    @property
+    def same_direction(self) -> bool:
+        """True when the measured value agrees in sign with the paper's."""
+        if self.paper_value == 0:
+            return self.measured_value == 0
+        return (self.paper_value > 0) == (self.measured_value > 0)
+
+    @property
+    def within_factor_two(self) -> bool:
+        """Loose magnitude agreement: within 2x of the paper's value."""
+        if not self.same_direction or self.paper_value == 0:
+            return False
+        ratio = abs(self.measured_value) / abs(self.paper_value)
+        return 0.5 <= ratio <= 2.0
+
+
+def claims_table(claims: Sequence[Claim], title: str = "") -> str:
+    """Render a paper-vs-measured table."""
+    rows = [[c.figure, c.metric, c.paper_value, c.measured_value, c.unit,
+             "yes" if c.same_direction else "NO", c.note]
+            for c in claims]
+    return format_table(
+        ["figure", "metric", "paper", "measured", "unit", "same dir", "note"],
+        rows, title=title)
+
+
+def monotonic(values: Sequence[float], increasing: bool = True,
+              tolerance: float = 0.0) -> bool:
+    """Check a series trends in one direction (with slack for noise)."""
+    for previous, current in zip(values, values[1:]):
+        if increasing and current < previous - tolerance:
+            return False
+        if not increasing and current > previous + tolerance:
+            return False
+    return True
+
+
+def ordering_holds(by_config: dict, order: Sequence[str],
+                   larger_first: bool = True,
+                   slack: float = 1.0) -> Optional[str]:
+    """Verify configs rank in the expected order; None when they do.
+
+    ``slack`` > 1 tolerates small inversions (e.g. 1.05 allows 5 %).
+    Returns a description of the first violated pair otherwise.
+    """
+    for first, second in zip(order, order[1:]):
+        a, b = by_config[first], by_config[second]
+        ok = a * slack >= b if larger_first else a <= b * slack
+        if not ok:
+            relation = ">=" if larger_first else "<="
+            return f"{first} ({a:.3g}) !{relation} {second} ({b:.3g})"
+    return None

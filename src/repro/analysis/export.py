@@ -1,0 +1,49 @@
+"""Machine-readable export of experiment results.
+
+Every ``Fig*Result`` dataclass can be serialised with :func:`to_jsonable`
+(dataclasses, dicts with tuple keys, and nested containers are all
+flattened into plain JSON types), and :func:`save_json` writes it next to
+the text tables so downstream tooling can plot without re-running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert a result object into JSON-serialisable plain data.
+
+    Handles dataclasses, dicts (tuple keys become ``"a/b"`` strings),
+    lists/tuples, and leaves scalars alone.  Non-serialisable leaves fall
+    back to ``str``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(key, tuple):
+                key = "/".join(str(part) for part in key)
+            out[str(key)] = to_jsonable(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+def save_json(result: Any, path: pathlib.Path) -> pathlib.Path:
+    """Serialise ``result`` to ``path`` (creating parent dirs)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(result), indent=2,
+                               sort_keys=True) + "\n")
+    return path

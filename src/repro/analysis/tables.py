@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows/series the paper's figures plot; this is
+the shared formatter so every experiment reports in one consistent style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_cell(value: Any, float_format: str = ".2f") -> str:
+    """Render one value: floats formatted, the rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 float_format: str = ".2f", title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Columns are sized to their widest cell; numbers are right-aligned,
+    text left-aligned.
+    """
+    rendered: List[List[str]] = [
+        [format_cell(value, float_format) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def align(cell: str, index: int, original: Any) -> str:
+        if isinstance(original, (int, float)) and not isinstance(original, bool):
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, rendered):
+        lines.append("  ".join(align(cell, i, raw[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

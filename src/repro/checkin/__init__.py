@@ -1,0 +1,31 @@
+"""Check-In device-side components: ISCE, log format contract, Algorithm 1."""
+
+from repro.checkin.checkpoint import CheckpointProcessor
+from repro.checkin.deallocator import Deallocator
+from repro.checkin.format import (
+    ALIGN_SIZES,
+    ALIGN_STEP,
+    LogType,
+    MergedPayload,
+    PackedSector,
+    align_full,
+    align_sub_sector,
+    extract_part,
+)
+from repro.checkin.isce import InStorageCheckpointEngine
+from repro.checkin.log_manager import LogManager
+
+__all__ = [
+    "CheckpointProcessor",
+    "Deallocator",
+    "ALIGN_SIZES",
+    "ALIGN_STEP",
+    "LogType",
+    "MergedPayload",
+    "PackedSector",
+    "align_full",
+    "align_sub_sector",
+    "extract_part",
+    "InStorageCheckpointEngine",
+    "LogManager",
+]

@@ -1,0 +1,148 @@
+"""The journal-log format contract shared by host engine and Check-In SSD.
+
+Check-In works because the storage engine and the FTL agree on how journal
+logs are laid out (the "storage-engine-aware FTL" of §II-D).  This module
+is that agreement: log size classes, log types, and the payload structure
+of merged and packed sectors.
+
+Algorithm 2 is parameterised by MAPPING_SIZE — the FTL mapping unit the
+engine aligns to (512 B in the main configuration, swept up to 4096 B in
+the Figure 13 sensitivity study).  Values larger than the unit are
+compressed and padded to whole units (type FULL); smaller values are
+rounded to quarter-unit classes (128/256/384/512 for a 512 B unit) and
+become PARTIAL, later packed together into MERGED units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import EngineError
+from repro.common.units import SECTOR_SIZE, round_up
+
+ALIGN_STEP = SECTOR_SIZE // 4
+"""Sub-unit alignment quantum for the default 512 B mapping unit."""
+
+ALIGN_SIZES: Tuple[int, ...] = (128, 256, 384, 512)
+"""The Algorithm 2 size classes for the default 512 B mapping unit."""
+
+
+class LogType(enum.Enum):
+    """Type tag a journal log carries after alignment (Algorithm 2)."""
+
+    FULL = "full"        # occupies whole mapping units exclusively -> remappable
+    PARTIAL = "partial"  # sub-unit, awaiting merge
+    MERGED = "merged"    # sub-unit, packed with others in one unit
+
+
+def _check_mapping_size(mapping_size: int) -> None:
+    if mapping_size < SECTOR_SIZE or mapping_size % SECTOR_SIZE:
+        raise EngineError(
+            f"mapping size must be a positive multiple of 512, got {mapping_size}")
+
+
+def align_sub_sector(size: int, mapping_size: int = SECTOR_SIZE) -> int:
+    """Round a sub-unit value size up to its quarter-unit class.
+
+    This is the ``next_size`` loop of Algorithm 2 lines 8-12: classes are
+    ``mapping_size/4 .. mapping_size`` in quarter steps.
+    """
+    _check_mapping_size(mapping_size)
+    if not 0 < size <= mapping_size:
+        raise EngineError(
+            f"sub-unit alignment needs 0 < size <= {mapping_size}, got {size}")
+    return round_up(size, mapping_size // 4)
+
+
+def align_full(size: int, compress_ratio: float = 1.0,
+               mapping_size: int = SECTOR_SIZE) -> int:
+    """Size of a value larger than the unit after compression and padding.
+
+    Algorithm 2 lines 3-6: compress, then pad to a whole number of mapping
+    units.  ``compress_ratio`` models the compressor (1.0 = verbatim); the
+    result never rounds below one unit.
+    """
+    _check_mapping_size(mapping_size)
+    if size <= mapping_size:
+        raise EngineError(f"align_full needs size > {mapping_size}, got {size}")
+    if not 0.0 < compress_ratio <= 1.0:
+        raise EngineError(f"compress_ratio must be in (0, 1], got {compress_ratio}")
+    compressed = max(1, int(size * compress_ratio))
+    return round_up(compressed, mapping_size)
+
+
+@dataclass
+class MergedPayload:
+    """Contents of one MERGED journal unit.
+
+    Maps byte offset within the unit to the value tag stored there.  Both
+    the engine (reading a journaled value back) and the ISCE (scattering
+    values to their target sectors at checkpoint) decode it.  Parts are
+    always 128-byte-class aligned (Algorithm 2's fixed size classes),
+    whatever the unit capacity.
+    """
+
+    capacity: int = SECTOR_SIZE
+    parts: Dict[int, Any] = field(default_factory=dict)
+    used_bytes: int = 0
+
+    def add(self, size: int, tag: Any) -> int:
+        """Pack a value of ``size`` aligned bytes; returns its offset."""
+        if size <= 0 or size % ALIGN_STEP != 0:
+            raise EngineError(
+                f"merged part size must be a {ALIGN_STEP} B multiple, "
+                f"got {size}")
+        if self.used_bytes + size > self.capacity:
+            raise EngineError("merged unit overflow")
+        offset = self.used_bytes
+        self.parts[offset] = tag
+        self.used_bytes += size
+        return offset
+
+    def fits(self, size: int) -> bool:
+        """True when a ``size``-byte part still fits in this unit."""
+        return self.used_bytes + size <= self.capacity
+
+    def part_at(self, offset: int) -> Optional[Any]:
+        """Tag stored at ``offset`` or None."""
+        return self.parts.get(offset)
+
+
+@dataclass
+class PackedSector:
+    """Contents of one sector of a *packed* (unaligned) journal stream.
+
+    Conventional journaling appends header+value byte streams with no
+    regard for sector boundaries, so one sector may hold fragments of
+    several logs at arbitrary byte offsets.  Only the sector where a value
+    *starts* records its tag; continuation sectors carry nothing
+    addressable — which is exactly why packed logs cannot be remapped.
+    """
+
+    parts: Dict[int, Any] = field(default_factory=dict)
+
+    def add(self, offset: int, tag: Any) -> None:
+        """Record that a value starts at byte ``offset`` of this sector."""
+        if not 0 <= offset < SECTOR_SIZE:
+            raise EngineError(f"packed offset {offset} outside sector")
+        if offset in self.parts:
+            raise EngineError(f"two values start at offset {offset}")
+        self.parts[offset] = tag
+
+    def part_at(self, offset: int) -> Optional[Any]:
+        """Tag of the value starting at ``offset`` or None."""
+        return self.parts.get(offset)
+
+
+def extract_part(sector_tag: Any, offset: int) -> Any:
+    """Resolve a value tag from a sector payload.
+
+    A plain (non-merged) sector stores the value tag directly and only
+    offset 0 is meaningful; merged/packed sectors resolve through their
+    per-offset parts.
+    """
+    if isinstance(sector_tag, (MergedPayload, PackedSector)):
+        return sector_tag.part_at(offset)
+    return sector_tag if offset == 0 else None

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an illegal state."""
+
+
+class FlashError(ReproError):
+    """Illegal NAND flash operation (e.g. programming a written page)."""
+
+
+class FtlError(ReproError):
+    """Illegal FTL operation or mapping-table inconsistency."""
+
+
+class DeviceFullError(FtlError):
+    """The device ran out of free blocks even after garbage collection."""
+
+
+class CommandError(ReproError):
+    """A malformed or unsupported device command."""
+
+
+class EngineError(ReproError):
+    """Storage-engine level failure (journal, checkpoint, key mapping)."""
+
+
+class KeyNotFoundError(EngineError):
+    """A read/update referenced a key that was never inserted."""
+
+
+class RecoveryError(EngineError):
+    """Crash recovery could not reconstruct a consistent state."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification or generator state."""

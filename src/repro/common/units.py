@@ -1,0 +1,87 @@
+"""Size and time unit constants plus small conversion helpers.
+
+Every quantity in the simulator is an integer: sizes in bytes, times in
+nanoseconds.  Using integers keeps the discrete-event simulation exactly
+reproducible (no floating-point drift in event ordering).
+"""
+
+from __future__ import annotations
+
+# --- sizes (bytes) ---------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+SECTOR_SIZE = 512
+"""The host logical-block (sector) size used throughout the paper."""
+
+# --- times (nanoseconds) ---------------------------------------------------
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return (value // multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def transfer_time_ns(num_bytes: int, bandwidth_bytes_per_sec: int) -> int:
+    """Time to move ``num_bytes`` at the given bandwidth, in whole ns.
+
+    Rounds up so a transfer never takes zero time.
+    """
+    if bandwidth_bytes_per_sec <= 0:
+        raise ValueError("bandwidth must be positive")
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    if num_bytes == 0:
+        return 0
+    return max(1, ceil_div(num_bytes * SEC, bandwidth_bytes_per_sec))
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count, e.g. ``'4.0 KiB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(ns: int) -> str:
+    """Human-readable duration, e.g. ``'1.50 ms'``."""
+    if ns < US:
+        return f"{ns} ns"
+    if ns < MS:
+        return f"{ns / US:.2f} us"
+    if ns < SEC:
+        return f"{ns / MS:.2f} ms"
+    return f"{ns / SEC:.3f} s"

@@ -1,0 +1,78 @@
+"""Host storage engine: KV mapping, journaling, checkpointing, recovery."""
+
+from repro.engine.aligner import (
+    JournalFormatter,
+    PackedFormatter,
+    SectorAlignedFormatter,
+    TransactionLayout,
+    UpdateRequest,
+)
+from repro.engine.checkpointer import (
+    STRATEGIES,
+    BaselineCheckpointer,
+    CheckInCheckpointer,
+    CheckpointPolicy,
+    CheckpointReport,
+    CheckpointStrategy,
+    IscACheckpointer,
+    IscBCheckpointer,
+    IscCCheckpointer,
+    cow_entry_for,
+    make_strategy,
+)
+from repro.engine.engine import MODES, EngineConfig, MemoryCache, StorageEngine
+from repro.engine.jmt import JournalMappingTable
+from repro.engine.journal import FrozenEpoch, JournalConfig, JournalManager
+from repro.engine.kvmap import KeyValueMap
+from repro.engine.records import JournalEntry, JournalFlag, Record, ValueTag, value_tag
+from repro.engine.recovery import (
+    RecoveredStore,
+    RecoveryTiming,
+    check_durability,
+    peek_sector_tags,
+    rebuild_mapping_from_oob,
+    recover_store,
+    timed_restart,
+    verify_device_recovery,
+)
+
+__all__ = [
+    "JournalFormatter",
+    "PackedFormatter",
+    "SectorAlignedFormatter",
+    "TransactionLayout",
+    "UpdateRequest",
+    "STRATEGIES",
+    "BaselineCheckpointer",
+    "CheckInCheckpointer",
+    "CheckpointPolicy",
+    "CheckpointReport",
+    "CheckpointStrategy",
+    "IscACheckpointer",
+    "IscBCheckpointer",
+    "IscCCheckpointer",
+    "cow_entry_for",
+    "make_strategy",
+    "MODES",
+    "EngineConfig",
+    "MemoryCache",
+    "StorageEngine",
+    "JournalMappingTable",
+    "FrozenEpoch",
+    "JournalConfig",
+    "JournalManager",
+    "KeyValueMap",
+    "JournalEntry",
+    "JournalFlag",
+    "Record",
+    "ValueTag",
+    "value_tag",
+    "RecoveredStore",
+    "RecoveryTiming",
+    "check_durability",
+    "peek_sector_tags",
+    "rebuild_mapping_from_oob",
+    "recover_store",
+    "timed_restart",
+    "verify_device_recovery",
+]

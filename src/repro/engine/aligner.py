@@ -1,0 +1,264 @@
+"""Journal-log formatting: Algorithm 2 and the conventional packed layout.
+
+The *formatter* decides how a transaction's update requests are laid out in
+the journal area.  The two strategies are the crux of the ISC-C vs
+Check-In comparison:
+
+* :class:`PackedFormatter` — conventional journaling: a 16-byte header and
+  the raw value are appended byte-contiguously.  Values straddle sector
+  boundaries and share sectors with their neighbours' headers, so the FTL
+  can never satisfy a checkpoint by remapping; every log takes the copy
+  path.
+
+* :class:`SectorAlignedFormatter` — Algorithm 2: values larger than the
+  mapping unit are compressed and padded to whole units (FULL, remappable);
+  smaller values are rounded to quarter-unit classes (PARTIAL) and packed
+  together into MERGED units that the ISCE scatters with buffered copies.
+
+Formatters also define each value's *stored size*, which sizes the record's
+data-area home so that a remapped journal log lands exactly on it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.checkin.format import (
+    LogType,
+    MergedPayload,
+    PackedSector,
+    align_full,
+    align_sub_sector,
+)
+from repro.common.errors import EngineError
+from repro.common.units import SECTOR_SIZE, ceil_div, round_up
+from repro.engine.records import JournalEntry, value_tag
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One update heading for the journal."""
+
+    key: int
+    version: int
+    value_bytes: int
+    target_lba: int
+    target_nsectors: int
+
+
+@dataclass
+class TransactionLayout:
+    """A formatted transaction, ready to be written as one block I/O."""
+
+    entries: List[JournalEntry] = field(default_factory=list)
+    sector_tags: List[Any] = field(default_factory=list)
+    payload_bytes: int = 0
+    """Useful bytes (values after compression, plus packed headers)."""
+
+    padded_bytes: int = 0
+    """Alignment/packing waste — the space overhead of Figure 13(b)."""
+
+    @property
+    def nsectors(self) -> int:
+        """Journal sectors this transaction occupies."""
+        return len(self.sector_tags)
+
+
+class JournalFormatter(abc.ABC):
+    """Strategy interface for journal-log layout."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier for reports."""
+
+    @abc.abstractmethod
+    def stored_size(self, value_bytes: int) -> int:
+        """On-device footprint of a checkpointed value of this size."""
+
+    @abc.abstractmethod
+    def layout(self, requests: List[UpdateRequest],
+               first_lba: int) -> TransactionLayout:
+        """Assign journal locations to every request of one transaction."""
+
+
+class PackedFormatter(JournalFormatter):
+    """Conventional byte-contiguous journaling (baseline/ISC-A/B/C)."""
+
+    def __init__(self, header_bytes: int = 16) -> None:
+        if header_bytes < 0:
+            raise EngineError("header_bytes must be >= 0")
+        self.header_bytes = header_bytes
+
+    @property
+    def name(self) -> str:
+        return "packed"
+
+    def stored_size(self, value_bytes: int) -> int:
+        return value_bytes
+
+    def layout(self, requests: List[UpdateRequest],
+               first_lba: int) -> TransactionLayout:
+        layout = TransactionLayout()
+        sectors: List[PackedSector] = []
+        cursor = 0
+        for request in requests:
+            value_start = cursor + self.header_bytes
+            value_end = value_start + request.value_bytes
+            sector_index = value_start // SECTOR_SIZE
+            while len(sectors) <= (value_end - 1) // SECTOR_SIZE:
+                sectors.append(PackedSector())
+            sectors[sector_index].add(value_start % SECTOR_SIZE,
+                                      value_tag(request.key, request.version))
+            layout.entries.append(JournalEntry(
+                key=request.key,
+                version=request.version,
+                target_lba=request.target_lba,
+                target_nsectors=request.target_nsectors,
+                value_bytes=request.value_bytes,
+                stored_bytes=self.header_bytes + request.value_bytes,
+                journal_lba=first_lba + sector_index,
+                journal_nsectors=((value_end - 1) // SECTOR_SIZE) - sector_index + 1,
+                src_offset=value_start % SECTOR_SIZE,
+                log_type=LogType.FULL,
+                exclusive_sectors=False,
+            ))
+            cursor = value_end
+        layout.sector_tags = list(sectors)
+        layout.payload_bytes = cursor
+        layout.padded_bytes = len(sectors) * SECTOR_SIZE - cursor
+        return layout
+
+
+class SectorAlignedFormatter(JournalFormatter):
+    """Algorithm 2: mapping-unit-aligned journaling (Check-In)."""
+
+    def __init__(self, mapping_size: int = SECTOR_SIZE,
+                 compress_ratio: float = 1.0) -> None:
+        if mapping_size < SECTOR_SIZE or mapping_size % SECTOR_SIZE:
+            raise EngineError("mapping_size must be a multiple of 512")
+        if not 0.0 < compress_ratio <= 1.0:
+            raise EngineError("compress_ratio must be in (0, 1]")
+        self.mapping_size = mapping_size
+        self.compress_ratio = compress_ratio
+
+    @property
+    def name(self) -> str:
+        return f"aligned-{self.mapping_size}"
+
+    # -- sizing ------------------------------------------------------------
+    def effective_bytes(self, value_bytes: int) -> int:
+        """Value bytes after (modelled) compression."""
+        if value_bytes > self.mapping_size:
+            return max(1, int(value_bytes * self.compress_ratio))
+        return value_bytes
+
+    def stored_size(self, value_bytes: int) -> int:
+        """Algorithm 2's formatted size.
+
+        The sub-sector classes are the paper's fixed 128/256/384/512
+        regardless of the mapping unit; mid-range values pad to whole
+        sectors; only values larger than the unit are compressed and
+        padded to whole units (the remappable FULL class).
+        """
+        if value_bytes > self.mapping_size:
+            return align_full(value_bytes, self.compress_ratio, self.mapping_size)
+        if value_bytes <= SECTOR_SIZE:
+            return align_sub_sector(value_bytes, SECTOR_SIZE)
+        return round_up(value_bytes, SECTOR_SIZE)
+
+    def classify(self, value_bytes: int) -> LogType:
+        """FULL (occupies whole mapping units) or PARTIAL (sub-unit)."""
+        stored = self.stored_size(value_bytes)
+        return LogType.FULL if stored % self.mapping_size == 0 \
+            else LogType.PARTIAL
+
+    # -- layout ------------------------------------------------------------
+    def layout(self, requests: List[UpdateRequest],
+               first_lba: int) -> TransactionLayout:
+        layout = TransactionLayout()
+        unit_sectors = self.mapping_size // SECTOR_SIZE
+        cursor_sectors = 0
+
+        partials: List[UpdateRequest] = []
+        for request in requests:
+            if self.classify(request.value_bytes) is LogType.FULL:
+                cursor_sectors = self._place_full(
+                    layout, request, first_lba, cursor_sectors)
+            else:
+                partials.append(request)
+
+        # WriteJournalLogs (Algorithm 2 lines 21-29): merge partial logs
+        # into shared units, first-fit in arrival order.
+        groups: List[MergedPayload] = []
+        members: List[List[JournalEntry]] = []
+        for request in partials:
+            aligned = self.stored_size(request.value_bytes)
+            target_group: Optional[int] = None
+            for index, group in enumerate(groups):
+                if group.fits(aligned):
+                    target_group = index
+                    break
+            if target_group is None:
+                groups.append(MergedPayload(capacity=self.mapping_size))
+                members.append([])
+                target_group = len(groups) - 1
+            offset = groups[target_group].add(
+                aligned, value_tag(request.key, request.version))
+            entry = JournalEntry(
+                key=request.key,
+                version=request.version,
+                target_lba=request.target_lba,
+                target_nsectors=request.target_nsectors,
+                value_bytes=request.value_bytes,
+                stored_bytes=aligned,
+                journal_lba=0,  # patched below once the unit is placed
+                journal_nsectors=unit_sectors,
+                src_offset=offset,
+                log_type=LogType.PARTIAL,
+                exclusive_sectors=False,
+            )
+            members[target_group].append(entry)
+            layout.payload_bytes += request.value_bytes
+            layout.padded_bytes += aligned - request.value_bytes
+
+        for group, entries in zip(groups, members):
+            unit_lba = first_lba + cursor_sectors
+            unit_tags = [group] + [None] * (unit_sectors - 1)
+            layout.sector_tags.extend(unit_tags)
+            merged = len(entries) > 1
+            for entry in entries:
+                entry.journal_lba = unit_lba
+                if merged:
+                    entry.log_type = LogType.MERGED
+                entry.exclusive_sectors = not merged
+                layout.entries.append(entry)
+            layout.padded_bytes += self.mapping_size - group.used_bytes
+            cursor_sectors += unit_sectors
+        return layout
+
+    def _place_full(self, layout: TransactionLayout, request: UpdateRequest,
+                    first_lba: int, cursor_sectors: int) -> int:
+        stored = self.stored_size(request.value_bytes)
+        nsectors = ceil_div(stored, SECTOR_SIZE)
+        tag = value_tag(request.key, request.version)
+        layout.sector_tags.extend([tag] * nsectors)
+        layout.entries.append(JournalEntry(
+            key=request.key,
+            version=request.version,
+            target_lba=request.target_lba,
+            target_nsectors=request.target_nsectors,
+            value_bytes=request.value_bytes,
+            stored_bytes=stored,
+            journal_lba=first_lba + cursor_sectors,
+            journal_nsectors=nsectors,
+            src_offset=0,
+            log_type=LogType.FULL,
+            exclusive_sectors=True,
+        ))
+        effective = self.effective_bytes(request.value_bytes)
+        layout.payload_bytes += effective
+        layout.padded_bytes += stored - effective
+        return cursor_sectors + nsectors

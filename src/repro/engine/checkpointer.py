@@ -1,0 +1,333 @@
+"""Checkpoint strategies: Baseline, ISC-A, ISC-B, ISC-C and Check-In.
+
+Each strategy turns a frozen journal epoch into a durable checkpoint.
+They differ exactly along the paper's configuration axis (§IV-A):
+
+==========  ======================================================
+Baseline    host reads every latest journal log back over the bus,
+            rewrites it into the data area, writes metadata, trims
+ISC-A       one vendor CoW command per log (device-side copy)
+ISC-B       batched multi-CoW commands (device-side copy)
+ISC-C       batched multi-CoW against a remap-capable sub-page FTL
+Check-In    checkpoint-request commands (metadata included) against
+            the remap FTL, paired with sector-aligned journaling
+==========  ======================================================
+
+Every strategy ends by deallocating the frozen journal half, which is what
+lets the physical units live on under their new data-area identity after a
+remap (and what generates the invalid pages after a copy).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.common.units import ceil_div
+from repro.engine.journal import FrozenEpoch
+from repro.engine.records import JournalEntry
+from repro.sim.core import Simulator, all_of
+from repro.sim.process import spawn
+from repro.ssd.commands import Command, CowEntry, Op, write_command
+from repro.ssd.ssd import Ssd
+
+
+@dataclass
+class CheckpointReport:
+    """What one checkpoint did and how long it took."""
+
+    strategy: str
+    started_at: int
+    finished_at: int = 0
+    entries_total: int = 0
+    """All journal entries of the epoch (including OLD ones)."""
+
+    entries_checkpointed: int = 0
+    """Latest-version entries actually materialised."""
+
+    read_commands: int = 0
+    write_commands: int = 0
+    cow_commands: int = 0
+    remapped_units: int = 0
+    copied_units: int = 0
+    journal_sectors_freed: int = 0
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock checkpoint time (Figure 10's metric)."""
+        return self.finished_at - self.started_at
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Host-side knobs shared by the strategies."""
+
+    parallelism: int = 16
+    """Concurrent outstanding commands during read/write/CoW phases."""
+
+    cow_batch: int = 256
+    """Descriptors per multi-CoW / checkpoint command."""
+
+    metadata_bytes_per_entry: int = 16
+    """Host metadata appended per checkpointed entry (baseline/ISC-A/B)."""
+
+    metadata_lba: int = 0
+    """Reserved metadata region (set by the engine at wiring time)."""
+
+
+class CheckpointStrategy(abc.ABC):
+    """Interface every configuration implements."""
+
+    def __init__(self, sim: Simulator, ssd: Ssd,
+                 policy: Optional[CheckpointPolicy] = None) -> None:
+        self.sim = sim
+        self.ssd = ssd
+        self.policy = policy if policy is not None else CheckpointPolicy()
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Configuration label (matches the paper's legend)."""
+
+    @abc.abstractmethod
+    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+        """Materialise the frozen epoch into the data area."""
+
+    # -- shared helpers -----------------------------------------------------
+    def _new_report(self, frozen: FrozenEpoch) -> CheckpointReport:
+        return CheckpointReport(strategy=self.name, started_at=self.sim.now,
+                                entries_total=len(frozen.jmt))
+
+    OFFLOAD_PROGRAM_SECTORS = 128
+    """Size of the offload execution code image (64 KiB)."""
+
+    def _ensure_offload_program(self) -> Generator[Any, Any, None]:
+        """Download the offload code to the device, once (§III-C)."""
+        isce = self.ssd.isce
+        if isce is None or isce.program_loaded:
+            return
+        yield self.ssd.submit(Command(op=Op.LOAD_PROGRAM,
+                                      nsectors=self.OFFLOAD_PROGRAM_SECTORS))
+
+    def _pooled(self, jobs: List[Any]) -> Generator[Any, Any, None]:
+        """Run generator jobs with bounded concurrency."""
+        width = max(1, self.policy.parallelism)
+        queue = list(reversed(jobs))
+
+        def worker():
+            while queue:
+                job = queue.pop()
+                yield from job
+
+        workers = [spawn(self.sim, worker(), name=f"ckpt-worker{i}")
+                   for i in range(min(width, len(jobs)))]
+        if workers:
+            yield all_of(self.sim, workers)
+
+    def _write_host_metadata(self, report: CheckpointReport,
+                             entry_count: int) -> Generator[Any, Any, None]:
+        """Baseline/ISC-A/B: the host persists checkpoint metadata itself."""
+        meta_bytes = max(512, entry_count * self.policy.metadata_bytes_per_entry)
+        nsectors = ceil_div(meta_bytes, 512)
+        yield self.ssd.submit(write_command(
+            self.policy.metadata_lba, nsectors, tags=None, fua=True,
+            stream="meta", cause="ckpt_meta"))
+        yield self.ssd.submit(Command(op=Op.FLUSH))
+        report.write_commands += 1
+
+    def _trim_journal(self, frozen: FrozenEpoch, report: CheckpointReport,
+                      via_isce: bool) -> Generator[Any, Any, None]:
+        # The checkpoint is durable: clear the JMT first so no reader is
+        # routed to a journal location while (or after) it is deallocated.
+        frozen.jmt.clear()
+        lba, nsectors = frozen.journal_range
+        if nsectors == 0:
+            return
+        op = Op.DELETE_LOGS if via_isce else Op.TRIM
+        yield self.ssd.submit(Command(op=op, lba=lba, nsectors=nsectors))
+        report.journal_sectors_freed = nsectors
+
+
+def cow_entry_for(entry: JournalEntry) -> CowEntry:
+    """Translate a JMT entry into the device CoW descriptor."""
+    if entry.log_type.value == "full" and entry.exclusive_sectors \
+            and entry.src_offset == 0:
+        return CowEntry(src_lba=entry.journal_lba, dst_lba=entry.target_lba,
+                        nsectors=entry.target_nsectors,
+                        src_nsectors=entry.journal_nsectors)
+    return CowEntry(src_lba=entry.journal_lba, dst_lba=entry.target_lba,
+                    nsectors=entry.target_nsectors,
+                    src_nsectors=entry.journal_nsectors,
+                    src_offset=entry.src_offset,
+                    length_bytes=entry.stored_bytes)
+
+
+class BaselineCheckpointer(CheckpointStrategy):
+    """Conventional checkpointing by the storage engine (§II-B)."""
+
+    @property
+    def name(self) -> str:
+        return "baseline"
+
+    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+        report = self._new_report(frozen)
+        latest = frozen.jmt.latest_entries()
+        report.entries_checkpointed = len(latest)
+
+        # Phase 1: read every latest journal log into host memory.
+        read_results: List[Optional[List[Any]]] = [None] * len(latest)
+
+        def read_job(index: int, entry: JournalEntry):
+            completion = yield self.ssd.submit(Command(
+                op=Op.READ, lba=entry.journal_lba,
+                nsectors=entry.journal_nsectors))
+            read_results[index] = completion.tags
+            report.read_commands += 1
+
+        yield from self._pooled([read_job(i, e) for i, e in enumerate(latest)])
+
+        # Phase 2: write each latest value to its target location, in
+        # ascending target order so neighbouring records coalesce into
+        # whole mapping units in the device buffer.
+        from repro.checkin.format import extract_part
+
+        def write_job(index: int, entry: JournalEntry):
+            tags = read_results[index]
+            tag = extract_part(tags[0] if tags else None, entry.src_offset)
+            sector_tags = [tag] * entry.target_nsectors
+            yield self.ssd.submit(write_command(
+                entry.target_lba, entry.target_nsectors, tags=sector_tags,
+                stream="data", cause="ckpt"))
+            report.write_commands += 1
+
+        ordered = sorted(range(len(latest)), key=lambda i: latest[i].target_lba)
+        yield from self._pooled([write_job(i, latest[i]) for i in ordered])
+
+        # Phase 3: metadata, then retire the journal half.
+        yield from self._write_host_metadata(report, len(latest))
+        yield from self._trim_journal(frozen, report, via_isce=False)
+        report.copied_units = len(latest)
+        report.finished_at = self.sim.now
+        return report
+
+
+class IscACheckpointer(CheckpointStrategy):
+    """In-storage checkpointing, one single-CoW command per log."""
+
+    @property
+    def name(self) -> str:
+        return "isc_a"
+
+    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+        report = self._new_report(frozen)
+        latest = frozen.jmt.latest_entries()
+        report.entries_checkpointed = len(latest)
+        yield from self._ensure_offload_program()
+
+        def cow_job(entry: JournalEntry):
+            completion = yield self.ssd.submit(Command(
+                op=Op.COW, entries=(cow_entry_for(entry),)))
+            report.cow_commands += 1
+            report.remapped_units += completion.remapped_units
+            report.copied_units += completion.copied_units
+
+        ordered = sorted(latest, key=lambda e: e.target_lba)
+        yield from self._pooled([cow_job(e) for e in ordered])
+        yield from self._write_host_metadata(report, len(latest))
+        yield from self._trim_journal(frozen, report, via_isce=True)
+        report.finished_at = self.sim.now
+        return report
+
+
+class IscBCheckpointer(CheckpointStrategy):
+    """In-storage checkpointing with batched multi-CoW commands."""
+
+    @property
+    def name(self) -> str:
+        return "isc_b"
+
+    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+        report = self._new_report(frozen)
+        latest = frozen.jmt.latest_entries()
+        report.entries_checkpointed = len(latest)
+        yield from self._ensure_offload_program()
+        yield from self._submit_batches(latest, report, op=Op.COW_MULTI)
+        yield from self._write_host_metadata(report, len(latest))
+        yield from self._trim_journal(frozen, report, via_isce=True)
+        report.finished_at = self.sim.now
+        return report
+
+    def _submit_batches(self, latest: List[JournalEntry],
+                        report: CheckpointReport,
+                        op: Op) -> Generator[Any, Any, None]:
+        batch_size = max(1, self.policy.cow_batch)
+        ordered = sorted(latest, key=lambda entry: entry.target_lba)
+        batches = [ordered[i:i + batch_size]
+                   for i in range(0, len(ordered), batch_size)]
+
+        def batch_job(batch: List[JournalEntry]):
+            entries = tuple(cow_entry_for(entry) for entry in batch)
+            completion = yield self.ssd.submit(Command(op=op, entries=entries))
+            report.cow_commands += 1
+            report.remapped_units += completion.remapped_units
+            report.copied_units += completion.copied_units
+
+        yield from self._pooled([batch_job(b) for b in batches])
+
+
+class IscCCheckpointer(IscBCheckpointer):
+    """Multi-CoW against a remap-capable sub-page FTL (no aligned logs).
+
+    The host-side protocol is ISC-B's; the difference lives in the device
+    (mapping unit = 512 B, remapping allowed) and shows up as remapped vs
+    copied unit counts.
+    """
+
+    @property
+    def name(self) -> str:
+        return "isc_c"
+
+
+class CheckInCheckpointer(IscBCheckpointer):
+    """The full proposal: checkpoint-request commands + aligned journaling.
+
+    The checkpoint command carries the metadata, so the device persists it
+    and no separate host metadata write is needed (§III-C).
+    """
+
+    @property
+    def name(self) -> str:
+        return "checkin"
+
+    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+        report = self._new_report(frozen)
+        latest = frozen.jmt.latest_entries()
+        report.entries_checkpointed = len(latest)
+        yield from self._ensure_offload_program()
+        yield from self._submit_batches(latest, report, op=Op.CHECKPOINT)
+        yield from self._trim_journal(frozen, report, via_isce=True)
+        report.finished_at = self.sim.now
+        return report
+
+
+STRATEGIES = {
+    "baseline": BaselineCheckpointer,
+    "isc_a": IscACheckpointer,
+    "isc_b": IscBCheckpointer,
+    "isc_c": IscCCheckpointer,
+    "checkin": CheckInCheckpointer,
+}
+"""Registry keyed by the configuration names used throughout the repo."""
+
+
+def make_strategy(mode: str, sim: Simulator, ssd: Ssd,
+                  policy: Optional[CheckpointPolicy] = None) -> CheckpointStrategy:
+    """Instantiate the strategy for a configuration name."""
+    try:
+        cls = STRATEGIES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown checkpoint mode {mode!r}; "
+            f"expected one of {sorted(STRATEGIES)}") from None
+    return cls(sim, ssd, policy)

@@ -1,0 +1,332 @@
+"""The storage engine: query interface over KV mapping, journal, checkpoint.
+
+This is the host half of Figure 5.  Queries enter through
+:meth:`StorageEngine.get` / :meth:`put` / :meth:`read_modify_write`; the
+engine translates keys to target LBAs, journals updates (write-ahead),
+serves reads from its in-memory block cache or from the device, and runs
+checkpoints with the configured strategy.
+
+The configuration name (``baseline`` … ``checkin``) selects the journal
+formatter *and* the checkpoint strategy together, matching the paper's
+five evaluated systems.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.checkin.format import extract_part
+from repro.common.errors import ConfigError, EngineError
+from repro.common.units import SECTOR_SIZE, US
+from repro.engine.aligner import (
+    JournalFormatter,
+    PackedFormatter,
+    SectorAlignedFormatter,
+    UpdateRequest,
+)
+from repro.engine.checkpointer import (
+    CheckpointPolicy,
+    CheckpointReport,
+    make_strategy,
+)
+from repro.engine.journal import JournalConfig, JournalManager
+from repro.engine.kvmap import KeyValueMap
+from repro.sim.core import Event, Simulator
+from repro.ssd.commands import Command, Op
+from repro.ssd.ssd import Ssd
+
+MODES = ("baseline", "isc_a", "isc_b", "isc_c", "checkin")
+"""The five evaluated configurations, in the paper's order."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Storage-engine configuration (one of the five paper systems)."""
+
+    mode: str = "baseline"
+    journal_lba_start: int = 0
+    journal_sectors: int = 32768
+    meta_lba_start: int = 32768
+    meta_sectors: int = 64
+    data_lba_start: int = 32832
+    data_sectors: int = 65536
+    mapping_unit: int = 4096
+    """Must match the device FTL's mapping unit."""
+
+    group_commit_ns: int = 20 * US
+    max_txn_logs: int = 256
+    compress_ratio: float = 1.0
+    mem_cache_records: int = 1024
+    """Engine block-cache capacity, in records."""
+
+    mem_hit_ns: int = 2_000
+    """Query served entirely from engine memory."""
+
+    cpu_query_ns: int = 1_000
+    """Host CPU cost per query before any storage work."""
+
+    ckpt_parallelism: int = 16
+    cow_batch: int = 256
+    lock_queries_during_checkpoint: bool = False
+    verify_reads: bool = True
+    """Assert that every read returns the expected key (catches
+    consistency bugs in the pipeline; cheap enough to keep on)."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")
+        regions = [
+            (self.journal_lba_start, self.journal_sectors, "journal"),
+            (self.meta_lba_start, self.meta_sectors, "meta"),
+            (self.data_lba_start, self.data_sectors, "data"),
+        ]
+        for start, size, name in regions:
+            if start < 0 or size < 1:
+                raise ConfigError(f"invalid {name} region")
+        ordered = sorted(regions)
+        for (s1, n1, name1), (s2, _n2, name2) in zip(ordered, ordered[1:]):
+            if s1 + n1 > s2:
+                raise ConfigError(f"{name1} and {name2} regions overlap")
+
+    @property
+    def uses_aligned_journaling(self) -> bool:
+        """True for the full Check-In configuration."""
+        return self.mode == "checkin"
+
+    @property
+    def uses_in_storage_checkpoint(self) -> bool:
+        """True for every ISC-* and Check-In configuration."""
+        return self.mode != "baseline"
+
+    @property
+    def device_allow_remap(self) -> bool:
+        """Whether the paired device FTL should remap (ISC-C, Check-In)."""
+        return self.mode in ("isc_c", "checkin")
+
+
+class MemoryCache:
+    """The engine's in-memory block cache (LRU over records)."""
+
+    def __init__(self, capacity_records: int) -> None:
+        if capacity_records < 0:
+            raise ConfigError("cache capacity must be >= 0")
+        self.capacity = capacity_records
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # key -> version
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Cached version of ``key`` or None."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        version = self._entries.get(key)
+        if version is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return version
+
+    def insert(self, key: int, version: int) -> None:
+        """Install/refresh a record's newest version."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = version
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class StorageEngine:
+    """Host storage engine for one device."""
+
+    def __init__(self, sim: Simulator, ssd: Ssd,
+                 config: Optional[EngineConfig] = None) -> None:
+        self.sim = sim
+        self.ssd = ssd
+        self.config = config if config is not None else EngineConfig()
+        if self.config.uses_in_storage_checkpoint \
+                and not ssd.supports_in_storage_checkpoint:
+            raise ConfigError(
+                f"mode {self.config.mode!r} needs an ISCE-enabled device")
+        if ssd.ftl.config.mapping_unit != self.config.mapping_unit:
+            raise ConfigError(
+                f"engine mapping_unit {self.config.mapping_unit} != device "
+                f"{ssd.ftl.config.mapping_unit}")
+
+        self.formatter = self._make_formatter()
+        unit_sectors = self.config.mapping_unit // SECTOR_SIZE
+        data_start = self.config.data_lba_start
+        if data_start % unit_sectors:
+            data_start += unit_sectors - (data_start % unit_sectors)
+        # Alignment is decided per record at load time: only remappable
+        # (whole-unit) records need unit-aligned homes.
+        self.kvmap = KeyValueMap(data_start, self.config.data_sectors,
+                                 align_sectors=1)
+        self.journal = JournalManager(
+            sim, ssd, self.formatter,
+            JournalConfig(lba_start=self.config.journal_lba_start,
+                          total_sectors=self.config.journal_sectors,
+                          group_commit_ns=self.config.group_commit_ns,
+                          max_txn_logs=self.config.max_txn_logs,
+                          # Aligned journaling places logs on mapping-unit
+                          # boundaries; conventional WALs append seamlessly
+                          # (the device coalescer assembles full units).
+                          txn_align_sectors=(self.config.mapping_unit
+                                             // SECTOR_SIZE
+                                             if self.config.uses_aligned_journaling
+                                             else 1)))
+        self.strategy = make_strategy(
+            self.config.mode, sim, ssd,
+            CheckpointPolicy(parallelism=self.config.ckpt_parallelism,
+                             cow_batch=self.config.cow_batch,
+                             metadata_lba=self.config.meta_lba_start))
+        self.mem_cache = MemoryCache(self.config.mem_cache_records)
+        self.stats = ssd.stats
+
+        self._gate: Optional[Event] = None  # closed during locked checkpoints
+        self._checkpoint_running = False
+        self.checkpoint_reports: List[CheckpointReport] = []
+
+    def _make_formatter(self) -> JournalFormatter:
+        if self.config.uses_aligned_journaling:
+            return SectorAlignedFormatter(
+                mapping_size=self.config.mapping_unit,
+                compress_ratio=self.config.compress_ratio)
+        return PackedFormatter()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the journal committer and device services."""
+        self.journal.start()
+        self.ssd.start()
+
+    def shutdown(self) -> None:
+        """Stop daemons so the event loop can drain."""
+        self.journal.shutdown()
+        self.ssd.shutdown()
+
+    def load(self, items: Iterable[Tuple[int, int]]) -> None:
+        """Instantly populate the store with ``(key, size_bytes)`` items.
+
+        Runs at time zero with no simulated cost — the measured phase of
+        every experiment starts from a warm, loaded store.
+        """
+        unit_sectors = self.config.mapping_unit // SECTOR_SIZE
+        for key, size_bytes in items:
+            stored = self.formatter.stored_size(size_bytes)
+            align = (unit_sectors
+                     if self.config.uses_aligned_journaling
+                     and stored % self.config.mapping_unit == 0 else 1)
+            record = self.kvmap.insert(key, size_bytes, stored_bytes=stored,
+                                       align_override=align)
+            tags = [record.tag] * record.nsectors
+            self.ssd.ftl.preload(record.lba, record.nsectors, tags,
+                                 stream="data")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def put(self, key: int) -> Generator[Any, Any, int]:
+        """Update ``key``; returns the committed version."""
+        yield from self._pass_gate()
+        yield self.config.cpu_query_ns
+        record = self.kvmap.get(key)
+        version = self.kvmap.bump_version(key)
+        request = UpdateRequest(key=key, version=version,
+                                value_bytes=record.size_bytes,
+                                target_lba=record.lba,
+                                target_nsectors=record.nsectors)
+        commit = self.journal.submit(request)
+        yield commit
+        self.mem_cache.insert(key, version)
+        self.stats.counter("query.update").add(1, num_bytes=record.size_bytes)
+        return version
+
+    def get(self, key: int) -> Generator[Any, Any, int]:
+        """Read ``key``; returns the version observed."""
+        yield from self._pass_gate()
+        yield self.config.cpu_query_ns
+        record = self.kvmap.get(key)
+        cached = self.mem_cache.lookup(key)
+        if cached is not None:
+            yield self.config.mem_hit_ns
+            self.stats.counter("query.read_mem").add(1)
+            return cached
+
+        entry = self.journal.active_jmt.lookup(key)
+        if entry is None and self.journal.frozen is not None:
+            entry = self.journal.frozen.jmt.lookup(key)
+        if entry is not None and entry.committed:
+            completion = yield self.ssd.submit(Command(
+                op=Op.READ, lba=entry.journal_lba,
+                nsectors=entry.journal_nsectors))
+            tag = extract_part(completion.tags[0] if completion.tags else None,
+                               entry.src_offset)
+            version = entry.version
+        else:
+            completion = yield self.ssd.submit(Command(
+                op=Op.READ, lba=record.lba, nsectors=record.nsectors))
+            tag = completion.tags[0] if completion.tags else None
+            version = tag[1] if tag else 0
+        if self.config.verify_reads and tag is not None and tag[0] != key:
+            raise EngineError(
+                f"consistency violation: read of key {key} returned {tag}")
+        self.mem_cache.insert(key, version)
+        self.stats.counter("query.read_storage").add(
+            1, num_bytes=record.size_bytes)
+        return version
+
+    def read_modify_write(self, key: int) -> Generator[Any, Any, int]:
+        """YCSB workload F's RMW: a read followed by an update."""
+        yield from self.get(key)
+        version = yield from self.put(key)
+        return version
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_running(self) -> bool:
+        """True while a checkpoint is materialising."""
+        return self._checkpoint_running
+
+    def journal_pressure(self) -> int:
+        """Stored bytes accumulated in the active epoch."""
+        return self.journal.active_bytes_logged
+
+    def checkpoint(self) -> Generator[Any, Any, Optional[CheckpointReport]]:
+        """Run one checkpoint now; returns its report (None if skipped)."""
+        if self._checkpoint_running:
+            return None
+        if len(self.journal.active_jmt) == 0:
+            return None
+        self._checkpoint_running = True
+        if self.config.lock_queries_during_checkpoint:
+            self._gate = self.sim.event()
+        try:
+            frozen = yield from self.journal.freeze_when_quiet()
+            report = yield from self.strategy.run(frozen)
+            self.journal.release_frozen()
+            self.checkpoint_reports.append(report)
+            self.stats.counter("ckpt.count").add(1)
+            return report
+        finally:
+            self._checkpoint_running = False
+            if self._gate is not None:
+                gate, self._gate = self._gate, None
+                gate.succeed()
+
+    def _pass_gate(self) -> Generator[Any, Any, None]:
+        while self._gate is not None and not self._gate.triggered:
+            yield self._gate

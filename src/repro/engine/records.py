@@ -1,0 +1,103 @@
+"""Host-side record and journal-entry types.
+
+A *record* is one key's fixed home in the data area; a *journal entry* is
+one update's log in the journal area plus the JMT bookkeeping (the NEW/OLD
+flag of Algorithm 1).  The value *tag* — the opaque payload tracked end to
+end through the device — is the ``(key, version)`` pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.checkin.format import LogType
+from repro.common.errors import EngineError
+
+ValueTag = Tuple[int, int]
+"""``(key, version)`` — what a stored value 'contains' in the simulation."""
+
+
+def value_tag(key: int, version: int) -> ValueTag:
+    """The payload tag for one version of one key."""
+    return (key, version)
+
+
+@dataclass
+class Record:
+    """One key's allocation in the data area."""
+
+    key: int
+    size_bytes: int
+    lba: int
+    nsectors: int
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise EngineError(f"record size must be >= 1, got {self.size_bytes}")
+        if self.nsectors < 1:
+            # The home may be smaller than the raw value when the engine
+            # compresses (stored footprint sizing), but never empty.
+            raise EngineError("record needs at least one sector")
+
+    @property
+    def tag(self) -> ValueTag:
+        """Tag of the record's current version."""
+        return (self.key, self.version)
+
+
+class JournalFlag(enum.Enum):
+    """Entry state in the JMT (Algorithm 1 skips OLD entries)."""
+
+    NEW = "new"
+    OLD = "old"
+
+
+@dataclass
+class JournalEntry:
+    """One journaled update: where its log lives and where it must land."""
+
+    key: int
+    version: int
+    target_lba: int
+    target_nsectors: int
+    value_bytes: int
+    """Original (pre-formatting) value size."""
+
+    stored_bytes: int
+    """Bytes the log occupies after alignment/packing/compression."""
+
+    journal_lba: int
+    """First journal sector holding this log."""
+
+    journal_nsectors: int
+    """Journal sectors the log touches (shared sectors count once each)."""
+
+    src_offset: int = 0
+    """Byte offset of the value within its first journal sector (packed
+    logs) or within its merged mapping unit (aligned logs)."""
+
+    log_type: LogType = LogType.FULL
+    flag: JournalFlag = JournalFlag.NEW
+    committed: bool = False
+    exclusive_sectors: bool = True
+    """True when the log owns every sector it touches (no packing/merge
+    neighbours) — a necessary condition for remapping."""
+
+    def __post_init__(self) -> None:
+        if self.journal_nsectors < 1:
+            raise EngineError("journal entry must span at least one sector")
+        if self.src_offset < 0:
+            raise EngineError(f"negative src_offset {self.src_offset}")
+
+    @property
+    def tag(self) -> ValueTag:
+        """The payload tag this entry journals."""
+        return (self.key, self.version)
+
+    @property
+    def is_latest(self) -> bool:
+        """True while no later update superseded this entry."""
+        return self.flag is JournalFlag.NEW

@@ -1,0 +1,42 @@
+"""The paper's reported numbers, one constant per claim.
+
+Used by benchmarks and EXPERIMENTS.md generation to print side-by-side
+paper-vs-measured comparisons.  All values are taken verbatim from the
+text of the ISCA 2020 paper.
+"""
+
+# --- Figure 3(a): motivation — amplification under the baseline -----------
+FIG3A_IO_AMP_UNIFORM = 2.98
+FIG3A_IO_AMP_ZIPFIAN = 1.91
+FIG3A_FLASH_AMP_UNIFORM = 7.9
+FIG3A_FLASH_AMP_ZIPFIAN = 4.7
+
+# --- Figure 3(b): latest-version ratio, uniform vs zipfian at 128 threads --
+FIG3B_LATEST_RATIO_FACTOR = 5.02
+
+# --- Figure 3(c): latency during checkpointing vs average ------------------
+FIG3C_READ_SLOWDOWN = 4.0
+FIG3C_WRITE_SLOWDOWN = 21.0
+
+# --- Figure 8(a): redundant writes --------------------------------------
+FIG8A_CHECKIN_VS_BASELINE_PCT = 94.3
+FIG8A_CHECKIN_VS_ISCC_PCT = 45.6
+
+# --- Figure 8(b) + Equation (1): GC and lifetime --------------------------
+FIG8B_GC_VS_BASELINE_PCT = 74.1
+FIG8B_GC_VS_ISCC_PCT = 44.8
+EQ1_LIFETIME_VS_BASELINE = 3.86
+EQ1_LIFETIME_VS_ISCC = 1.81
+
+# --- Figure 9: tail latency ------------------------------------------------
+FIG9_P999_VS_BASELINE_UNIFORM_PCT = 92.1
+FIG9_P999_VS_BASELINE_ZIPFIAN_PCT = 92.4
+FIG9_P9999_VS_ISCC_UNIFORM_PCT = 51.3
+FIG9_P9999_VS_ISCC_ZIPFIAN_PCT = 50.8
+
+# --- Figure 11: overall throughput / latency ------------------------------
+FIG11_THROUGHPUT_GAIN_PCT = 8.1
+FIG11_LATENCY_REDUCTION_PCT = 10.2
+
+# --- Figure 13(b): space overhead ------------------------------------------
+FIG13B_SPACE_OVERHEAD_AT_4096_PCT = 3.0

@@ -1,0 +1,68 @@
+"""Figure 10 — checkpointing time versus thread count, per configuration.
+
+As in the paper's methodology, query processing is locked while the
+checkpoint runs so the measured duration is the checkpoint itself, not a
+mixture with query service.  More threads journal more data per interval,
+so the checkpoint grows — except for the remapping configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.experiments.base import ALL_MODES, QUICK, ExperimentScale, paper_config
+from repro.system.system import run_config
+
+
+@dataclass
+class Fig10Result:
+    """Mean checkpoint duration (ms) per (config, threads)."""
+
+    threads: List[int] = field(default_factory=list)
+    ckpt_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        headers = ["threads"] + list(self.ckpt_ms)
+        rows = []
+        for index, thread_count in enumerate(self.threads):
+            rows.append([thread_count] +
+                        [self.ckpt_ms[mode][index] for mode in self.ckpt_ms])
+        return format_table(headers, rows,
+                            title="Figure 10: checkpointing time (ms) "
+                                  "vs threads (queries locked)")
+
+    def at_max_threads(self, mode: str) -> float:
+        """Mean checkpoint duration at the largest thread count (ms)."""
+        return self.ckpt_ms[mode][-1]
+
+    def series(self, mode: str) -> List[float]:
+        """One configuration's durations over the thread sweep."""
+        return list(self.ckpt_ms[mode])
+
+
+def run_fig10(scale: ExperimentScale = QUICK,
+              thread_sweep: Sequence[int] = None) -> Fig10Result:
+    """Measure locked-checkpoint durations across the thread sweep."""
+    threads_list = list(thread_sweep if thread_sweep is not None
+                        else scale.thread_sweep)
+    result = Fig10Result(threads=threads_list)
+    for mode in ALL_MODES:
+        series: List[float] = []
+        for threads in threads_list:
+            config = paper_config(
+                mode, scale,
+                threads=threads,
+                workload="WO",
+                total_queries=scale.scaled_queries(0.6),
+                lock_queries_during_checkpoint=True,
+            )
+            run = run_config(config)
+            reports = run.checkpoint_reports
+            mean_ms = (sum(r.duration_ns for r in reports) /
+                       len(reports) / 1e6) if reports else 0.0
+            series.append(mean_ms)
+        result.ckpt_ms[mode] = series
+    return result

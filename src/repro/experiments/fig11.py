@@ -1,0 +1,120 @@
+"""Figure 11 — overall query throughput and latency.
+
+Workloads A, F and WO (all write-heavy, Zipfian requests), swept over the
+thread count for every configuration.  The paper's headline: +8.1 %
+average throughput and -10.2 % average latency for Check-In over the
+baseline at 128 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.compare import improvement_pct, reduction_pct
+from repro.analysis.tables import format_table
+from repro.experiments import expectations
+from repro.experiments.base import ALL_MODES, QUICK, ExperimentScale, paper_config
+from repro.system.system import run_config
+
+Key = Tuple[str, str, int]  # (workload, mode, threads)
+
+
+@dataclass
+class Fig11Result:
+    """Throughput (qps) and mean latency (us) per (workload, mode, threads)."""
+
+    workloads: List[str] = field(default_factory=list)
+    threads: List[int] = field(default_factory=list)
+    throughput_qps: Dict[Key, float] = field(default_factory=dict)
+    latency_us: Dict[Key, float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Both panels of the figure."""
+        return self.throughput_table() + "\n\n" + self.latency_table()
+
+    def throughput_table(self) -> str:
+        """Render the throughput panel."""
+        rows = []
+        for workload in self.workloads:
+            for thread_count in self.threads:
+                rows.append([workload, thread_count] + [
+                    self.throughput_qps[(workload, mode, thread_count)]
+                    for mode in ALL_MODES])
+        return format_table(["workload", "threads"] + list(ALL_MODES), rows,
+                            float_format=".0f",
+                            title="Figure 11(a): throughput (qps)")
+
+    def latency_table(self) -> str:
+        """Render the latency panel."""
+        rows = []
+        for workload in self.workloads:
+            for thread_count in self.threads:
+                rows.append([workload, thread_count] + [
+                    self.latency_us[(workload, mode, thread_count)]
+                    for mode in ALL_MODES])
+        return format_table(["workload", "threads"] + list(ALL_MODES), rows,
+                            float_format=".1f",
+                            title="Figure 11(b): mean latency (us)")
+
+    def _mean_over_workloads(self, data: Dict[Key, float], mode: str,
+                             threads: int) -> float:
+        values = [data[(w, mode, threads)] for w in self.workloads]
+        return sum(values) / len(values)
+
+    def throughput_gain_pct(self, threads: int = None) -> float:
+        """Check-In over baseline, averaged across workloads."""
+        threads = threads if threads is not None else self.threads[-1]
+        return improvement_pct(
+            self._mean_over_workloads(self.throughput_qps, "baseline", threads),
+            self._mean_over_workloads(self.throughput_qps, "checkin", threads))
+
+    def latency_reduction_pct(self, threads: int = None) -> float:
+        """Check-In's mean-latency reduction vs baseline (%)."""
+        threads = threads if threads is not None else self.threads[-1]
+        return reduction_pct(
+            self._mean_over_workloads(self.latency_us, "baseline", threads),
+            self._mean_over_workloads(self.latency_us, "checkin", threads))
+
+    def comparison_table(self) -> str:
+        """Paper-vs-measured headline numbers."""
+        rows = [
+            ["throughput gain @max threads",
+             expectations.FIG11_THROUGHPUT_GAIN_PCT,
+             self.throughput_gain_pct()],
+            ["latency reduction @max threads",
+             expectations.FIG11_LATENCY_REDUCTION_PCT,
+             self.latency_reduction_pct()],
+        ]
+        return format_table(["Check-In vs baseline", "paper_%", "measured_%"],
+                            rows)
+
+
+def run_fig11(scale: ExperimentScale = QUICK,
+              workloads: Sequence[str] = ("A", "F", "WO"),
+              thread_sweep: Sequence[int] = None) -> Fig11Result:
+    """Full throughput/latency sweep over workloads, threads and configs."""
+    threads_list = list(thread_sweep if thread_sweep is not None
+                        else scale.thread_sweep)
+    result = Fig11Result(workloads=list(workloads), threads=threads_list)
+    for workload in workloads:
+        for mode in ALL_MODES:
+            for threads in threads_list:
+                # Scale the budget with the thread count so every run
+                # spans several checkpoint intervals; otherwise the
+                # high-thread points finish before a single checkpoint
+                # fires and only measure the final-checkpoint tail.
+                queries = scale.scaled_queries(
+                    0.75 * max(1.0, threads / 16.0))
+                config = paper_config(
+                    mode, scale,
+                    workload=workload,
+                    distribution="zipfian",
+                    threads=threads,
+                    total_queries=queries,
+                )
+                metrics = run_config(config).metrics
+                key = (workload, mode, threads)
+                result.throughput_qps[key] = metrics.throughput_qps()
+                result.latency_us[key] = metrics.latency_all.mean() / 1e3
+    return result

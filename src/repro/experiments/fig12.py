@@ -1,0 +1,70 @@
+"""Figure 12 — sensitivity to the checkpoint interval.
+
+The baseline improves as the interval grows (hot keys collapse onto fewer
+checkpointed versions and the burst comes less often); Check-In is steady
+regardless, because its checkpoints are nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.common.units import MIB, MS
+from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.system import run_config
+
+SENSITIVITY_MODES = ("baseline", "checkin")
+
+
+@dataclass
+class Fig12Result:
+    """Throughput/latency per (config, interval)."""
+
+    intervals_ms: List[int] = field(default_factory=list)
+    throughput_qps: Dict[str, List[float]] = field(default_factory=dict)
+    latency_us: Dict[str, List[float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        rows = []
+        for index, interval in enumerate(self.intervals_ms):
+            row: List = [interval]
+            for mode in SENSITIVITY_MODES:
+                row.append(self.throughput_qps[mode][index])
+                row.append(self.latency_us[mode][index])
+            rows.append(row)
+        headers = ["interval_ms"]
+        for mode in SENSITIVITY_MODES:
+            headers += [f"{mode}_qps", f"{mode}_lat_us"]
+        return format_table(headers, rows, float_format=".0f",
+                            title="Figure 12: checkpoint-interval sensitivity")
+
+    def spread_pct(self, mode: str) -> float:
+        """Relative throughput spread across intervals (sensitivity)."""
+        series = self.throughput_qps[mode]
+        low, high = min(series), max(series)
+        return (high - low) / high * 100.0 if high else 0.0
+
+
+def run_fig12(scale: ExperimentScale = QUICK,
+              intervals_ms: Sequence[int] = (15, 30, 60, 120, 240)
+              ) -> Fig12Result:
+    """Sweep the checkpoint interval for baseline and Check-In."""
+    result = Fig12Result(intervals_ms=list(intervals_ms))
+    for mode in SENSITIVITY_MODES:
+        qps: List[float] = []
+        lat: List[float] = []
+        for interval_ms in intervals_ms:
+            config = paper_config(
+                mode, scale,
+                checkpoint_interval_ns=interval_ms * MS,
+                checkpoint_journal_quota=24 * MIB,
+            )
+            metrics = run_config(config).metrics
+            qps.append(metrics.throughput_qps())
+            lat.append(metrics.latency_all.mean() / 1e3)
+        result.throughput_qps[mode] = qps
+        result.latency_us[mode] = lat
+    return result

@@ -1,0 +1,186 @@
+"""Figure 3 — the motivation study (baseline system only).
+
+(a) I/O and flash-operation amplification caused by checkpointing, for
+    uniform and Zipfian request distributions;
+(b) checkpointing time versus thread count, and the latest-version ratio
+    that explains the distribution gap;
+(c) query latency during checkpointing versus the run average, split by
+    reads and writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.common.units import MIB
+from repro.experiments import expectations
+from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.system import run_config
+
+
+@dataclass
+class Fig3aResult:
+    """Amplification rows: one per distribution."""
+
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        return format_table(
+            ["distribution", "io_amp", "paper_io", "flash_amp", "paper_flash"],
+            [[r["distribution"], r["io_amp"], r["paper_io"],
+              r["flash_amp"], r["paper_flash"]] for r in self.rows],
+            title="Figure 3(a): amplification vs write-query bytes (baseline)")
+
+    def amp(self, distribution: str, kind: str) -> float:
+        """Look up one measured amplification factor."""
+        for row in self.rows:
+            if row["distribution"] == distribution:
+                return row[f"{kind}_amp"]
+        raise KeyError(distribution)
+
+
+def run_fig3a(scale: ExperimentScale = QUICK) -> Fig3aResult:
+    """Measure baseline amplification for uniform and zipfian requests.
+
+    Uses a write-only workload over a key population large enough that a
+    uniform epoch's latest-version ratio stays high (the paper's setting);
+    checkpoints are quota-triggered so both runs checkpoint equally often
+    per byte journaled.
+    """
+    result = Fig3aResult()
+    paper = {
+        "uniform": (expectations.FIG3A_IO_AMP_UNIFORM,
+                    expectations.FIG3A_FLASH_AMP_UNIFORM),
+        "zipfian": (expectations.FIG3A_IO_AMP_ZIPFIAN,
+                    expectations.FIG3A_FLASH_AMP_ZIPFIAN),
+    }
+    for distribution in ("uniform", "zipfian"):
+        config = paper_config(
+            "baseline", scale,
+            workload="WO",
+            distribution=distribution,
+            num_keys=max(scale.keys, scale.queries),
+            checkpoint_journal_quota=3 * MIB,
+            checkpoint_interval_ns=10 ** 12,  # quota-driven only
+        )
+        metrics = run_config(config).metrics
+        paper_io, paper_flash = paper[distribution]
+        result.rows.append({
+            "distribution": distribution,
+            "io_amp": metrics.io_amplification(),
+            "paper_io": paper_io,
+            "flash_amp": metrics.flash_amplification(),
+            "paper_flash": paper_flash,
+        })
+    return result
+
+
+@dataclass
+class Fig3bResult:
+    """Checkpoint time and latest-version ratio per (distribution, threads)."""
+
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        return format_table(
+            ["distribution", "threads", "ckpt_ms", "normalized",
+             "latest_ratio"],
+            [[r["distribution"], r["threads"], r["ckpt_ms"],
+              r["normalized"], r["latest_ratio"]] for r in self.rows],
+            title="Figure 3(b): checkpointing time vs threads (baseline)")
+
+    def series(self, distribution: str, key: str = "normalized") -> List[float]:
+        """One distribution's series over the thread sweep."""
+        return [r[key] for r in self.rows if r["distribution"] == distribution]
+
+    def latest_ratio_factor(self) -> float:
+        """uniform/zipfian latest-ratio at the highest thread count."""
+        uniform = self.series("uniform", "latest_ratio")[-1]
+        zipfian = self.series("zipfian", "latest_ratio")[-1]
+        return uniform / zipfian if zipfian else float("inf")
+
+
+def run_fig3b(scale: ExperimentScale = QUICK) -> Fig3bResult:
+    """Checkpoint duration growth with thread count, per distribution."""
+    result = Fig3bResult()
+    for distribution in ("uniform", "zipfian"):
+        base_ms = None
+        for threads in scale.thread_sweep:
+            config = paper_config(
+                "baseline", scale,
+                workload="WO",
+                distribution=distribution,
+                threads=threads,
+                num_keys=max(scale.keys, scale.queries),
+                total_queries=scale.scaled_queries(0.6),
+            )
+            run = run_config(config)
+            reports = run.checkpoint_reports
+            ckpt_ms = (sum(r.duration_ns for r in reports) /
+                       len(reports) / 1e6) if reports else 0.0
+            latest = (sum(r.entries_checkpointed for r in reports) /
+                      max(1, sum(r.entries_total for r in reports)))
+            if base_ms is None:
+                base_ms = ckpt_ms or 1.0
+            result.rows.append({
+                "distribution": distribution,
+                "threads": threads,
+                "ckpt_ms": ckpt_ms,
+                "normalized": ckpt_ms / base_ms if base_ms else 0.0,
+                "latest_ratio": latest,
+            })
+    return result
+
+
+@dataclass
+class Fig3cResult:
+    """Latency during checkpointing vs overall average (baseline)."""
+
+    read_avg_us: float = 0.0
+    read_ckpt_us: float = 0.0
+    write_avg_us: float = 0.0
+    write_ckpt_us: float = 0.0
+
+    @property
+    def read_slowdown(self) -> float:
+        return self.read_ckpt_us / self.read_avg_us if self.read_avg_us else 0.0
+
+    @property
+    def write_slowdown(self) -> float:
+        return self.write_ckpt_us / self.write_avg_us if self.write_avg_us \
+            else 0.0
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        return format_table(
+            ["op", "avg_us", "during_ckpt_us", "slowdown", "paper_slowdown"],
+            [["read", self.read_avg_us, self.read_ckpt_us,
+              self.read_slowdown, expectations.FIG3C_READ_SLOWDOWN],
+             ["write", self.write_avg_us, self.write_ckpt_us,
+              self.write_slowdown, expectations.FIG3C_WRITE_SLOWDOWN]],
+            title="Figure 3(c): latency during checkpointing (baseline)")
+
+
+def run_fig3c(scale: ExperimentScale = QUICK) -> Fig3cResult:
+    """Compare in-checkpoint query latency with the run average.
+
+    Uses the moderately utilised device of the tail study (8 channels,
+    16 threads) so the steady state is not already saturated and the
+    checkpoint burst stands out, as on the paper's real machine.
+    """
+    config = paper_config("baseline", scale, workload="A",
+                          distribution="zipfian",
+                          threads=16, channels=8,
+                          total_queries=scale.scaled_queries(1.25),
+                          checkpoint_interval_ns=scale.interval_ns // 2)
+    metrics = run_config(config).metrics
+    return Fig3cResult(
+        read_avg_us=metrics.latency_read.mean() / 1e3,
+        read_ckpt_us=metrics.latency_read_ckpt.mean() / 1e3,
+        write_avg_us=metrics.latency_update.mean() / 1e3,
+        write_ckpt_us=metrics.latency_update_ckpt.mean() / 1e3,
+    )

@@ -1,0 +1,89 @@
+"""Figure 9 — tail query latency.
+
+Check-In versus baseline and ISC-C at the 99.9th and 99.99th percentiles,
+for uniform and Zipfian request distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.compare import reduction_pct
+from repro.analysis.tables import format_table
+from repro.experiments import expectations
+from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.system import run_config
+
+TAIL_MODES = ("baseline", "isc_c", "checkin")
+
+
+@dataclass
+class Fig9Result:
+    """Percentile latencies per (distribution, config), microseconds."""
+
+    p999_us: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    p9999_us: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Render the figure's rows as an ASCII table."""
+        rows: List[List] = []
+        for (distribution, mode), p999 in sorted(self.p999_us.items()):
+            rows.append([distribution, mode, p999,
+                         self.p9999_us[(distribution, mode)]])
+        return format_table(["distribution", "config", "p99.9_us", "p99.99_us"],
+                            rows, title="Figure 9: tail latency")
+
+    def p999_reduction_vs_baseline(self, distribution: str) -> float:
+        """Check-In's p99.9 reduction vs the baseline (%)."""
+        return reduction_pct(self.p999_us[(distribution, "baseline")],
+                             self.p999_us[(distribution, "checkin")])
+
+    def p9999_reduction_vs_iscc(self, distribution: str) -> float:
+        """Check-In's p99.99 reduction vs ISC-C (%)."""
+        return reduction_pct(self.p9999_us[(distribution, "isc_c")],
+                             self.p9999_us[(distribution, "checkin")])
+
+    def comparison_table(self) -> str:
+        """Paper-vs-measured reductions, side by side."""
+        rows = [
+            ["p99.9 vs baseline (uniform)",
+             expectations.FIG9_P999_VS_BASELINE_UNIFORM_PCT,
+             self.p999_reduction_vs_baseline("uniform")],
+            ["p99.9 vs baseline (zipfian)",
+             expectations.FIG9_P999_VS_BASELINE_ZIPFIAN_PCT,
+             self.p999_reduction_vs_baseline("zipfian")],
+            ["p99.99 vs isc_c (uniform)",
+             expectations.FIG9_P9999_VS_ISCC_UNIFORM_PCT,
+             self.p9999_reduction_vs_iscc("uniform")],
+            ["p99.99 vs isc_c (zipfian)",
+             expectations.FIG9_P9999_VS_ISCC_ZIPFIAN_PCT,
+             self.p9999_reduction_vs_iscc("zipfian")],
+        ]
+        return format_table(["Check-In tail reduction", "paper_%", "measured_%"],
+                            rows)
+
+
+def run_fig9(scale: ExperimentScale = QUICK) -> Fig9Result:
+    """Tail-latency comparison on a moderately utilised device.
+
+    Uses a wider device (8 channels) at 16 threads so the steady-state
+    tail is not already flash-saturated — the checkpoint burst is then
+    what the percentiles see, as in the paper.
+    """
+    result = Fig9Result()
+    for distribution in ("uniform", "zipfian"):
+        for mode in TAIL_MODES:
+            config = paper_config(
+                mode, scale,
+                distribution=distribution,
+                threads=16,
+                channels=8,
+                total_queries=scale.scaled_queries(1.25),
+            )
+            metrics = run_config(config).metrics
+            result.p999_us[(distribution, mode)] = \
+                metrics.latency_all.p999() / 1e3
+            result.p9999_us[(distribution, mode)] = \
+                metrics.latency_all.p9999() / 1e3
+    return result

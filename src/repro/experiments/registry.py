@@ -1,0 +1,48 @@
+"""Experiment registry: one entry per paper table/figure.
+
+``run_experiment("fig8a")`` executes the experiment at the requested scale
+and returns its result object (every result has a ``table()`` renderer;
+``table1`` returns the rendered string directly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig8 import run_fig8a, run_fig8b
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13a, run_fig13b
+from repro.experiments.table1 import run_table1
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13a": run_fig13a,
+    "fig13b": run_fig13b,
+    "table1": run_table1,
+}
+"""Every reproducible table/figure, keyed by its paper id."""
+
+
+def run_experiment(experiment_id: str,
+                   scale: ExperimentScale = QUICK) -> Any:
+    """Run one registered experiment."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}") from None
+    return runner(scale)

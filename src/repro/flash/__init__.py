@@ -1,0 +1,8 @@
+"""NAND flash array model: geometry, timing, block state, timed operations."""
+
+from repro.flash.array import FlashArray
+from repro.flash.block import Block, PageState
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+
+__all__ = ["FlashArray", "Block", "PageState", "FlashGeometry", "FlashTiming"]

@@ -1,0 +1,187 @@
+"""The timed NAND flash array.
+
+:class:`FlashArray` owns every block plus the contention model: one
+:class:`~repro.sim.resources.Resource` per LUN (a plane executes one array
+operation at a time) and one per channel (data transfers serialize on the
+shared bus).  Operations are generator helpers meant to be delegated to
+from a simulation process with ``yield from``::
+
+    data, oob = yield from array.read_page(ppa)
+    yield from array.program_page(ppa, data, oob)
+    yield from array.erase_block(block_id)
+
+Accounting: every operation increments the shared
+:class:`~repro.sim.stats.StatRegistry` counters ``flash.read``,
+``flash.program`` and ``flash.erase`` (bytes counted for read/program).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.common.errors import FlashError
+from repro.flash.block import Block
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+from repro.sim.stats import StatRegistry
+
+
+class FlashArray:
+    """All NAND blocks plus LUN/channel scheduling."""
+
+    def __init__(self, sim: Simulator, geometry: FlashGeometry,
+                 timing: FlashTiming, stats: Optional[StatRegistry] = None) -> None:
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.stats = stats if stats is not None else StatRegistry()
+        self.max_pe_cycles: Optional[int] = None
+        self.blocks: List[Block] = [
+            Block(block_id, geometry.pages_per_block)
+            for block_id in range(geometry.total_blocks)
+        ]
+        self._luns = [Resource(sim, 1, name=f"lun{i}")
+                      for i in range(geometry.num_luns)]
+        self._channels = [Resource(sim, 1, name=f"chan{i}")
+                          for i in range(geometry.channels)]
+
+    # -- synchronous state access (no simulated time) -----------------------
+    def block(self, block_id: int) -> Block:
+        """The :class:`Block` object with the given global id."""
+        self.geometry.check_block(block_id)
+        return self.blocks[block_id]
+
+    def page_data(self, ppa: int) -> Any:
+        """Stored payload of a written page (no timing)."""
+        block = self.block(self.geometry.block_of_page(ppa))
+        return block.data(self.geometry.page_in_block(ppa))
+
+    def page_oob(self, ppa: int) -> Any:
+        """OOB record of a written page (no timing)."""
+        block = self.block(self.geometry.block_of_page(ppa))
+        return block.oob(self.geometry.page_in_block(ppa))
+
+    def total_erase_count(self) -> int:
+        """Sum of erase counts over all blocks."""
+        return sum(block.erase_count for block in self.blocks)
+
+    def max_erase_count(self) -> int:
+        """Highest per-block erase count (wear hot spot)."""
+        return max(block.erase_count for block in self.blocks)
+
+    # -- timed operations ----------------------------------------------------
+    def read_page(self, ppa: int) -> Generator[Any, Any, Tuple[Any, Any]]:
+        """Timed page read; returns ``(data, oob)``.
+
+        Sequence: LUN busy for the array read, then the channel busy while
+        the page streams out.
+        """
+        geometry = self.geometry
+        block = self.block(geometry.block_of_page(ppa))
+        page_index = geometry.page_in_block(ppa)
+        lun = self._luns[geometry.lun_of_page(ppa)]
+        channel = self._channels[geometry.channel_of_page(ppa)]
+
+        yield lun.acquire()
+        try:
+            yield self.timing.read_ns
+            yield channel.acquire()
+            try:
+                yield self.timing.transfer_ns(geometry.page_size)
+            finally:
+                channel.release()
+        finally:
+            lun.release()
+        self.stats.counter("flash.read").add(1, num_bytes=geometry.page_size)
+        # Content is sampled after the timed phases so a concurrent GC
+        # migration that finished earlier is observed consistently.
+        data = block.data(page_index)
+        oob = block.oob(page_index)
+        return data, oob
+
+    def program_page(self, ppa: int, data: Any,
+                     oob: Any = None) -> Generator[Any, Any, None]:
+        """Timed page program: channel transfer in, then array program."""
+        geometry = self.geometry
+        block = self.block(geometry.block_of_page(ppa))
+        page_index = geometry.page_in_block(ppa)
+        lun = self._luns[geometry.lun_of_page(ppa)]
+        channel = self._channels[geometry.channel_of_page(ppa)]
+
+        yield lun.acquire()
+        try:
+            yield channel.acquire()
+            try:
+                yield self.timing.transfer_ns(geometry.page_size)
+            finally:
+                channel.release()
+            # Commit the page content before the long program pulse so a
+            # reader that wins the LUN immediately afterwards sees it.
+            block.program(page_index, data, oob)
+            yield self.timing.program_ns
+        finally:
+            lun.release()
+        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
+
+    def mapping_read(self, lun: int) -> Generator[Any, Any, None]:
+        """Timed read of one mapping-table page (DFTL map-cache miss).
+
+        Contends for the LUN and channel like any page read but carries no
+        user content — the mapping store is modelled logically.
+        """
+        if not 0 <= lun < self.geometry.num_luns:
+            raise FlashError(f"lun {lun} out of range")
+        channel = self._channels[self.geometry.channel_of_lun(lun)]
+        yield self._luns[lun].acquire()
+        try:
+            yield self.timing.read_ns
+            yield channel.acquire()
+            try:
+                yield self.timing.transfer_ns(self.geometry.page_size)
+            finally:
+                channel.release()
+        finally:
+            self._luns[lun].release()
+        self.stats.counter("flash.read").add(
+            1, num_bytes=self.geometry.page_size)
+        self.stats.counter("flash.read.map").add(1)
+
+    def erase_block(self, block_id: int) -> Generator[Any, Any, None]:
+        """Timed block erase."""
+        geometry = self.geometry
+        block = self.block(block_id)
+        lun = self._luns[geometry.lun_of_block(block_id)]
+        yield lun.acquire()
+        try:
+            block.erase(self.max_pe_cycles)
+            yield self.timing.erase_ns
+        finally:
+            lun.release()
+        self.stats.counter("flash.erase").add(1)
+
+    # -- instantaneous variants (used by recovery tooling) -------------------
+    def program_page_now(self, ppa: int, data: Any, oob: Any = None) -> None:
+        """Program without consuming simulated time (setup/recovery only)."""
+        geometry = self.geometry
+        block = self.block(geometry.block_of_page(ppa))
+        block.program(geometry.page_in_block(ppa), data, oob)
+        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
+
+    def scan_oob(self) -> List[Tuple[int, Any]]:
+        """Every written page's ``(ppa, oob)`` — the SPOR recovery scan."""
+        results: List[Tuple[int, Any]] = []
+        pages_per_block = self.geometry.pages_per_block
+        for block in self.blocks:
+            base = block.block_id * pages_per_block
+            for page_index in range(block.written_pages):
+                results.append((base + page_index, block.oob(page_index)))
+        return results
+
+    def check_not_written(self, ppa: int) -> None:
+        """Raise :class:`FlashError` when ``ppa`` has already been programmed."""
+        geometry = self.geometry
+        block = self.block(geometry.block_of_page(ppa))
+        if geometry.page_in_block(ppa) < block.write_pointer:
+            raise FlashError(f"page {ppa} already written")

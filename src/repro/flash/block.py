@@ -1,0 +1,101 @@
+"""Per-block NAND state: page write status, stored payloads, OOB, wear.
+
+Flash physics enforced here:
+
+* pages within a block must be programmed strictly in order;
+* a written page cannot be reprogrammed until the whole block is erased;
+* each erase consumes one P/E cycle from the block's endurance budget.
+
+Payloads are opaque Python objects (the FTL stores per-unit tags rather
+than real bytes), and each page carries an out-of-band (OOB) record the
+controller uses for power-loss recovery — the paper stores the target
+address and version there (§III-G).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.common.errors import FlashError
+
+
+class PageState:
+    """Lifecycle of one physical page."""
+
+    FREE = 0
+    WRITTEN = 1
+
+
+class Block:
+    """State of one erase block."""
+
+    __slots__ = ("block_id", "pages_per_block", "erase_count", "write_pointer",
+                 "_data", "_oob")
+
+    def __init__(self, block_id: int, pages_per_block: int) -> None:
+        self.block_id = block_id
+        self.pages_per_block = pages_per_block
+        self.erase_count = 0
+        self.write_pointer = 0  # next programmable page index
+        self._data: List[Any] = [None] * pages_per_block
+        self._oob: List[Any] = [None] * pages_per_block
+
+    # -- queries ----------------------------------------------------------
+    def page_state(self, page_index: int) -> int:
+        """FREE or WRITTEN for the page at ``page_index``."""
+        self._check_index(page_index)
+        return PageState.WRITTEN if page_index < self.write_pointer else PageState.FREE
+
+    @property
+    def is_full(self) -> bool:
+        """True when every page has been programmed."""
+        return self.write_pointer >= self.pages_per_block
+
+    @property
+    def written_pages(self) -> int:
+        """Number of programmed pages."""
+        return self.write_pointer
+
+    def data(self, page_index: int) -> Any:
+        """Stored payload of a written page."""
+        if self.page_state(page_index) != PageState.WRITTEN:
+            raise FlashError(
+                f"block {self.block_id}: reading unwritten page {page_index}")
+        return self._data[page_index]
+
+    def oob(self, page_index: int) -> Any:
+        """OOB record of a written page."""
+        if self.page_state(page_index) != PageState.WRITTEN:
+            raise FlashError(
+                f"block {self.block_id}: reading OOB of unwritten page {page_index}")
+        return self._oob[page_index]
+
+    # -- mutations ----------------------------------------------------------
+    def program(self, page_index: int, data: Any, oob: Any = None) -> None:
+        """Program one page; must be the next page in sequence."""
+        self._check_index(page_index)
+        if page_index != self.write_pointer:
+            raise FlashError(
+                f"block {self.block_id}: out-of-order program of page "
+                f"{page_index} (expected {self.write_pointer})")
+        self._data[page_index] = data
+        self._oob[page_index] = oob
+        self.write_pointer += 1
+
+    def erase(self, max_pe_cycles: Optional[int] = None) -> None:
+        """Erase the block, consuming one P/E cycle."""
+        if max_pe_cycles is not None and self.erase_count >= max_pe_cycles:
+            raise FlashError(
+                f"block {self.block_id}: exceeded endurance of "
+                f"{max_pe_cycles} P/E cycles")
+        self.erase_count += 1
+        self.write_pointer = 0
+        for i in range(self.pages_per_block):
+            self._data[i] = None
+            self._oob[i] = None
+
+    def _check_index(self, page_index: int) -> None:
+        if not 0 <= page_index < self.pages_per_block:
+            raise FlashError(
+                f"block {self.block_id}: page index {page_index} out of range "
+                f"[0, {self.pages_per_block})")

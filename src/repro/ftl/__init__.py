@@ -1,0 +1,16 @@
+"""Flash translation layer: sub-page mapping, log allocation, GC, facade."""
+
+from repro.ftl.allocator import BlockAllocator, PageProgram
+from repro.ftl.ftl import Ftl, FtlConfig
+from repro.ftl.gc import GC_STREAM, GarbageCollector
+from repro.ftl.mapping import SubPageMappingTable
+
+__all__ = [
+    "BlockAllocator",
+    "PageProgram",
+    "Ftl",
+    "FtlConfig",
+    "GC_STREAM",
+    "GarbageCollector",
+    "SubPageMappingTable",
+]

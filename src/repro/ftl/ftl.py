@@ -1,0 +1,627 @@
+"""The flash translation layer facade.
+
+Responsibilities (mirroring the SimpleSSD FTL the paper modified):
+
+* host-sector address translation onto mapping units (sub-page mapping,
+  §III-D — the unit size is configurable from 512 B up to the page size);
+* log-structured out-of-place writes with per-stream active blocks and a
+  capacitor-backed open-page buffer (writes ack once staged, pages program
+  asynchronously, back-pressure through a bounded write buffer);
+* read-modify-write when a host write covers only part of a mapped unit —
+  the *internal write amplification* of Figures 3(a) and 8;
+* the **remap** primitive used by the in-storage checkpoint (Algorithm 1):
+  aliasing a data-area LPN onto the physical unit of a journal log;
+* physical unit copies (for the ISC-A/ISC-B configurations that offload
+  checkpointing but still copy data inside the device);
+* trim/deallocate, greedy GC, wear accounting, and periodic mapping-table
+  persistence to flash.
+
+All timed entry points are generator helpers for ``yield from`` inside a
+simulation process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError, FtlError
+from repro.common.units import MIB, SECTOR_SIZE, ceil_div
+from repro.flash.array import FlashArray
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.allocator import BlockAllocator, PageProgram
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.mapping import SubPageMappingTable
+from repro.sim.core import Simulator, all_of
+from repro.sim.process import spawn
+from repro.sim.resources import Resource
+from repro.sim.stats import StatRegistry
+
+SectorTag = Any
+UnitTags = Tuple[SectorTag, ...]
+
+
+@dataclass(frozen=True)
+class FtlConfig:
+    """Tunables of the translation layer."""
+
+    mapping_unit: int = 4096
+    """Mapping granularity in bytes (512 = the Check-In sub-page unit)."""
+
+    gc_low_watermark: int = 2
+    """Foreground GC kicks in below this many free blocks."""
+
+    gc_high_watermark: int = 4
+    """Background GC target: idle device reclaims up to this level."""
+
+    write_buffer_bytes: int = 2 * MIB
+    """Capacitor-backed staging buffer capacity in bytes (converted to
+    mapping units at construction, so all configurations get the same
+    DRAM regardless of mapping granularity)."""
+
+    map_update_ns: int = 60
+    """DRAM mapping-table update cost per entry."""
+
+    remap_entry_ns: int = 150
+    """Cost to process one CoW remap entry (lookup + two map updates)."""
+
+    staged_read_ns: int = 800
+    """Serving a read from the controller staging buffer."""
+
+    stripe_width: int = 0
+    """Stripe lanes per write stream (0 = auto from the geometry)."""
+
+    meta_entry_bytes: int = 8
+    """Persisted size of one dirty mapping entry."""
+
+    map_cache_bytes: int = 256 * 1024
+    """DFTL-style map cache: mapping-table pages resident in device DRAM.
+    A host op touching an LPN whose map page is not cached pays a flash
+    read first (0 disables the model).  Smaller mapping units mean more
+    entries, a larger table and more misses — the metadata overhead the
+    Figure 13(a) sensitivity study varies."""
+
+    max_pe_cycles: int = 3000
+    """Block endurance used for lifetime estimates (Equation 1)."""
+
+    snapshot_metadata: bool = True
+    """Keep a copy of the L2P table at each persistence point so crash
+    recovery can be exercised; benchmarks disable this to save memory."""
+
+    track_op_log: bool = False
+    """Record remap/trim operations (with sequence numbers) so the OOB
+    power-loss-recovery scan can be verified to rebuild the exact mapping
+    (§III-G).  Off by default — costs memory proportional to run length."""
+
+    def __post_init__(self) -> None:
+        if self.mapping_unit % SECTOR_SIZE != 0:
+            raise ConfigError("mapping_unit must be a multiple of 512")
+        if self.mapping_unit < SECTOR_SIZE:
+            raise ConfigError("mapping_unit must be >= 512")
+        if self.write_buffer_bytes < self.mapping_unit:
+            raise ConfigError("write_buffer_bytes must hold at least one unit")
+
+
+class Ftl:
+    """Sub-page-mapped, log-structured flash translation layer."""
+
+    def __init__(self, sim: Simulator, array: FlashArray,
+                 config: Optional[FtlConfig] = None) -> None:
+        self.sim = sim
+        self.array = array
+        self.geometry: FlashGeometry = array.geometry
+        self.config = config if config is not None else FtlConfig()
+        if self.config.mapping_unit > self.geometry.page_size:
+            raise ConfigError("mapping_unit cannot exceed the page size")
+        if self.geometry.page_size % self.config.mapping_unit != 0:
+            raise ConfigError("mapping_unit must divide the page size")
+        self.stats: StatRegistry = array.stats
+        array.max_pe_cycles = None  # endurance tracked statistically, not fatal
+
+        self.units_per_page = self.geometry.page_size // self.config.mapping_unit
+        self.sectors_per_unit = self.config.mapping_unit // SECTOR_SIZE
+        self.mapping = SubPageMappingTable(self.units_per_page,
+                                           self.geometry.pages_per_block)
+        self.allocator = BlockAllocator(self.geometry, self.units_per_page,
+                                        stripe_width=self.config.stripe_width)
+        self.gc = GarbageCollector(sim, self,
+                                   self.config.gc_low_watermark,
+                                   self.config.gc_high_watermark)
+        buffer_units = max(64, self.config.write_buffer_bytes
+                           // self.config.mapping_unit)
+        self._write_buffer = Resource(sim, buffer_units, name="write-buffer")
+        self._staged_tags: Dict[int, UnitTags] = {}
+        self._staged_oob: Dict[int, Any] = {}
+        self._buffer_held: set = set()  # upas holding a write-buffer slot
+        self._inflight_per_block: Dict[int, int] = {}
+        self._write_seq = 0
+        self._dirty_map_entries = 0
+        self._persisted_snapshot: Dict[int, int] = {}
+        self._map_entries_per_page = max(
+            1, self.geometry.page_size // self.config.meta_entry_bytes)
+        self._map_cache_pages = (self.config.map_cache_bytes
+                                 // self.geometry.page_size)
+        self._map_cache: "OrderedDict[int, None]" = OrderedDict()
+        self._lpn_locks: Dict[int, Resource] = {}
+        self.op_log: Optional[List[Tuple[int, str, int, int]]] = \
+            [] if self.config.track_op_log else None
+        """Durable mapping operations as ``(seq, op, a, b)``; 'remap' carries
+        (src_lpn, dst_lpn), 'trim' carries (lpn, 0)."""
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def lpn_of_lba(self, lba: int) -> int:
+        """Logical page (mapping unit) containing sector ``lba``."""
+        if lba < 0:
+            raise FtlError(f"negative lba {lba}")
+        return lba // self.sectors_per_unit
+
+    def lpn_span(self, lba: int, nsectors: int) -> range:
+        """All LPNs touched by the sector range."""
+        if nsectors < 1:
+            raise FtlError(f"nsectors must be >= 1, got {nsectors}")
+        first = self.lpn_of_lba(lba)
+        last = self.lpn_of_lba(lba + nsectors - 1)
+        return range(first, last + 1)
+
+    def inflight_programs(self, block: int) -> int:
+        """Page programs currently executing against ``block``."""
+        return self._inflight_per_block.get(block, 0)
+
+    # ------------------------------------------------------------------
+    # per-LPN write serialisation
+    # ------------------------------------------------------------------
+    def _acquire_lpns(self, lpns: List[int]) -> Generator[Any, Any, None]:
+        """Serialise concurrent writers of the same logical pages.
+
+        A read-modify-write that overlaps another writer's RMW on the same
+        unit would otherwise lose the earlier merge (both start from the
+        same old content).  Locks are taken in sorted order, so overlapping
+        writers cannot deadlock.
+        """
+        for lpn in lpns:
+            lock = self._lpn_locks.get(lpn)
+            if lock is None:
+                lock = Resource(self.sim, 1, name=f"lpn{lpn}")
+                self._lpn_locks[lpn] = lock
+            yield lock.acquire()
+
+    def _release_lpns(self, lpns: List[int]) -> None:
+        for lpn in lpns:
+            lock = self._lpn_locks[lpn]
+            lock.release()
+            if lock.in_use == 0 and lock.queue_length == 0:
+                del self._lpn_locks[lpn]
+
+    # ------------------------------------------------------------------
+    # DFTL map cache
+    # ------------------------------------------------------------------
+    def touch_map(self, lpns: Iterable[int]) -> Generator[Any, Any, None]:
+        """Ensure the map pages covering ``lpns`` are cached (miss = read).
+
+        The mapping store itself is modelled logically; a miss costs one
+        timed flash read on the map page's home LUN and evicts LRU pages.
+        """
+        if self._map_cache_pages <= 0:
+            return
+        misses: List[int] = []
+        for lpn in lpns:
+            map_page = lpn // self._map_entries_per_page
+            if map_page in self._map_cache:
+                self._map_cache.move_to_end(map_page)
+            else:
+                self._map_cache[map_page] = None
+                misses.append(map_page)
+                while len(self._map_cache) > self._map_cache_pages:
+                    self._map_cache.popitem(last=False)
+        for map_page in misses:
+            yield from self.array.mapping_read(
+                map_page % self.geometry.num_luns)
+            self.stats.counter("ftl.map_miss").add(1)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write(self, lba: int, nsectors: int,
+              tags: Optional[Sequence[SectorTag]] = None,
+              stream: str = "data",
+              cause: str = "host") -> Generator[Any, Any, None]:
+        """Timed host-style write of ``nsectors`` sectors at ``lba``.
+
+        ``tags`` carries one opaque tag per sector (or None).  Completion
+        means every unit is staged in the protected buffer; page programs
+        for filled pages run asynchronously with back-pressure.
+        """
+        if tags is not None and len(tags) != nsectors:
+            raise FtlError(f"expected {nsectors} sector tags, got {len(tags)}")
+        locked = sorted(self.lpn_span(lba, nsectors))
+        yield from self._acquire_lpns(locked)
+        try:
+            yield from self._locked_write(lba, nsectors, tags, stream, cause)
+        finally:
+            self._release_lpns(locked)
+
+    def _locked_write(self, lba: int, nsectors: int,
+                      tags: Optional[Sequence[SectorTag]],
+                      stream: str, cause: str) -> Generator[Any, Any, None]:
+        yield from self.touch_map(self.lpn_span(lba, nsectors))
+
+        plan: List[Tuple[int, UnitTags, bool]] = []  # (lpn, unit tags, is_rmw)
+        rmw_pages: List[int] = []
+        staged_old: Dict[int, UnitTags] = {}  # snapshot against de-staging races
+        for lpn in self.lpn_span(lba, nsectors):
+            unit_first_lba = lpn * self.sectors_per_unit
+            start = max(lba, unit_first_lba)
+            end = min(lba + nsectors, unit_first_lba + self.sectors_per_unit)
+            full_cover = (end - start) == self.sectors_per_unit
+            old_upa = self.mapping.lookup(lpn)
+            is_rmw = (not full_cover) and old_upa is not None
+            if is_rmw:
+                staged = self._staged_tags.get(old_upa)
+                if staged is not None:
+                    staged_old[lpn] = staged
+                else:
+                    rmw_pages.append(self.mapping.page_of_unit(old_upa))
+            plan.append((lpn, (start, end), is_rmw))
+
+        # Read-modify-write: fetch every old page once, in parallel.
+        old_pages: Dict[int, Any] = {}
+        if rmw_pages:
+            yield from self._read_pages_parallel(sorted(set(rmw_pages)), old_pages)
+            self.stats.counter("ftl.rmw_reads").add(len(set(rmw_pages)))
+
+        unit_tags_list: List[UnitTags] = []
+        oob_list: List[Any] = []
+        rmw_units = 0
+        for lpn, (start, end), is_rmw in plan:
+            unit_first_lba = lpn * self.sectors_per_unit
+            merged: List[SectorTag] = [None] * self.sectors_per_unit
+            if is_rmw:
+                rmw_units += 1
+                old = staged_old.get(lpn)
+                if old is None:
+                    old = self._old_unit_tags(lpn, old_pages)
+                if old is not None:
+                    merged = list(old)
+            for sector in range(start, end):
+                tag = tags[sector - lba] if tags is not None else None
+                merged[sector - unit_first_lba] = tag
+            self._write_seq += 1
+            unit_tags_list.append(tuple(merged))
+            oob_list.append(((lpn, self._write_seq),))
+
+        lpns = [entry[0] for entry in plan]
+        yield from self._write_units(lpns, unit_tags_list, oob_list,
+                                     stream=stream, cause=cause)
+        if rmw_units:
+            self.stats.counter(f"ftl.units.rmw.{cause}").add(
+                rmw_units, num_bytes=rmw_units * self.config.mapping_unit)
+
+    def _old_unit_tags(self, lpn: int, old_pages: Dict[int, Any]) -> Optional[UnitTags]:
+        upa = self.mapping.lookup(lpn)
+        if upa is None:
+            return None
+        staged = self._staged_tags.get(upa)
+        if staged is not None:
+            return staged
+        page_data = old_pages.get(self.mapping.page_of_unit(upa))
+        if page_data is None:
+            return None
+        return page_data.get(self.mapping.unit_index(upa))
+
+    def _write_units(self, lpns: Sequence[int], unit_tags: Sequence[UnitTags],
+                     oobs: Sequence[Any], stream: str,
+                     cause: str) -> Generator[Any, Any, None]:
+        """Allocate, stage and (asynchronously) program the given units."""
+        for index, lpn in enumerate(lpns):
+            if self.gc.needs_urgent_collection():
+                yield from self.gc.ensure_free_blocks()
+            yield self._write_buffer.acquire()
+            upas, programs = self.allocator.allocate(stream, 1)
+            upa = upas[0]
+            self._buffer_held.add(upa)
+            self._staged_tags[upa] = unit_tags[index]
+            self._staged_oob[upa] = oobs[index]
+            self.mapping.map(lpn, upa)
+            self._note_dirty_entries(1)
+            for program in programs:
+                self._launch_program(program)
+            yield self.config.map_update_ns
+        count = len(lpns)
+        self.stats.counter(f"ftl.units.write.{cause}").add(
+            count, num_bytes=count * self.config.mapping_unit)
+
+    def _launch_program(self, program: PageProgram) -> None:
+        """Fire an asynchronous page program for a freshly filled page."""
+        block = self.geometry.block_of_page(program.ppa)
+        self._inflight_per_block[block] = self._inflight_per_block.get(block, 0) + 1
+        spawn(self.sim, self._program_page_proc(program),
+              name=f"program@{program.ppa}")
+
+    def _program_page_proc(self, program: PageProgram) -> Generator[Any, Any, None]:
+        data = {}
+        oob: List[Any] = [None] * self.units_per_page
+        for upa in program.upas:
+            unit_index = self.mapping.unit_index(upa)
+            data[unit_index] = self._staged_tags.get(upa)
+            oob[unit_index] = self._staged_oob.get(upa)
+        yield from self.array.program_page(program.ppa, data, oob)
+        block = self.geometry.block_of_page(program.ppa)
+        remaining = self._inflight_per_block.get(block, 0) - 1
+        if remaining <= 0:
+            self._inflight_per_block.pop(block, None)
+        else:
+            self._inflight_per_block[block] = remaining
+        for upa in program.upas:
+            self._staged_tags.pop(upa, None)
+            self._staged_oob.pop(upa, None)
+            if upa in self._buffer_held:
+                self._buffer_held.discard(upa)
+                self._write_buffer.release()
+        if program.padded_units:
+            self.stats.counter("ftl.units.padding").add(program.padded_units)
+        yield from self._maybe_persist_metadata()
+
+    def flush_stream(self, stream: str) -> Generator[Any, Any, None]:
+        """Force the open partial pages of ``stream`` to flash (pads tails)."""
+        for program in self.allocator.flush(stream):
+            block = self.geometry.block_of_page(program.ppa)
+            self._inflight_per_block[block] = \
+                self._inflight_per_block.get(block, 0) + 1
+            yield from self._program_page_proc(program)
+
+    def preload(self, lba: int, nsectors: int,
+                tags: Optional[Sequence[SectorTag]] = None,
+                stream: str = "data") -> None:
+        """Instantly install data (setup/load phase — no simulated time).
+
+        Used to populate the device before measurement starts.  Completed
+        pages are programmed immediately; a trailing partial page stays in
+        the staging buffer without holding a back-pressure slot.
+        """
+        if tags is not None and len(tags) != nsectors:
+            raise FtlError(f"expected {nsectors} sector tags, got {len(tags)}")
+        for lpn in self.lpn_span(lba, nsectors):
+            unit_first = lpn * self.sectors_per_unit
+            merged: List[SectorTag] = [None] * self.sectors_per_unit
+            old_upa = self.mapping.lookup(lpn)
+            if old_upa is not None:
+                old = self._staged_tags.get(old_upa)
+                if old is None:
+                    page = self.mapping.page_of_unit(old_upa)
+                    block = self.geometry.block_of_page(page)
+                    if self.geometry.page_in_block(page) < \
+                            self.array.block(block).write_pointer:
+                        data = self.array.page_data(page)
+                        old = data.get(self.mapping.unit_index(old_upa)) \
+                            if data else None
+                if old is not None:
+                    merged = list(old)
+            start = max(lba, unit_first)
+            end = min(lba + nsectors, unit_first + self.sectors_per_unit)
+            for sector in range(start, end):
+                if tags is not None:
+                    merged[sector - unit_first] = tags[sector - lba]
+            self._write_seq += 1
+            upas, programs = self.allocator.allocate(stream, 1)
+            upa = upas[0]
+            self._staged_tags[upa] = tuple(merged)
+            self._staged_oob[upa] = ((lpn, self._write_seq),)
+            self.mapping.map(lpn, upa)
+            for program in programs:
+                self._program_now(program)
+        self.stats.counter("ftl.units.write.preload").add(
+            len(self.lpn_span(lba, nsectors)))
+
+    def _program_now(self, program: PageProgram) -> None:
+        data = {}
+        oob: List[Any] = [None] * self.units_per_page
+        for upa in program.upas:
+            unit_index = self.mapping.unit_index(upa)
+            data[unit_index] = self._staged_tags.pop(upa, None)
+            oob[unit_index] = self._staged_oob.pop(upa, None)
+        self.array.program_page_now(program.ppa, data, oob)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, lba: int, nsectors: int) -> Generator[Any, Any, List[SectorTag]]:
+        """Timed read; returns one tag per requested sector.
+
+        Unmapped sectors read back as None without touching flash (the
+        device returns zeroes from the deallocated-range fast path).
+        """
+        yield from self.touch_map(self.lpn_span(lba, nsectors))
+        lpn_to_upa: Dict[int, Optional[int]] = {
+            lpn: self.mapping.lookup(lpn) for lpn in self.lpn_span(lba, nsectors)}
+        # Snapshot staged contents now: a unit staged at planning time may
+        # be programmed (and de-staged) while the flash reads below are in
+        # flight, and it would then be lost to both lookup paths.
+        staged_snapshot: Dict[int, UnitTags] = {}
+        flash_pages = set()
+        for upa in lpn_to_upa.values():
+            if upa is None:
+                continue
+            staged = self._staged_tags.get(upa)
+            if staged is not None:
+                staged_snapshot[upa] = staged
+            else:
+                flash_pages.add(self.mapping.page_of_unit(upa))
+        page_data: Dict[int, Any] = {}
+        if flash_pages:
+            yield from self._read_pages_parallel(sorted(flash_pages), page_data)
+        if staged_snapshot:
+            yield self.config.staged_read_ns
+
+        result: List[SectorTag] = []
+        for sector in range(lba, lba + nsectors):
+            lpn = self.lpn_of_lba(sector)
+            upa = lpn_to_upa[lpn]
+            if upa is None:
+                result.append(None)
+                continue
+            unit_tags = staged_snapshot.get(upa)
+            if unit_tags is None:
+                data = page_data.get(self.mapping.page_of_unit(upa))
+                unit_tags = data.get(self.mapping.unit_index(upa)) if data else None
+            offset = sector - lpn * self.sectors_per_unit
+            result.append(unit_tags[offset] if unit_tags else None)
+        return result
+
+    def _read_pages_parallel(self, ppas: Iterable[int],
+                             out: Dict[int, Any]) -> Generator[Any, Any, None]:
+        processes = []
+        for ppa in ppas:
+            processes.append(spawn(self.sim, self._read_one(ppa, out),
+                                   name=f"read@{ppa}"))
+        if processes:
+            yield all_of(self.sim, processes)
+
+    def _read_one(self, ppa: int, out: Dict[int, Any]) -> Generator[Any, Any, None]:
+        data, _oob = yield from self.array.read_page(ppa)
+        out[ppa] = data
+
+    # ------------------------------------------------------------------
+    # trim / deallocate
+    # ------------------------------------------------------------------
+    def trim(self, lba: int, nsectors: int) -> Generator[Any, Any, int]:
+        """Deallocate every unit fully inside the range; returns unit count."""
+        invalidated = 0
+        for lpn in self.lpn_span(lba, nsectors):
+            unit_first = lpn * self.sectors_per_unit
+            if unit_first < lba or unit_first + self.sectors_per_unit > lba + nsectors:
+                continue  # only whole units can be deallocated
+            if self.mapping.unmap(lpn) is not None:
+                invalidated += 1
+                self._note_dirty_entries(1)
+                if self.op_log is not None:
+                    self._write_seq += 1
+                    self.op_log.append((self._write_seq, "trim", lpn, 0))
+        if invalidated:
+            yield invalidated * self.config.map_update_ns
+            self.stats.counter("ftl.trim.units").add(invalidated)
+        return invalidated
+
+    # ------------------------------------------------------------------
+    # checkpoint primitives (Algorithm 1 mechanics)
+    # ------------------------------------------------------------------
+    def remap(self, pairs: Sequence[Tuple[int, int]],
+              cause: str = "ckpt") -> Generator[Any, Any, None]:
+        """Alias each ``dst_lpn`` onto ``src_lpn``'s physical unit.
+
+        This is the pure in-place checkpoint: no flash read or program —
+        only mapping-table updates, later persisted in bulk.
+        """
+        touched: List[int] = []
+        for src_lpn, dst_lpn in pairs:
+            touched.append(src_lpn)
+            touched.append(dst_lpn)
+        yield from self.touch_map(touched)
+        for src_lpn, dst_lpn in pairs:
+            self.mapping.share(src_lpn, dst_lpn)
+            if self.op_log is not None:
+                self._write_seq += 1
+                self.op_log.append((self._write_seq, "remap", src_lpn, dst_lpn))
+        self._note_dirty_entries(len(pairs))
+        if pairs:
+            yield len(pairs) * self.config.remap_entry_ns
+            self.stats.counter(f"ftl.remap.{cause}").add(len(pairs))
+        yield from self._maybe_persist_metadata()
+
+    def copy_range(self, src_lba: int, dst_lba: int, nsectors: int,
+                   stream: str = "ckpt",
+                   cause: str = "ckpt") -> Generator[Any, Any, None]:
+        """Physically copy a sector range inside the device (no host I/O)."""
+        tags = yield from self.read(src_lba, nsectors)
+        yield from self.write(dst_lba, nsectors, tags=tags,
+                              stream=stream, cause=cause)
+
+    def relocate_unit(self, referrers: Iterable[int],
+                      unit_tags: Any) -> Generator[Any, Any, None]:
+        """GC migration: move one valid unit, repoint every referrer.
+
+        The new physical unit's OOB records *every* referencing LPN with a
+        fresh sequence number, so a post-crash OOB scan resolves shared
+        (remapped) units correctly.
+        """
+        referrers = tuple(referrers)
+        yield self._write_buffer.acquire()
+        upas, programs = self.allocator.allocate("gc", 1)
+        upa = upas[0]
+        self._buffer_held.add(upa)
+        self._write_seq += 1
+        self._staged_tags[upa] = unit_tags
+        self._staged_oob[upa] = tuple((lpn, self._write_seq)
+                                      for lpn in referrers)
+        for lpn in referrers:
+            self.mapping.map(lpn, upa)
+        self._note_dirty_entries(len(referrers) or 1)
+        for program in programs:
+            self._launch_program(program)
+        yield self.config.map_update_ns
+        self.stats.counter("ftl.units.write.gc").add(
+            1, num_bytes=self.config.mapping_unit)
+
+    # ------------------------------------------------------------------
+    # metadata persistence (§III-D last paragraph)
+    # ------------------------------------------------------------------
+    def _note_dirty_entries(self, n: int) -> None:
+        self._dirty_map_entries += n
+
+    def metadata_units_pending(self) -> int:
+        """Units of mapping metadata waiting to be persisted."""
+        dirty_bytes = self._dirty_map_entries * self.config.meta_entry_bytes
+        return dirty_bytes // self.config.mapping_unit
+
+    def _maybe_persist_metadata(self) -> Generator[Any, Any, None]:
+        # Persist only once a full page worth of entries accumulated, so
+        # the flash sees parallel-friendly bulk metadata writes.
+        page_entries = (self.geometry.page_size // self.config.meta_entry_bytes)
+        if self._dirty_map_entries >= page_entries:
+            yield from self.persist_metadata()
+
+    def persist_metadata(self, force: bool = False) -> Generator[Any, Any, None]:
+        """Write accumulated dirty mapping entries to flash (meta stream)."""
+        dirty_bytes = self._dirty_map_entries * self.config.meta_entry_bytes
+        units = dirty_bytes // self.config.mapping_unit
+        if force and dirty_bytes > 0:
+            units = max(units, ceil_div(dirty_bytes, self.config.mapping_unit))
+        if units == 0:
+            return
+        self._dirty_map_entries = 0
+        if self.gc.needs_urgent_collection():
+            yield from self.gc.ensure_free_blocks()
+        for _ in range(units):
+            yield self._write_buffer.acquire()
+            _upas, programs = self.allocator.allocate("meta", 1)
+            upa = _upas[0]
+            self._buffer_held.add(upa)
+            self._staged_tags[upa] = None
+            self._staged_oob[upa] = ()  # metadata units map to no LPN
+            for program in programs:
+                self._launch_program(program)
+        self.stats.counter("ftl.units.write.meta").add(
+            units, num_bytes=units * self.config.mapping_unit)
+        if self.config.snapshot_metadata:
+            self._persisted_snapshot = self.mapping.snapshot()
+
+    def persisted_mapping(self) -> Dict[int, int]:
+        """The mapping as of the last metadata persistence."""
+        return dict(self._persisted_snapshot)
+
+    # ------------------------------------------------------------------
+    # statistics helpers
+    # ------------------------------------------------------------------
+    def invalid_units(self) -> int:
+        """Written-but-unreferenced units across all full blocks."""
+        total = 0
+        for block, written in self.allocator.written_units.items():
+            total += written - self.mapping.valid_units(block)
+        return total
+
+    def drain(self) -> Generator[Any, Any, None]:
+        """Wait until no page program is in flight (quiesce helper)."""
+        while self._inflight_per_block:
+            yield 10_000

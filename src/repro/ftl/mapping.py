@@ -1,0 +1,170 @@
+"""Sub-page mapping table with shared physical units.
+
+The paper's remapping checkpoint (§III-D) relies on two FTL properties:
+
+1. the mapping granularity (*mapping unit*) can be smaller than the
+   physical page — e.g. one 512 B sector inside a 4 KiB page; and
+2. several logical pages may reference the *same* physical unit, so a
+   checkpoint can alias a data-area LPN onto the physical unit already
+   holding the journal log ("the data stays physically in place but is
+   referenced by the checkpoint logically").
+
+Addresses:
+
+* ``lpn`` — logical page number at mapping-unit granularity
+  (``lba * 512 // mapping_unit``)
+* ``upa`` — unit physical address: ``ppa * units_per_page + unit_index``
+
+The table also maintains per-block valid-unit counts, which is what the
+garbage collector uses for victim selection and what the invalid-page
+statistics in Figure 8 derive from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from repro.common.errors import FtlError
+
+
+class SubPageMappingTable:
+    """LPN → physical-unit map with reference counting."""
+
+    def __init__(self, units_per_page: int, pages_per_block: int) -> None:
+        if units_per_page < 1 or pages_per_block < 1:
+            raise FtlError("units_per_page and pages_per_block must be >= 1")
+        self.units_per_page = units_per_page
+        self.pages_per_block = pages_per_block
+        self.units_per_block = units_per_page * pages_per_block
+        self._l2p: Dict[int, int] = {}
+        self._p2l: Dict[int, Set[int]] = {}
+        self._valid_per_block: Dict[int, int] = {}
+
+    # -- address helpers ----------------------------------------------------
+    def block_of_unit(self, upa: int) -> int:
+        """Erase block containing physical unit ``upa``."""
+        return upa // self.units_per_block
+
+    def page_of_unit(self, upa: int) -> int:
+        """Physical page (ppa) containing ``upa``."""
+        return upa // self.units_per_page
+
+    def unit_index(self, upa: int) -> int:
+        """Index of ``upa`` within its physical page."""
+        return upa % self.units_per_page
+
+    # -- queries --------------------------------------------------------------
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Physical unit currently mapped to ``lpn``, or None."""
+        return self._l2p.get(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        """True when ``lpn`` has a physical unit."""
+        return lpn in self._l2p
+
+    def referrers(self, upa: int) -> FrozenSet[int]:
+        """Every LPN referencing physical unit ``upa``."""
+        return frozenset(self._p2l.get(upa, ()))
+
+    def refcount(self, upa: int) -> int:
+        """Number of LPNs referencing ``upa`` (0 when invalid/free)."""
+        return len(self._p2l.get(upa, ()))
+
+    def is_shared(self, upa: int) -> bool:
+        """True when more than one LPN references ``upa``."""
+        return self.refcount(upa) > 1
+
+    def valid_units(self, block: int) -> int:
+        """Number of referenced physical units in ``block``."""
+        return self._valid_per_block.get(block, 0)
+
+    def valid_units_in_page(self, ppa: int) -> Tuple[int, ...]:
+        """The referenced unit addresses inside physical page ``ppa``."""
+        base = ppa * self.units_per_page
+        return tuple(upa for upa in range(base, base + self.units_per_page)
+                     if upa in self._p2l)
+
+    @property
+    def mapped_lpn_count(self) -> int:
+        """Total mapped logical pages (mapping-table footprint)."""
+        return len(self._l2p)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(lpn, upa)`` pairs (snapshot-safe copy)."""
+        return iter(list(self._l2p.items()))
+
+    # -- mutations --------------------------------------------------------------
+    def map(self, lpn: int, upa: int) -> None:
+        """Point ``lpn`` at ``upa``, releasing any previous mapping."""
+        if upa < 0:
+            raise FtlError(f"invalid unit address {upa}")
+        previous = self._l2p.get(lpn)
+        if previous == upa:
+            return
+        if previous is not None:
+            self._drop_reference(lpn, previous)
+        self._l2p[lpn] = upa
+        refs = self._p2l.get(upa)
+        if refs is None:
+            self._p2l[upa] = {lpn}
+            block = self.block_of_unit(upa)
+            self._valid_per_block[block] = self._valid_per_block.get(block, 0) + 1
+        else:
+            refs.add(lpn)
+
+    def unmap(self, lpn: int) -> Optional[int]:
+        """Remove ``lpn``'s mapping; returns the released unit (or None)."""
+        upa = self._l2p.pop(lpn, None)
+        if upa is not None:
+            self._drop_reference(lpn, upa)
+        return upa
+
+    def share(self, src_lpn: int, dst_lpn: int) -> int:
+        """Alias ``dst_lpn`` onto ``src_lpn``'s physical unit (the remap).
+
+        Returns the shared unit address.  This is the zero-copy checkpoint
+        primitive of Algorithm 1.
+        """
+        upa = self._l2p.get(src_lpn)
+        if upa is None:
+            raise FtlError(f"cannot share unmapped lpn {src_lpn}")
+        self.map(dst_lpn, upa)
+        return upa
+
+    def release_block(self, block: int) -> None:
+        """Forget validity bookkeeping for an erased, fully-invalid block."""
+        count = self._valid_per_block.get(block, 0)
+        if count != 0:
+            raise FtlError(
+                f"block {block} still has {count} valid units; GC must "
+                "migrate them before erase")
+        self._valid_per_block.pop(block, None)
+
+    def _drop_reference(self, lpn: int, upa: int) -> None:
+        refs = self._p2l.get(upa)
+        if refs is None or lpn not in refs:
+            raise FtlError(f"reverse map corrupt: lpn {lpn} not in refs of {upa}")
+        refs.remove(lpn)
+        if not refs:
+            del self._p2l[upa]
+            block = self.block_of_unit(upa)
+            remaining = self._valid_per_block.get(block, 0) - 1
+            if remaining < 0:
+                raise FtlError(f"negative valid count for block {block}")
+            if remaining == 0:
+                self._valid_per_block.pop(block, None)
+            else:
+                self._valid_per_block[block] = remaining
+
+    # -- persistence support -------------------------------------------------
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the full L2P table (metadata checkpoint)."""
+        return dict(self._l2p)
+
+    def restore(self, table: Dict[int, int]) -> None:
+        """Replace the entire mapping state from a snapshot."""
+        self._l2p.clear()
+        self._p2l.clear()
+        self._valid_per_block.clear()
+        for lpn, upa in table.items():
+            self.map(lpn, upa)

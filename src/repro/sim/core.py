@@ -1,0 +1,211 @@
+"""Discrete-event simulation core: the event loop and the Event primitive.
+
+The kernel is deliberately small and simpy-like.  A :class:`Simulator` owns
+an integer-nanosecond clock and a binary heap of scheduled callbacks.
+Generator-based processes (see :mod:`repro.sim.process`) are built on top of
+:class:`Event`.
+
+Determinism: ties in time are broken by a monotonically increasing sequence
+number, so two runs with the same seeds produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Simulator:
+    """The event loop.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(10, lambda: print(sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, "_Timer"]] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> "_Timer":
+        """Run ``fn(*args)`` after ``delay`` ns; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        timer = _Timer(fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, timer))
+        return timer
+
+    def event(self) -> "Event":
+        """Create a fresh untriggered event bound to this simulator."""
+        return Event(self)
+
+    def step(self) -> bool:
+        """Execute the next pending callback; return False when idle."""
+        while self._heap:
+            when, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if when < self._now:
+                raise SimulationError("event heap yielded a past timestamp")
+            self._now = when
+            timer.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains, or until simulated time ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is before now={self._now}")
+        while self._heap:
+            when, _seq, timer = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer.fire()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+
+class _Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("_fn", "_args", "cancelled")
+
+    def __init__(self, fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        self._fn(*self._args)
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*; a single call to :meth:`succeed` or
+    :meth:`fail` resolves it and wakes every waiter.  Waiters registered
+    after resolution are woken immediately (same timestamp).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_resolved", "value", "exception")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._resolved = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event succeeded or failed."""
+        return self._resolved
+
+    @property
+    def ok(self) -> bool:
+        """True when the event resolved successfully."""
+        return self._resolved and self.exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Resolve successfully with an optional value."""
+        self._resolve(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Resolve with an exception; waiters will see it re-raised."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._resolve(None, exception)
+        return self
+
+    def _resolve(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._resolved:
+            raise SimulationError("event already triggered")
+        self._resolved = True
+        self.value = value
+        self.exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0, callback, self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` when resolved (immediately if already)."""
+        if self._resolved:
+            self.sim.schedule(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+def all_of(sim: Simulator, events: List[Event]) -> Event:
+    """An event that succeeds once every input event has resolved.
+
+    Fails fast with the first failure observed.  The value is the list of
+    input event values in input order.
+    """
+    done = sim.event()
+    if not events:
+        done.succeed([])
+        return done
+    remaining = [len(events)]
+
+    def on_resolved(_ev: Event) -> None:
+        if done.triggered:
+            return
+        if _ev.exception is not None:
+            done.fail(_ev.exception)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.succeed([e.value for e in events])
+
+    for event in events:
+        event.add_callback(on_resolved)
+    return done
+
+
+def any_of(sim: Simulator, events: List[Event]) -> Event:
+    """An event that resolves as soon as any input event does."""
+    done = sim.event()
+    if not events:
+        raise SimulationError("any_of requires at least one event")
+
+    def on_resolved(_ev: Event) -> None:
+        if done.triggered:
+            return
+        if _ev.exception is not None:
+            done.fail(_ev.exception)
+        else:
+            done.succeed(_ev.value)
+
+    for event in events:
+        event.add_callback(on_resolved)
+    return done

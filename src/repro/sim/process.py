@@ -1,0 +1,143 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator driven by the event loop.  Inside the
+generator you may::
+
+    yield 500            # sleep 500 ns
+    value = yield event  # wait for an Event; receives event.value
+    result = yield proc  # join another Process; receives its return value
+
+Processes are themselves :class:`~repro.sim.core.Event` subclasses that
+resolve when the generator returns (value = the ``return`` value) or raises
+(failure).  Failures propagate to joiners; a failure nobody joins is
+re-raised out of :meth:`Simulator.run` unless the process is ``defused``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+ProcessGenerator = Generator[Union[int, Event], Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator coroutine; also an Event for joining."""
+
+    __slots__ = ("_generator", "name", "defused", "_waiting_on", "_sleep_timer")
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator,
+                 name: str = "process") -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name
+        self.defused = False
+        self._waiting_on: Optional[Event] = None
+        self._sleep_timer = None
+        sim.schedule(0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process blocked on an event stops waiting for it; a sleeping
+        process wakes early.  Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._sleep_timer is not None:
+            self._sleep_timer.cancel()
+            self._sleep_timer = None
+        self._waiting_on = None
+        self.sim.schedule(0, self._resume_with_exception, Interrupt(cause))
+
+    # -- driving the generator ------------------------------------------
+    def _resume(self, send_value: Any, _token: Any) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate fail-path
+            self._handle_failure(exc)
+            return
+        self._wait_for(target)
+
+    def _resume_with_exception(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self._handle_failure(raised)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Union[int, Event]) -> None:
+        if isinstance(target, int):
+            if target < 0:
+                self._handle_failure(
+                    SimulationError(f"process {self.name} slept {target} ns"))
+                return
+            self._sleep_timer = self.sim.schedule(target, self._on_sleep_done)
+            return
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._on_event)
+            return
+        self._handle_failure(SimulationError(
+            f"process {self.name} yielded {type(target).__name__}; "
+            "expected int delay or Event"))
+
+    def _on_sleep_done(self) -> None:
+        self._sleep_timer = None
+        self._resume(None, None)
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.exception is not None:
+            self._resume_with_exception(event.exception)
+        else:
+            self._resume(event.value, None)
+
+    def _handle_failure(self, exc: BaseException) -> None:
+        self.defused = self.defused or bool(self._callbacks)
+        try:
+            self.fail(exc)
+        except SimulationError:
+            raise exc
+        if not self.defused:
+            raise exc
+
+
+def spawn(sim: Simulator, generator: ProcessGenerator, name: str = "process") -> Process:
+    """Start a new process running ``generator``."""
+    return Process(sim, generator, name=name)
+
+
+def sleep_event(sim: Simulator, delay: int) -> Event:
+    """An event that succeeds after ``delay`` ns (composable with any_of)."""
+    event = sim.event()
+    sim.schedule(delay, event.succeed)
+    return event

@@ -1,0 +1,182 @@
+"""Measurement primitives: counters, time-weighted gauges, latency samples.
+
+These are deliberately simulation-aware (they read ``sim.now``) so
+throughput and utilisation can be derived without extra bookkeeping at the
+call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.core import Simulator
+
+
+class Counter:
+    """A monotonically increasing named count (optionally with byte volume)."""
+
+    __slots__ = ("name", "count", "total_bytes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_bytes = 0
+
+    def add(self, n: int = 1, num_bytes: int = 0) -> None:
+        """Record ``n`` occurrences carrying ``num_bytes`` bytes in total."""
+        self.count += n
+        self.total_bytes += num_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}: {self.count}, {self.total_bytes} B)"
+
+
+class TimeWeightedGauge:
+    """Tracks a level over time and reports its time-weighted average."""
+
+    def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
+        self._sim = sim
+        self._level = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._start = sim.now
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def set(self, level: float) -> None:
+        """Move the gauge to a new level at the current time."""
+        now = self._sim.now
+        self._weighted_sum += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+
+    def adjust(self, delta: float) -> None:
+        """Add ``delta`` to the current level."""
+        self.set(self._level + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted average level since construction."""
+        now = self._sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        total = self._weighted_sum + self._level * (now - self._last_change)
+        return total / elapsed
+
+
+class LatencySample:
+    """Collects latency observations and computes exact percentiles.
+
+    Stores every sample (runs here are small enough); percentile queries
+    use linear interpolation between closest ranks, the same convention as
+    ``numpy.percentile``.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: List[int] = []
+        self._sorted: Optional[List[int]] = None
+
+    def record(self, latency_ns: int) -> None:
+        """Add one observation (ns)."""
+        self._samples.append(latency_ns)
+        self._sorted = None
+
+    def extend(self, samples: Sequence[int]) -> None:
+        """Add many observations."""
+        self._samples.extend(samples)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[int]:
+        """All recorded samples, insertion order."""
+        return self._samples
+
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> int:
+        """Smallest sample; 0 when empty."""
+        return min(self._samples) if self._samples else 0
+
+    def max(self) -> int:
+        """Largest sample; 0 when empty."""
+        return max(self._samples) if self._samples else 0
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile (0..100), linearly interpolated."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return float(data[0])
+        rank = (pct / 100.0) * (len(data) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high or data[low] == data[high]:
+            return float(data[low])
+        frac = rank - low
+        return data[low] * (1.0 - frac) + data[high] * frac
+
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99.0)
+
+    def p999(self) -> float:
+        """99.9th percentile (the paper's primary tail metric)."""
+        return self.percentile(99.9)
+
+    def p9999(self) -> float:
+        """99.99th percentile."""
+        return self.percentile(99.99)
+
+
+class StatRegistry:
+    """A flat namespace of counters shared by one simulated system."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def value(self, name: str) -> int:
+        """Current count for ``name`` (0 when never touched)."""
+        counter = self._counters.get(name)
+        return counter.count if counter else 0
+
+    def bytes(self, name: str) -> int:
+        """Current byte volume for ``name`` (0 when never touched)."""
+        counter = self._counters.get(name)
+        return counter.total_bytes if counter else 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Mapping of every counter name to its count."""
+        return {name: c.count for name, c in sorted(self._counters.items())}
+
+    def snapshot_bytes(self) -> Dict[str, int]:
+        """Mapping of every counter name to its byte volume."""
+        return {name: c.total_bytes for name, c in sorted(self._counters.items())}

@@ -1,0 +1,30 @@
+"""SSD device model: commands, cache, host interface, controller, facade."""
+
+from repro.ssd.cache import DramReadCache
+from repro.ssd.commands import (
+    Command,
+    Completion,
+    CowEntry,
+    Op,
+    read_command,
+    write_command,
+)
+from repro.ssd.controller import ControllerConfig, SsdController
+from repro.ssd.interface import HostInterface, InterfaceConfig
+from repro.ssd.ssd import Ssd, SsdSpec
+
+__all__ = [
+    "DramReadCache",
+    "Command",
+    "Completion",
+    "CowEntry",
+    "Op",
+    "read_command",
+    "write_command",
+    "ControllerConfig",
+    "SsdController",
+    "HostInterface",
+    "InterfaceConfig",
+    "Ssd",
+    "SsdSpec",
+]

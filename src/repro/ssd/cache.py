@@ -1,0 +1,83 @@
+"""Device DRAM read cache.
+
+The SSD's data cache (Table I lists a DRAM data cache) serves repeated
+reads — most importantly the journal logs a *conventional* checkpoint reads
+back right after writing them.  The cache indexes whole mapping units by
+LPN; a read hits only when every touched unit is resident.
+
+Eviction is LRU.  Writes allocate into the cache (the just-written journal
+log is the hottest possible data during checkpointing).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+UnitTags = Tuple[Any, ...]
+
+
+class DramReadCache:
+    """LRU cache of mapping-unit payloads keyed by LPN."""
+
+    def __init__(self, capacity_units: int) -> None:
+        if capacity_units < 0:
+            raise ConfigError("cache capacity must be >= 0")
+        self.capacity_units = capacity_units
+        self._entries: "OrderedDict[int, UnitTags]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        """False for a zero-capacity (disabled) cache."""
+        return self.capacity_units > 0
+
+    def get(self, lpn: int) -> Optional[UnitTags]:
+        """Unit payload for ``lpn`` or None; updates recency and hit stats."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(lpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(lpn)
+        self.hits += 1
+        return entry
+
+    def peek(self, lpn: int) -> Optional[UnitTags]:
+        """Like :meth:`get` but with no stats or recency side effects."""
+        return self._entries.get(lpn)
+
+    def put(self, lpn: int, unit_tags: UnitTags) -> None:
+        """Insert/refresh a unit, evicting the least recently used."""
+        if not self.enabled:
+            return
+        self._entries[lpn] = unit_tags
+        self._entries.move_to_end(lpn)
+        while len(self._entries) > self.capacity_units:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, lpn: int) -> None:
+        """Drop one unit (after trim or remap redirection)."""
+        self._entries.pop(lpn, None)
+
+    def invalidate_range(self, first_lpn: int, last_lpn: int) -> None:
+        """Drop every cached unit in [first_lpn, last_lpn]."""
+        if last_lpn - first_lpn > len(self._entries):
+            for lpn in [k for k in self._entries if first_lpn <= k <= last_lpn]:
+                del self._entries[lpn]
+        else:
+            for lpn in range(first_lpn, last_lpn + 1):
+                self._entries.pop(lpn, None)
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from DRAM."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

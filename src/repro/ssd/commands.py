@@ -1,0 +1,138 @@
+"""Block-interface command set, including the vendor-specific extensions.
+
+The paper keeps the standard NVMe block interface and adds vendor-specific
+commands (§III-C): a single CoW command (ISC-A), a multi-CoW command
+(ISC-B/C), and a checkpoint request command that carries the metadata so
+the device can decode it and run many CoW operations from one submission
+(Check-In).  ``DELETE_LOGS`` is the journal deallocation command sent once
+a checkpoint is durable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.common.errors import CommandError
+
+
+class Op(enum.Enum):
+    """Command opcodes understood by the simulated device."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    TRIM = "trim"
+    COW = "cow"                  # vendor: one copy-on-write descriptor
+    COW_MULTI = "cow_multi"      # vendor: batched copy-on-write descriptors
+    CHECKPOINT = "checkpoint"    # vendor: metadata-driven multi-CoW
+    DELETE_LOGS = "delete_logs"  # vendor: deallocate checkpointed journal
+    LOAD_PROGRAM = "load_program"  # vendor: one-time offload-code download
+
+
+@dataclass(frozen=True)
+class CowEntry:
+    """One copy-on-write descriptor: journal location → data location.
+
+    ``src_offset``/``length_bytes`` support the merged-partial case of
+    sector-aligned journaling: several sub-sector values share one source
+    sector, each destined for its own target sector.
+    """
+
+    src_lba: int
+    dst_lba: int
+    nsectors: int = 1
+    """Destination (data-area) sectors to produce."""
+
+    src_nsectors: Optional[int] = None
+    """Journal sectors to read; defaults to ``nsectors``."""
+
+    src_offset: int = 0
+    length_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.src_lba < 0 or self.dst_lba < 0:
+            raise CommandError("negative LBA in CoW entry")
+        if self.nsectors < 1:
+            raise CommandError("CoW entry must cover at least one sector")
+        if self.src_nsectors is not None and self.src_nsectors < 1:
+            raise CommandError("src_nsectors must be >= 1 when given")
+        if self.src_offset < 0:
+            raise CommandError("negative source offset")
+
+    @property
+    def read_span(self) -> int:
+        """Source sectors the device must fetch for this entry."""
+        return self.src_nsectors if self.src_nsectors is not None else self.nsectors
+
+
+@dataclass
+class Command:
+    """A host command plus its payload descriptors."""
+
+    op: Op
+    lba: int = 0
+    nsectors: int = 0
+    tags: Optional[Sequence[Any]] = None
+    fua: bool = False
+    stream: str = "data"
+    cause: str = "host"
+    entries: Tuple[CowEntry, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.op in (Op.READ, Op.WRITE, Op.TRIM):
+            if self.nsectors < 1:
+                raise CommandError(f"{self.op.value} needs nsectors >= 1")
+            if self.lba < 0:
+                raise CommandError("negative lba")
+        if self.op is Op.WRITE and self.tags is not None \
+                and len(self.tags) != self.nsectors:
+            raise CommandError(
+                f"write carries {len(self.tags)} tags for {self.nsectors} sectors")
+        if self.op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT) and not self.entries:
+            raise CommandError(f"{self.op.value} requires CoW entries")
+        if self.op is Op.COW and len(self.entries) != 1:
+            raise CommandError("single COW carries exactly one entry")
+
+    @property
+    def data_bytes(self) -> int:
+        """Payload moved over the host interface for this command."""
+        if self.op in (Op.READ, Op.WRITE):
+            return self.nsectors * 512
+        if self.op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT):
+            # Descriptors only: 16 B per entry, no data payload.
+            return 16 * len(self.entries)
+        if self.op is Op.LOAD_PROGRAM:
+            return self.nsectors * 512  # the offload execution code image
+        return 0
+
+
+@dataclass
+class Completion:
+    """Result handed back to the submitter."""
+
+    command: Command
+    submitted_at: int
+    completed_at: int
+    tags: Optional[List[Any]] = None  # read payload
+    remapped_units: int = 0
+    copied_units: int = 0
+
+    @property
+    def latency_ns(self) -> int:
+        """End-to-end device latency for this command."""
+        return self.completed_at - self.submitted_at
+
+
+def read_command(lba: int, nsectors: int) -> Command:
+    """Convenience constructor for a read."""
+    return Command(op=Op.READ, lba=lba, nsectors=nsectors)
+
+
+def write_command(lba: int, nsectors: int, tags: Optional[Sequence[Any]] = None,
+                  fua: bool = False, stream: str = "data",
+                  cause: str = "host") -> Command:
+    """Convenience constructor for a write."""
+    return Command(op=Op.WRITE, lba=lba, nsectors=nsectors, tags=tags,
+                   fua=fua, stream=stream, cause=cause)

@@ -1,0 +1,365 @@
+"""SSD controller: command dispatch on the embedded processors.
+
+The controller owns the host-visible behaviour of the device:
+
+* admission through the NVMe-style submission queue;
+* PCIe payload transfers (writes in, reads out — CoW commands move
+  descriptors only, which is the offloading win of Figure 4);
+* firmware CPU time on a small pool of embedded cores;
+* the DRAM read cache;
+* dispatch to the FTL, and to the ISCE for vendor commands;
+* an idle-time background GC daemon (the deallocator policy of §III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from repro.common.errors import CommandError, ConfigError
+from repro.common.units import US
+from repro.ftl.ftl import Ftl
+from repro.sim.core import Event, Simulator
+from repro.sim.process import spawn
+from repro.sim.resources import Resource
+from repro.ssd.cache import DramReadCache
+from repro.ssd.coalescer import CoalescedUnit, WriteCoalescer
+from repro.ssd.commands import Command, Completion, Op
+from repro.ssd.interface import HostInterface
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.checkin
+    from repro.checkin.isce import InStorageCheckpointEngine
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Embedded-processor and cache parameters."""
+
+    cpu_cores: int = 2
+    """Embedded cores available to firmware command handling."""
+
+    cpu_command_ns: int = 1_500
+    """Firmware cost per command (parse, map-cache lookups, completion)."""
+
+    cpu_sector_ns: int = 50
+    """Incremental firmware cost per sector of payload."""
+
+    read_cache_units: int = 4096
+    """DRAM read-cache capacity in mapping units."""
+
+    write_coalesce_bytes: int = 1024 * 1024
+    """DRAM write-coalescing buffer capacity in bytes (0 = write
+    through).  Capacitor-backed: writes are durable once merged here."""
+
+    idle_gc_interval_ns: int = 500 * US
+    """How often the background daemon checks for idle-time GC."""
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ConfigError("cpu_cores must be >= 1")
+        if self.idle_gc_interval_ns <= 0:
+            raise ConfigError("idle_gc_interval_ns must be positive")
+
+
+class SsdController:
+    """Per-command processing pipeline."""
+
+    def __init__(self, sim: Simulator, ftl: Ftl, interface: HostInterface,
+                 config: Optional[ControllerConfig] = None,
+                 isce: Optional["InStorageCheckpointEngine"] = None) -> None:
+        self.sim = sim
+        self.ftl = ftl
+        self.interface = interface
+        self.config = config if config is not None else ControllerConfig()
+        self.isce = isce
+        self.cache = DramReadCache(self.config.read_cache_units)
+        coalesce_units = (self.config.write_coalesce_bytes
+                          // ftl.config.mapping_unit)
+        self.write_buffer = WriteCoalescer(ftl.sectors_per_unit,
+                                           coalesce_units)
+        self.stats = ftl.stats
+        self._cpu = Resource(sim, self.config.cpu_cores, name="ssd-cpu")
+        self._outstanding = 0
+        self._outstanding_user = 0
+        self._gc_daemon = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Commands admitted and not yet completed."""
+        return self._outstanding
+
+    @property
+    def outstanding_user(self) -> int:
+        """Admitted READ/WRITE/FLUSH/TRIM commands (host query traffic)."""
+        return self._outstanding_user
+
+    @property
+    def idle(self) -> bool:
+        """True when no command is admitted or waiting."""
+        return self._outstanding == 0 and self.interface.queued == 0
+
+    def submit(self, command: Command) -> Event:
+        """Submit a command; the returned event carries a Completion."""
+        done = self.sim.event()
+        spawn(self.sim, self._handle(command, done),
+              name=f"cmd-{command.op.value}")
+        return done
+
+    def _handle(self, command: Command,
+                done: Event) -> Generator[Any, Any, None]:
+        submitted_at = self.sim.now
+        is_user = command.op in (Op.READ, Op.WRITE, Op.FLUSH, Op.TRIM)
+        yield self.interface.acquire_slot()
+        self._outstanding += 1
+        if is_user:
+            self._outstanding_user += 1
+        try:
+            yield self.interface.command_overhead()
+            if command.op in (Op.WRITE, Op.COW, Op.COW_MULTI, Op.CHECKPOINT,
+                              Op.LOAD_PROGRAM):
+                yield from self.interface.transfer(command.data_bytes)
+            yield self._cpu.acquire()
+            try:
+                yield (self.config.cpu_command_ns +
+                       command.nsectors * self.config.cpu_sector_ns)
+            finally:
+                self._cpu.release()
+
+            completion = Completion(command=command, submitted_at=submitted_at,
+                                    completed_at=0)
+            yield from self._dispatch(command, completion)
+
+            if command.op is Op.READ:
+                yield from self.interface.transfer(command.data_bytes)
+            completion.completed_at = self.sim.now
+            done.succeed(completion)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to submitter
+            if not done.triggered:
+                done.fail(exc)
+            else:
+                raise
+        finally:
+            self._outstanding -= 1
+            if is_user:
+                self._outstanding_user -= 1
+            self.interface.release_slot()
+
+    # ------------------------------------------------------------------
+    # dispatch per opcode
+    # ------------------------------------------------------------------
+    def _dispatch(self, command: Command,
+                  completion: Completion) -> Generator[Any, Any, None]:
+        op = command.op
+        if op is Op.READ:
+            completion.tags = yield from self._do_read(command)
+        elif op is Op.WRITE:
+            yield from self._do_write(command)
+        elif op is Op.FLUSH:
+            yield from self._do_flush()
+        elif op is Op.TRIM:
+            self.write_buffer.discard_range(command.lba, command.nsectors)
+            yield from self.ftl.trim(command.lba, command.nsectors)
+            self._invalidate_cache_range(command.lba, command.nsectors)
+        elif op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT):
+            yield from self._do_cow(command, completion)
+        elif op is Op.DELETE_LOGS:
+            yield from self._do_delete_logs(command)
+        elif op is Op.LOAD_PROGRAM:
+            if self.isce is None:
+                raise CommandError("load_program: device has no ISCE")
+            self.stats.counter("host.load_program_cmds").add(
+                1, num_bytes=command.data_bytes)
+            # Install the offloaded execution code (one-time, §III-C).
+            yield self.config.cpu_command_ns * 4
+            self.isce.program_loaded = True
+        else:  # pragma: no cover - enum is closed
+            raise CommandError(f"unsupported opcode {op}")
+
+    def _do_read(self, command: Command) -> Generator[Any, Any, List[Any]]:
+        self.stats.counter("host.read_cmds").add(1, num_bytes=command.data_bytes)
+        spu = self.ftl.sectors_per_unit
+        lpns = self.ftl.lpn_span(command.lba, command.nsectors)
+        buffered_hit = any(self.write_buffer.peek(lpn) is not None
+                           for lpn in lpns)
+        cached = {lpn: self.cache.get(lpn) for lpn in lpns}
+        if all(entry is not None for entry in cached.values()):
+            self.stats.counter("host.read_cache_hits").add(1)
+            yield self.ftl.config.staged_read_ns
+            tags = []
+            for sector in range(command.lba, command.lba + command.nsectors):
+                unit = cached[sector // spu]
+                tags.append(unit[sector % spu])
+            return self.write_buffer.overlay(command.lba, command.nsectors,
+                                             tags)
+        if buffered_hit and self._fully_buffered(command.lba, command.nsectors):
+            # Served entirely from the coalescing buffer: no flash access.
+            self.stats.counter("host.read_buffer_hits").add(1)
+            yield self.ftl.config.staged_read_ns
+            tags = [None] * command.nsectors
+            return self.write_buffer.overlay(command.lba, command.nsectors,
+                                             tags)
+        tags = yield from self.ftl.read(command.lba, command.nsectors)
+        if not buffered_hit:
+            self._fill_cache(command.lba, command.nsectors, tags)
+        return self.write_buffer.overlay(command.lba, command.nsectors, tags)
+
+    def _fully_buffered(self, lba: int, nsectors: int) -> bool:
+        for sector in range(lba, lba + nsectors):
+            entry = self.write_buffer.peek(sector // self.ftl.sectors_per_unit)
+            if entry is None or not entry.covered[
+                    sector % self.ftl.sectors_per_unit]:
+                return False
+        return True
+
+    def _do_write(self, command: Command) -> Generator[Any, Any, None]:
+        self.stats.counter("host.write_cmds").add(1, num_bytes=command.data_bytes)
+        self.stats.counter(f"host.write_cmds.{command.cause}").add(
+            1, num_bytes=command.data_bytes)
+        self._invalidate_cache_range(command.lba, command.nsectors)
+        yield from self.device_write(command.lba, command.nsectors,
+                                     command.tags, command.stream,
+                                     command.cause)
+        if not self.write_buffer.enabled:
+            self._fill_cache(command.lba, command.nsectors, command.tags)
+        if self.isce is not None and command.stream == "journal":
+            yield from self.isce.log_manager.note_journal_write(
+                command.lba, command.nsectors)
+
+    def device_read(self, lba: int, nsectors: int) -> Generator[Any, Any, List[Any]]:
+        """Internal read path: FTL content overlaid with the coalescer.
+
+        Used by the ISCE so checkpoint sources that are still buffered in
+        device DRAM are seen without forcing a drain (and without host
+        command accounting).
+        """
+        tags = yield from self.ftl.read(lba, nsectors)
+        return self.write_buffer.overlay(lba, nsectors, tags)
+
+    def device_write(self, lba: int, nsectors: int, tags, stream: str,
+                     cause: str) -> Generator[Any, Any, None]:
+        """Internal write path (no host-command accounting).
+
+        Used by the ISCE's copy path so device-side checkpoint copies
+        enjoy the same DRAM coalescing as host writes — scattered
+        sub-unit copies merge with their neighbours before programming.
+        """
+        if not self.write_buffer.enabled:
+            yield from self.ftl.write(lba, nsectors, tags=tags,
+                                      stream=stream, cause=cause)
+            return
+        self._invalidate_cache_range(lba, nsectors)
+        ready = self.write_buffer.merge(lba, nsectors, tags, cause, stream)
+        yield self.ftl.config.map_update_ns * max(1, len(ready))
+        spu = self.ftl.sectors_per_unit
+        for unit in ready:
+            yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
+                                      stream=unit.stream, cause=unit.cause)
+        for unit in self.write_buffer.evict_pressure():
+            yield from self._write_partial_unit(unit)
+
+    def _write_partial_unit(self, unit: CoalescedUnit) -> Generator[Any, Any, None]:
+        """Flush a partially covered coalesced unit (RMW if it was mapped)."""
+        spu = self.ftl.sectors_per_unit
+        base = unit.lpn * spu
+        for offset, length in unit.covered_runs:
+            yield from self.ftl.write(base + offset, length,
+                                      tags=unit.tags[offset:offset + length],
+                                      stream=unit.stream, cause=unit.cause)
+
+    def _drain_buffered(self, units: List[CoalescedUnit]
+                        ) -> Generator[Any, Any, None]:
+        for unit in units:
+            if unit.full:
+                spu = self.ftl.sectors_per_unit
+                yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
+                                          stream=unit.stream, cause=unit.cause)
+            else:
+                yield from self._write_partial_unit(unit)
+
+    def _do_flush(self) -> Generator[Any, Any, None]:
+        self.stats.counter("host.flush_cmds").add(1)
+        yield from self._drain_buffered(self.write_buffer.drain_all())
+        for stream in ("journal", "data", "ckpt"):
+            yield from self.ftl.flush_stream(stream)
+        yield from self.ftl.persist_metadata(force=True)
+
+    def _do_cow(self, command: Command,
+                completion: Completion) -> Generator[Any, Any, None]:
+        if self.isce is None:
+            raise CommandError(
+                f"{command.op.value}: device has no in-storage checkpoint engine")
+        self.stats.counter(f"host.{command.op.value}_cmds").add(
+            1, num_bytes=command.data_bytes)
+        # Buffered *source* units are read through the ISCE's
+        # coalescer-overlay path, so no drain is needed.  Buffered
+        # *destination* content is superseded by the checkpoint: discard
+        # it (a remap would even be overwritten by stale data on a later
+        # read).
+        for entry in command.entries:
+            self.write_buffer.discard_range(entry.dst_lba, entry.nsectors)
+        remapped, copied = yield from self.isce.execute_cow(command.entries)
+        completion.remapped_units = remapped
+        completion.copied_units = copied
+        for entry in command.entries:
+            self._invalidate_cache_range(entry.dst_lba, entry.nsectors)
+        if command.op is Op.CHECKPOINT:
+            yield from self.isce.checkpoint_complete()
+
+    def _do_delete_logs(self, command: Command) -> Generator[Any, Any, None]:
+        if self.isce is None:
+            raise CommandError("delete_logs: device has no ISCE")
+        self.stats.counter("host.delete_logs_cmds").add(1)
+        self.write_buffer.discard_range(command.lba, command.nsectors)
+        yield from self.isce.delete_logs(command.lba, command.nsectors)
+        self._invalidate_cache_range(command.lba, command.nsectors)
+
+    # ------------------------------------------------------------------
+    # read cache helpers
+    # ------------------------------------------------------------------
+    def _fill_cache(self, lba: int, nsectors: int,
+                    tags: Optional[List[Any]]) -> None:
+        if tags is None or not self.cache.enabled:
+            return
+        spu = self.ftl.sectors_per_unit
+        for lpn in self.ftl.lpn_span(lba, nsectors):
+            unit_first = lpn * spu
+            if unit_first < lba or unit_first + spu > lba + nsectors:
+                continue  # only whole units are cacheable
+            start = unit_first - lba
+            self.cache.put(lpn, tuple(tags[start:start + spu]))
+
+    def _invalidate_cache_range(self, lba: int, nsectors: int) -> None:
+        lpns = self.ftl.lpn_span(lba, nsectors)
+        self.cache.invalidate_range(lpns[0], lpns[-1])
+
+    # ------------------------------------------------------------------
+    # background GC daemon
+    # ------------------------------------------------------------------
+    def start_background_gc(self) -> None:
+        """Launch the idle-time GC daemon (stop with :meth:`shutdown`)."""
+        if self._gc_daemon is None:
+            self._gc_daemon = spawn(self.sim, self._gc_loop(), name="gc-daemon")
+
+    def shutdown(self) -> None:
+        """Stop the background daemon (end of run)."""
+        if self._gc_daemon is not None and self._gc_daemon.alive:
+            self._gc_daemon.interrupt("shutdown")
+        self._gc_daemon = None
+
+    def _gc_loop(self) -> Generator[Any, Any, None]:
+        from repro.sim.process import Interrupt
+        try:
+            while True:
+                yield self.config.idle_gc_interval_ns
+                if not self.idle:
+                    continue
+                if self.isce is not None:
+                    if self.isce.deallocator.should_collect(device_idle=True):
+                        yield from self.isce.deallocator.collect_idle()
+                elif self.ftl.gc.wants_background_collection():
+                    yield from self.ftl.gc.collect_once()
+        except Interrupt:
+            return

@@ -1,0 +1,85 @@
+"""Host interface model: NVMe-style submission queue plus PCIe link.
+
+Two contention points matter for the paper's results:
+
+* the **queue depth** bounds how many commands are outstanding — the
+  single-CoW configuration (ISC-A) suffers exactly because thousands of
+  tiny commands fight for slots (§III-C);
+* the **PCIe link** carries data payloads; conventional checkpointing
+  moves every journal log device→host and back, while CoW commands move
+  16-byte descriptors only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.common.errors import ConfigError
+from repro.common.units import transfer_time_ns
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class InterfaceConfig:
+    """Host-interface timing and queue parameters."""
+
+    queue_depth: int = 64
+    """Outstanding-command limit of the submission queue."""
+
+    command_overhead_ns: int = 5_000
+    """Fixed per-command cost: doorbells, DMA descriptors, completion."""
+
+    pcie_bandwidth: int = 3_200_000_000
+    """Effective PCIe payload bandwidth, bytes/second (PCIe 3.0 x4-ish)."""
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.command_overhead_ns < 0:
+            raise ConfigError("command_overhead_ns must be >= 0")
+        if self.pcie_bandwidth <= 0:
+            raise ConfigError("pcie_bandwidth must be positive")
+
+
+class HostInterface:
+    """Queue-slot admission plus timed link transfers."""
+
+    def __init__(self, sim: Simulator, config: InterfaceConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.queue = Resource(sim, config.queue_depth, name="sq")
+        self._link = Resource(sim, 1, name="pcie")
+
+    @property
+    def outstanding(self) -> int:
+        """Commands currently holding a queue slot."""
+        return self.queue.in_use
+
+    @property
+    def queued(self) -> int:
+        """Commands waiting for a slot."""
+        return self.queue.queue_length
+
+    def acquire_slot(self) -> Any:
+        """Event that fires when a submission-queue slot is granted."""
+        return self.queue.acquire()
+
+    def release_slot(self) -> None:
+        """Return the slot at command completion."""
+        self.queue.release()
+
+    def transfer(self, num_bytes: int) -> Generator[Any, Any, None]:
+        """Move ``num_bytes`` over the shared link (0 bytes is free)."""
+        if num_bytes <= 0:
+            return
+        yield self._link.acquire()
+        try:
+            yield transfer_time_ns(num_bytes, self.config.pcie_bandwidth)
+        finally:
+            self._link.release()
+
+    def command_overhead(self) -> int:
+        """Per-command fixed latency (submission + completion path)."""
+        return self.config.command_overhead_ns

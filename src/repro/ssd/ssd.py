@@ -1,0 +1,116 @@
+"""The SSD device facade: flash + FTL + controller + (optional) ISCE.
+
+:class:`Ssd` is what the host storage engine talks to.  Construction wires
+the whole device from one :class:`SsdSpec`; ``enable_isce`` selects a
+Check-In SSD (vendor commands supported) versus a conventional device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.flash.array import FlashArray
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.ftl import Ftl, FtlConfig
+from repro.sim.core import Event, Simulator
+from repro.sim.stats import StatRegistry
+from repro.ssd.commands import Command, Completion, Op
+from repro.ssd.controller import ControllerConfig, SsdController
+from repro.ssd.interface import HostInterface, InterfaceConfig
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Everything needed to build one device."""
+
+    geometry: FlashGeometry = field(default_factory=FlashGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    ftl: FtlConfig = field(default_factory=FtlConfig)
+    interface: InterfaceConfig = field(default_factory=InterfaceConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    enable_isce: bool = False
+    allow_remap: bool = True
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw flash capacity of the spec."""
+        return self.geometry.capacity_bytes
+
+
+class Ssd:
+    """A complete simulated device."""
+
+    def __init__(self, sim: Simulator, spec: Optional[SsdSpec] = None) -> None:
+        self.sim = sim
+        self.spec = spec if spec is not None else SsdSpec()
+        self.array = FlashArray(sim, self.spec.geometry, self.spec.timing)
+        self.ftl = Ftl(sim, self.array, self.spec.ftl)
+        self.interface = HostInterface(sim, self.spec.interface)
+        from repro.checkin.isce import InStorageCheckpointEngine
+        self.isce: Optional[InStorageCheckpointEngine] = None
+        if self.spec.enable_isce:
+            self.isce = InStorageCheckpointEngine(
+                sim, self.ftl, allow_remap=self.spec.allow_remap)
+        self.controller = SsdController(sim, self.ftl, self.interface,
+                                        self.spec.controller, isce=self.isce)
+        if self.isce is not None:
+            # Device-internal copies share the controller's DRAM coalescer
+            # and yield to host traffic only when some is actually waiting.
+            self.isce.processor.device_writer = self.controller.device_write
+            self.isce.processor.device_reader = self.controller.device_read
+            self.isce.processor.host_pressure = (
+                lambda: self.controller.outstanding_user > 0
+                or self.interface.queued > 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatRegistry:
+        """The device-wide statistics registry."""
+        return self.ftl.stats
+
+    @property
+    def supports_in_storage_checkpoint(self) -> bool:
+        """True when vendor CoW/checkpoint commands are available."""
+        return self.isce is not None
+
+    def submit(self, command: Command) -> Event:
+        """Submit a command; event resolves with a Completion."""
+        return self.controller.submit(command)
+
+    def execute(self, command: Command) -> Generator[Any, Any, Completion]:
+        """Submit and wait — convenience for single-command callers."""
+        completion = yield self.submit(command)
+        return completion
+
+    # -- convenience wrappers used by tests and examples -----------------
+    def read(self, lba: int, nsectors: int) -> Generator[Any, Any, List[Any]]:
+        """Read tags for a sector range."""
+        completion = yield self.submit(Command(op=Op.READ, lba=lba,
+                                               nsectors=nsectors))
+        return completion.tags
+
+    def write(self, lba: int, nsectors: int, tags=None, fua: bool = False,
+              stream: str = "data",
+              cause: str = "host") -> Generator[Any, Any, Completion]:
+        """Write a sector range."""
+        completion = yield self.submit(Command(
+            op=Op.WRITE, lba=lba, nsectors=nsectors, tags=tags, fua=fua,
+            stream=stream, cause=cause))
+        return completion
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start background services (idle GC daemon)."""
+        self.controller.start_background_gc()
+
+    def shutdown(self) -> None:
+        """Stop background services so the event loop can drain."""
+        self.controller.shutdown()
+
+    def quiesce(self) -> Generator[Any, Any, None]:
+        """Wait until all admitted commands and page programs finish."""
+        while self.controller.outstanding or self.interface.queued:
+            yield 10_000
+        yield from self.ftl.drain()

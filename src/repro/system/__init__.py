@@ -1,0 +1,16 @@
+"""Full-system wiring: configuration, metrics, orchestration."""
+
+from repro.system.config import DEFAULT_MAPPING_UNITS, SystemConfig, tiny_config
+from repro.system.metrics import LifetimeEstimate, RunMetrics
+from repro.system.system import KvSystem, RunResult, run_config
+
+__all__ = [
+    "DEFAULT_MAPPING_UNITS",
+    "SystemConfig",
+    "tiny_config",
+    "LifetimeEstimate",
+    "RunMetrics",
+    "KvSystem",
+    "RunResult",
+    "run_config",
+]

@@ -1,0 +1,297 @@
+"""Whole-system configuration — the reproduction of Table I.
+
+One :class:`SystemConfig` captures the DBMS, host and SSD configuration of
+a run.  The five evaluated systems (baseline … checkin) are derived from
+the same config via :meth:`SystemConfig.with_mode`, which flips exactly
+the knobs the paper varies: mapping unit, ISCE presence, remap capability
+and journal formatting.
+
+Scaling note (documented per experiment in EXPERIMENTS.md): volumes are
+scaled down uniformly from the paper's testbed — a checkpoint interval of
+tens of simulated milliseconds against a hundreds-of-MiB device plays the
+role of 60 s against a full SSD.  Flash latencies stay at realistic values
+so latency *ratios* are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, MIB, MS, SECTOR_SIZE, US, ceil_div
+from repro.engine.engine import MODES, EngineConfig
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.ftl import FtlConfig
+from repro.ssd.controller import ControllerConfig
+from repro.ssd.interface import InterfaceConfig
+from repro.ssd.ssd import SsdSpec
+from repro.workload.records import (
+    FixedSize,
+    RecordSizeModel,
+    mixed_pattern,
+    small_value_default,
+)
+
+DEFAULT_MAPPING_UNITS = {
+    "baseline": 4096,
+    "isc_a": 4096,
+    "isc_b": 4096,
+    "isc_c": 512,
+    "checkin": 512,
+}
+"""Per-configuration FTL mapping unit (Table I: 4 KiB page mapping for the
+conventional systems, 512 B sub-page mapping for ISC-C and Check-In)."""
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything that defines one simulated run."""
+
+    # --- configuration under test -------------------------------------
+    mode: str = "baseline"
+    seed: int = 42
+    mapping_unit: Optional[int] = None
+    """None = the mode's default (DEFAULT_MAPPING_UNITS)."""
+
+    # --- DBMS / workload (Table I, DBMS configuration) -----------------
+    workload: str = "A"
+    distribution: str = "zipfian"
+    threads: int = 32
+    num_keys: int = 4096
+    total_queries: int = 20_000
+    size_spec: str = "small-default"
+    """'small-default', 'fixed-<N>', or a mixed pattern 'P1'..'P4'."""
+
+    # --- checkpoint policy ----------------------------------------------
+    checkpoint_interval_ns: int = 50 * MS
+    """Scaled stand-in for the paper's 60 s interval."""
+
+    checkpoint_journal_quota: int = 4 * MIB
+    """Stored journal bytes that force a checkpoint (the paper's 2 GiB /
+    200-journal-file trigger, scaled)."""
+
+    trigger_poll_ns: int = 1 * MS
+    final_checkpoint: bool = True
+    lock_queries_during_checkpoint: bool = False
+
+    # --- host engine ------------------------------------------------------
+    group_commit_ns: int = 20 * US
+    max_txn_logs: int = 256
+    compress_ratio: float = 1.0
+    mem_cache_records: int = 512
+    mem_hit_ns: int = 2_000
+    cpu_query_ns: int = 1_000
+    ckpt_parallelism: int = 64
+    cow_batch: int = 256
+    verify_reads: bool = True
+
+    # --- journal / metadata regions ------------------------------------
+    journal_area_bytes: int = 16 * MIB
+    meta_area_sectors: int = 128
+    data_area_slack: float = 0.10
+    """Extra data-area sectors beyond the exact record footprint."""
+
+    # --- SSD (Table I, storage configuration) ---------------------------
+    channels: int = 4
+    packages_per_channel: int = 1
+    dies_per_package: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 48
+    pages_per_block: int = 64
+    page_size: int = 4096
+    flash_read_ns: int = 60 * US
+    flash_program_ns: int = 800 * US
+    flash_erase_ns: int = 3_500 * US
+    channel_bandwidth: int = 800 * 1000 * 1000
+    queue_depth: int = 64
+    interface_overhead_ns: int = 5_000
+    pcie_bandwidth: int = 3_200_000_000
+    ssd_cpu_cores: int = 2
+    read_cache_units: int = 4096
+    write_buffer_bytes: int = 2 * MIB
+    gc_low_watermark: int = 2
+    gc_high_watermark: int = 6
+    max_pe_cycles: int = 3000
+    snapshot_metadata: bool = False
+    """Per-persist L2P snapshots (enable for recovery-focused runs)."""
+
+    track_op_log: bool = False
+    """Durable remap/trim op log for SPOR verification (recovery runs)."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.threads < 1:
+            raise ConfigError("threads must be >= 1")
+        if self.num_keys < 1 or self.total_queries < 1:
+            raise ConfigError("num_keys and total_queries must be >= 1")
+        unit = self.resolved_mapping_unit
+        if unit < SECTOR_SIZE or unit > self.page_size or self.page_size % unit:
+            raise ConfigError(f"mapping unit {unit} incompatible with "
+                              f"{self.page_size} B pages")
+
+    # ------------------------------------------------------------------
+    # derived pieces
+    # ------------------------------------------------------------------
+    @property
+    def resolved_mapping_unit(self) -> int:
+        """The FTL mapping unit actually in force."""
+        if self.mapping_unit is not None:
+            return self.mapping_unit
+        return DEFAULT_MAPPING_UNITS[self.mode]
+
+    def with_mode(self, mode: str) -> "SystemConfig":
+        """The same experiment under a different configuration."""
+        return replace(self, mode=mode)
+
+    def size_model(self) -> RecordSizeModel:
+        """Instantiate the record-size model from ``size_spec``."""
+        spec = self.size_spec
+        if spec == "small-default":
+            return small_value_default(seed=self.seed)
+        if spec.startswith("fixed-"):
+            return FixedSize(int(spec.split("-", 1)[1]))
+        if spec.upper() in ("P1", "P2", "P3", "P4"):
+            return mixed_pattern(spec, seed=self.seed)
+        raise ConfigError(f"unknown size_spec {self.size_spec!r}")
+
+    def geometry(self) -> FlashGeometry:
+        """The NAND geometry of this run's device."""
+        return FlashGeometry(
+            channels=self.channels,
+            packages_per_channel=self.packages_per_channel,
+            dies_per_package=self.dies_per_package,
+            planes_per_die=self.planes_per_die,
+            blocks_per_plane=self.blocks_per_plane,
+            pages_per_block=self.pages_per_block,
+            page_size=self.page_size)
+
+    def timing(self) -> FlashTiming:
+        """The NAND timing of this run's device."""
+        return FlashTiming(
+            read_ns=self.flash_read_ns,
+            program_ns=self.flash_program_ns,
+            erase_ns=self.flash_erase_ns,
+            channel_bandwidth=self.channel_bandwidth)
+
+    def ssd_spec(self) -> SsdSpec:
+        """The full device spec for this configuration."""
+        engine_cfg = self.engine_config()
+        return SsdSpec(
+            geometry=self.geometry(),
+            timing=self.timing(),
+            ftl=FtlConfig(mapping_unit=self.resolved_mapping_unit,
+                          gc_low_watermark=self.gc_low_watermark,
+                          gc_high_watermark=self.gc_high_watermark,
+                          write_buffer_bytes=self.write_buffer_bytes,
+                          max_pe_cycles=self.max_pe_cycles,
+                          snapshot_metadata=self.snapshot_metadata,
+                          track_op_log=self.track_op_log),
+            interface=InterfaceConfig(
+                queue_depth=self.queue_depth,
+                command_overhead_ns=self.interface_overhead_ns,
+                pcie_bandwidth=self.pcie_bandwidth),
+            controller=ControllerConfig(cpu_cores=self.ssd_cpu_cores,
+                                        read_cache_units=self.read_cache_units),
+            enable_isce=engine_cfg.uses_in_storage_checkpoint,
+            allow_remap=engine_cfg.device_allow_remap)
+
+    def data_area_sectors(self) -> int:
+        """Upper-bound data-area footprint of the key population.
+
+        Uses the formatted (stored) size for the aligned-journaling mode
+        and rounds every record to the mapping unit — a safe over-estimate
+        of the engine's per-record alignment decisions — plus slack.
+        """
+        model = self.size_model()
+        unit_sectors = self.resolved_mapping_unit // SECTOR_SIZE
+        formatter = None
+        if self.mode == "checkin":
+            from repro.engine.aligner import SectorAlignedFormatter
+            formatter = SectorAlignedFormatter(
+                mapping_size=self.resolved_mapping_unit,
+                compress_ratio=self.compress_ratio)
+        total = 0
+        unit = self.resolved_mapping_unit
+        for _key, size in model.sizes(self.num_keys):
+            stored = formatter.stored_size(size) if formatter else size
+            nsectors = ceil_div(stored, SECTOR_SIZE)
+            # Mirror the engine: only remappable (whole-unit) records get
+            # unit-aligned homes; everything else packs at sector grain.
+            # Aligned records may also skip up to unit_sectors-1 sectors
+            # to reach their boundary.
+            if formatter is not None and stored % unit == 0:
+                if nsectors % unit_sectors:
+                    nsectors += unit_sectors - (nsectors % unit_sectors)
+                nsectors += unit_sectors - 1
+            total += nsectors
+        return int(total * (1.0 + self.data_area_slack)) + unit_sectors
+
+    def engine_config(self) -> EngineConfig:
+        """The storage-engine configuration for this run."""
+        journal_sectors = self.journal_area_bytes // SECTOR_SIZE
+        if journal_sectors % 2:
+            journal_sectors -= 1
+        meta_start = journal_sectors
+        data_start = meta_start + self.meta_area_sectors
+        unit_sectors = self.resolved_mapping_unit // SECTOR_SIZE
+        if data_start % unit_sectors:
+            data_start += unit_sectors - (data_start % unit_sectors)
+        return EngineConfig(
+            mode=self.mode,
+            journal_lba_start=0,
+            journal_sectors=journal_sectors,
+            meta_lba_start=meta_start,
+            meta_sectors=self.meta_area_sectors,
+            data_lba_start=data_start,
+            data_sectors=self.data_area_sectors(),
+            mapping_unit=self.resolved_mapping_unit,
+            group_commit_ns=self.group_commit_ns,
+            max_txn_logs=self.max_txn_logs,
+            compress_ratio=self.compress_ratio,
+            mem_cache_records=self.mem_cache_records,
+            mem_hit_ns=self.mem_hit_ns,
+            cpu_query_ns=self.cpu_query_ns,
+            ckpt_parallelism=self.ckpt_parallelism,
+            cow_batch=self.cow_batch,
+            lock_queries_during_checkpoint=self.lock_queries_during_checkpoint,
+            verify_reads=self.verify_reads)
+
+    def check_capacity(self) -> Tuple[int, int]:
+        """Validate logical footprint vs raw flash; returns (logical, raw).
+
+        Keeps at least ~20 % of raw capacity as over-provisioning so GC
+        has somewhere to work.
+        """
+        engine_cfg = self.engine_config()
+        logical_sectors = engine_cfg.data_lba_start + engine_cfg.data_sectors
+        logical_bytes = logical_sectors * SECTOR_SIZE
+        raw = self.geometry().capacity_bytes
+        if logical_bytes > raw * 0.80:
+            raise ConfigError(
+                f"logical footprint {logical_bytes // KIB} KiB exceeds 80% of "
+                f"raw capacity {raw // KIB} KiB; grow the device or shrink "
+                "the workload")
+        return logical_bytes, raw
+
+
+def tiny_config(**overrides) -> SystemConfig:
+    """A seconds-scale configuration for unit/integration tests."""
+    defaults = dict(
+        threads=4,
+        num_keys=256,
+        total_queries=1_500,
+        journal_area_bytes=2 * MIB,
+        checkpoint_interval_ns=10 * MS,
+        checkpoint_journal_quota=256 * KIB,
+        channels=2,
+        dies_per_package=1,
+        planes_per_die=2,
+        blocks_per_plane=24,
+        pages_per_block=32,
+        mem_cache_records=64,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)

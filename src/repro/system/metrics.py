@@ -1,0 +1,226 @@
+"""Run-level metric collection.
+
+One :class:`RunMetrics` instance watches a measured phase: it snapshots
+the device counters at start and end (so load-phase traffic is excluded),
+collects per-query latencies split by operation kind and by
+checkpoint-overlap, and derives every quantity the paper's figures plot —
+I/O amplification, flash-operation amplification, redundant writes, GC
+counts, lifetime (Equation 1), throughput and tail latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.units import SEC
+from repro.sim.core import Simulator
+from repro.sim.stats import LatencySample, StatRegistry
+from repro.workload.ycsb import Operation, OpKind
+
+
+@dataclass
+class LifetimeEstimate:
+    """Equation (1): Lifetime_block = PEC_max * T_op / BEC."""
+
+    max_pe_cycles: int
+    operation_time_ns: int
+    block_erase_count: int
+
+    @property
+    def relative_lifetime(self) -> float:
+        """Lifetime in units of T_op; infinite when nothing was erased."""
+        if self.block_erase_count == 0:
+            return float("inf")
+        return (self.max_pe_cycles * self.operation_time_ns /
+                self.block_erase_count)
+
+
+class RunMetrics:
+    """Measurements for one run's measured phase."""
+
+    def __init__(self, sim: Simulator, stats: StatRegistry) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.latency_all = LatencySample("all")
+        self.latency_read = LatencySample("read")
+        self.latency_update = LatencySample("update")
+        self.latency_read_ckpt = LatencySample("read-during-ckpt")
+        self.latency_update_ckpt = LatencySample("update-during-ckpt")
+        self.latency_read_normal = LatencySample("read-normal")
+        self.latency_update_normal = LatencySample("update-normal")
+        self.operations = 0
+        self._start_ns: Optional[int] = None
+        self._end_ns: Optional[int] = None
+        self._start_counts: Dict[str, int] = {}
+        self._start_bytes: Dict[str, int] = {}
+        self._end_counts: Dict[str, int] = {}
+        self._end_bytes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_measurement(self) -> None:
+        """Snapshot counters; everything before this is warm-up/load."""
+        self._start_ns = self.sim.now
+        self._start_counts = self.stats.snapshot()
+        self._start_bytes = self.stats.snapshot_bytes()
+
+    def finish_measurement(self) -> None:
+        """Close the measured phase."""
+        self._end_ns = self.sim.now
+        self._end_counts = self.stats.snapshot()
+        self._end_bytes = self.stats.snapshot_bytes()
+
+    def record(self, operation: Operation, latency_ns: int,
+               during_checkpoint: bool) -> None:
+        """Account one completed client operation."""
+        self.operations += 1
+        self.latency_all.record(latency_ns)
+        is_read = operation.kind is OpKind.READ
+        if is_read:
+            self.latency_read.record(latency_ns)
+            (self.latency_read_ckpt if during_checkpoint
+             else self.latency_read_normal).record(latency_ns)
+        else:
+            self.latency_update.record(latency_ns)
+            (self.latency_update_ckpt if during_checkpoint
+             else self.latency_update_normal).record(latency_ns)
+
+    # ------------------------------------------------------------------
+    # raw deltas
+    # ------------------------------------------------------------------
+    def delta(self, counter: str) -> int:
+        """Measured-phase increase of a counter's count."""
+        end = self._end_counts if self._end_counts else self.stats.snapshot()
+        return end.get(counter, 0) - self._start_counts.get(counter, 0)
+
+    def delta_bytes(self, counter: str) -> int:
+        """Measured-phase increase of a counter's byte volume."""
+        end = self._end_bytes if self._end_bytes else self.stats.snapshot_bytes()
+        return end.get(counter, 0) - self._start_bytes.get(counter, 0)
+
+    def _delta_prefix_bytes(self, prefix: str) -> int:
+        end = self._end_bytes if self._end_bytes else self.stats.snapshot_bytes()
+        total = 0
+        for name, value in end.items():
+            if name.startswith(prefix):
+                total += value - self._start_bytes.get(name, 0)
+        return total
+
+    # ------------------------------------------------------------------
+    # derived quantities (one per paper metric)
+    # ------------------------------------------------------------------
+    @property
+    def duration_ns(self) -> int:
+        """Measured-phase length."""
+        if self._start_ns is None:
+            return 0
+        end = self._end_ns if self._end_ns is not None else self.sim.now
+        return end - self._start_ns
+
+    def throughput_qps(self) -> float:
+        """Operations per simulated second."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.operations * SEC / self.duration_ns
+
+    def write_query_bytes(self) -> int:
+        """Payload bytes carried by update queries (fig 3a denominator)."""
+        return self.delta_bytes("query.update")
+
+    def host_io_bytes(self) -> int:
+        """All host interface traffic: reads + writes, any cause."""
+        return (self.delta_bytes("host.read_cmds") +
+                self.delta_bytes("host.write_cmds"))
+
+    def io_amplification(self) -> float:
+        """Host I/O bytes over write-query bytes (fig 3a, left group)."""
+        denominator = self.write_query_bytes()
+        return self.host_io_bytes() / denominator if denominator else 0.0
+
+    def flash_ops(self) -> int:
+        """Flash array operations: reads + programs + erases."""
+        return (self.delta("flash.read") + self.delta("flash.program") +
+                self.delta("flash.erase"))
+
+    def flash_bytes(self) -> int:
+        """Flash bytes moved (reads + programs)."""
+        return (self.delta_bytes("flash.read") +
+                self.delta_bytes("flash.program"))
+
+    def flash_amplification(self) -> float:
+        """Flash bytes over write-query bytes (fig 3a, right group)."""
+        denominator = self.write_query_bytes()
+        return self.flash_bytes() / denominator if denominator else 0.0
+
+    def redundant_write_units(self) -> int:
+        """Checkpoint-induced duplicate writes, in mapping units (fig 8a).
+
+        Counts every unit programmed because of checkpointing: device-side
+        CoW copies (incl. their read-modify-write inflation), baseline's
+        host rewrite of the data area, and checkpoint metadata.
+        """
+        return (self.delta("ftl.units.write.ckpt") +
+                self.delta("ftl.units.write.ckpt_meta"))
+
+    def redundant_write_bytes(self) -> int:
+        """Checkpoint-induced duplicate write volume in bytes."""
+        return (self.delta_bytes("ftl.units.write.ckpt") +
+                self.delta_bytes("ftl.units.write.ckpt_meta"))
+
+    def remapped_units(self) -> int:
+        """Units checkpointed by pure remapping (zero-copy)."""
+        return self.delta("isce.remapped_units")
+
+    def gc_invocations(self) -> int:
+        """Garbage-collection victim passes (fig 8b)."""
+        return self.delta("gc.invocations")
+
+    def erase_count(self) -> int:
+        """Block erases in the measured phase."""
+        return self.delta("flash.erase")
+
+    def gc_migrated_units(self) -> int:
+        """Valid units GC had to rewrite."""
+        return self.delta("gc.migrated_units")
+
+    def waf(self) -> float:
+        """Write amplification: flash program bytes / host write bytes."""
+        host_writes = self.delta_bytes("host.write_cmds")
+        if host_writes == 0:
+            return 0.0
+        return self.delta_bytes("flash.program") / host_writes
+
+    def lifetime(self, max_pe_cycles: int) -> LifetimeEstimate:
+        """Equation (1) over the measured phase."""
+        return LifetimeEstimate(max_pe_cycles=max_pe_cycles,
+                                operation_time_ns=self.duration_ns,
+                                block_erase_count=self.erase_count())
+
+    def journal_padding_bytes(self) -> int:
+        """Alignment/packing waste written to the journal (fig 13b)."""
+        return self.delta_bytes("journal.padding")
+
+    def journal_stored_bytes(self) -> int:
+        """Total journal footprint written (fig 13b numerator)."""
+        return self.delta_bytes("journal.transactions")
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers (for reports/benches)."""
+        return {
+            "operations": float(self.operations),
+            "duration_ms": self.duration_ns / 1e6,
+            "throughput_qps": self.throughput_qps(),
+            "latency_mean_us": self.latency_all.mean() / 1e3,
+            "latency_p99_us": self.latency_all.p99() / 1e3,
+            "latency_p999_us": self.latency_all.p999() / 1e3,
+            "latency_p9999_us": self.latency_all.p9999() / 1e3,
+            "io_amplification": self.io_amplification(),
+            "flash_amplification": self.flash_amplification(),
+            "redundant_units": float(self.redundant_write_units()),
+            "remapped_units": float(self.remapped_units()),
+            "gc_invocations": float(self.gc_invocations()),
+            "erases": float(self.erase_count()),
+            "waf": self.waf(),
+        }

@@ -1,0 +1,169 @@
+"""The full key-value store system: device + engine + clients + triggers.
+
+:class:`KvSystem` wires one configuration end to end and drives a run:
+
+1. load the key population (instant, outside the measured phase);
+2. start services (journal committer, device idle-GC daemon);
+3. spawn the client pool and the checkpoint-trigger process;
+4. run the event loop until the operation budget drains;
+5. optionally run a final checkpoint, quiesce the device, stop daemons.
+
+The checkpoint trigger mirrors the paper's policy: a checkpoint fires on a
+time interval *or* when the journal quota fills, whichever comes first
+(§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SeededRng
+from repro.engine.checkpointer import CheckpointReport
+from repro.engine.engine import StorageEngine
+from repro.sim.core import Simulator
+from repro.sim.process import Interrupt, Process, spawn
+from repro.ssd.ssd import Ssd
+from repro.system.config import SystemConfig
+from repro.system.metrics import RunMetrics
+from repro.workload.client import ClientPool
+from repro.workload.distributions import make_distribution
+from repro.workload.ycsb import OperationGenerator, workload_by_name
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run produced."""
+
+    config: SystemConfig
+    metrics: RunMetrics
+    checkpoint_reports: List[CheckpointReport] = field(default_factory=list)
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Checkpoints taken during the run."""
+        return len(self.checkpoint_reports)
+
+    def mean_checkpoint_ns(self) -> float:
+        """Average checkpoint duration (0.0 when none ran)."""
+        if not self.checkpoint_reports:
+            return 0.0
+        return sum(r.duration_ns for r in self.checkpoint_reports) / \
+            len(self.checkpoint_reports)
+
+
+class KvSystem:
+    """One configured key-value store system instance."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.check_capacity()
+        self.config = config
+        self.sim = Simulator()
+        self.ssd = Ssd(self.sim, config.ssd_spec())
+        self.engine = StorageEngine(self.sim, self.ssd, config.engine_config())
+        self.metrics = RunMetrics(self.sim, self.ssd.stats)
+        self.size_model = config.size_model()
+        self._loaded = False
+        self._trigger: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """Populate the store with the key population (instant)."""
+        if self._loaded:
+            return
+        self.engine.load(self.size_model.sizes(self.config.num_keys))
+        self._loaded = True
+
+    def make_client_pool(self) -> ClientPool:
+        """Build the closed-loop client pool for this configuration."""
+        root = SeededRng(self.config.seed)
+        spec = workload_by_name(self.config.workload)
+        generators = []
+        for thread in range(self.config.threads):
+            thread_rng = root.fork(f"thread{thread}")
+            keys = make_distribution(self.config.distribution,
+                                     self.config.num_keys,
+                                     thread_rng.fork("keys"))
+            generators.append(OperationGenerator(spec, keys,
+                                                 thread_rng.fork("ops")))
+        return ClientPool(self.sim, self.engine, generators,
+                          self.config.total_queries,
+                          on_complete=self.metrics.record)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the whole experiment; returns the results."""
+        self.load()
+        self.engine.start()
+        self.metrics.start_measurement()
+
+        pool_done = self.make_client_pool().start()
+        self._trigger = spawn(self.sim, self._checkpoint_trigger(),
+                              name="ckpt-trigger")
+
+        self._drive_until(pool_done)
+
+        # Let an in-flight checkpoint finish before tearing anything down.
+        while self.engine.checkpoint_running:
+            if not self.sim.step():
+                raise SimulationError("event loop drained mid-checkpoint")
+
+        if self.config.final_checkpoint and len(self.engine.journal.active_jmt):
+            final = spawn(self.sim, self.engine.checkpoint(), name="final-ckpt")
+            self._drive_until(final)
+
+        quiesced = spawn(self.sim, self.ssd.quiesce(), name="quiesce")
+        self._drive_until(quiesced)
+
+        self.metrics.finish_measurement()
+        self._stop_services()
+        self.sim.run()  # drain whatever remains (completions, programs)
+        return RunResult(config=self.config, metrics=self.metrics,
+                         checkpoint_reports=list(self.engine.checkpoint_reports))
+
+    def checkpoint_now(self) -> Optional[CheckpointReport]:
+        """Synchronously run one checkpoint (helper for experiments)."""
+        proc = spawn(self.sim, self.engine.checkpoint(), name="manual-ckpt")
+        self._drive_until(proc)
+        return proc.value
+
+    def _drive_until(self, process: Process) -> None:
+        while not process.triggered:
+            if not self.sim.step():
+                raise SimulationError(
+                    f"event loop drained while waiting for {process.name}")
+        if not process.ok:
+            raise process.exception
+
+    def _stop_services(self) -> None:
+        if self._trigger is not None and self._trigger.alive:
+            self._trigger.interrupt("run finished")
+        self._trigger = None
+        self.engine.shutdown()
+
+    # ------------------------------------------------------------------
+    def _checkpoint_trigger(self) -> Generator[Any, Any, None]:
+        last_checkpoint = self.sim.now
+        try:
+            while True:
+                yield self.config.trigger_poll_ns
+                if self.engine.checkpoint_running:
+                    continue
+                if len(self.engine.journal.active_jmt) == 0:
+                    continue
+                interval_due = (self.sim.now - last_checkpoint >=
+                                self.config.checkpoint_interval_ns)
+                quota_due = (self.engine.journal_pressure() >=
+                             self.config.checkpoint_journal_quota)
+                if not (interval_due or quota_due):
+                    continue
+                yield from self.engine.checkpoint()
+                last_checkpoint = self.sim.now
+        except Interrupt:
+            return
+
+
+def run_config(config: SystemConfig) -> RunResult:
+    """Build, run and tear down one system; the main experiment entry."""
+    return KvSystem(config).run()

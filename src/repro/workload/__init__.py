@@ -1,0 +1,62 @@
+"""YCSB-like workload generation: distributions, mixes, sizes, clients."""
+
+from repro.workload.client import ClientPool, ClientPoolResult
+from repro.workload.distributions import (
+    DISTRIBUTIONS,
+    KeyDistribution,
+    ScrambledZipfianKeys,
+    UniformKeys,
+    ZipfianKeys,
+    fnv1a_64,
+    make_distribution,
+    zeta,
+)
+from repro.workload.records import (
+    FixedSize,
+    MixedSizes,
+    RecordSizeModel,
+    mixed_pattern,
+    small_value_default,
+)
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_F,
+    WORKLOAD_WO,
+    WORKLOADS,
+    Operation,
+    OperationGenerator,
+    OpKind,
+    WorkloadSpec,
+    workload_by_name,
+)
+
+__all__ = [
+    "ClientPool",
+    "ClientPoolResult",
+    "DISTRIBUTIONS",
+    "KeyDistribution",
+    "ScrambledZipfianKeys",
+    "UniformKeys",
+    "ZipfianKeys",
+    "fnv1a_64",
+    "make_distribution",
+    "zeta",
+    "FixedSize",
+    "MixedSizes",
+    "RecordSizeModel",
+    "mixed_pattern",
+    "small_value_default",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_F",
+    "WORKLOAD_WO",
+    "WORKLOADS",
+    "Operation",
+    "OperationGenerator",
+    "OpKind",
+    "WorkloadSpec",
+    "workload_by_name",
+]

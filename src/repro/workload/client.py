@@ -1,0 +1,97 @@
+"""Closed-loop client threads.
+
+Each simulated application thread issues one operation at a time against
+the storage engine — the paper sweeps 4 to 128 such threads.  A shared
+operation budget stops the pool after ``total_operations`` queries, and
+every completed operation reports its latency (plus whether a checkpoint
+was running when it *started*, which feeds the Figure 3(c) analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.common.errors import WorkloadError
+from repro.engine.engine import StorageEngine
+from repro.sim.core import Simulator, all_of
+from repro.sim.process import Process, spawn
+from repro.workload.ycsb import OpKind, Operation, OperationGenerator
+
+LatencySink = Callable[[Operation, int, bool], None]
+"""Callback: (operation, latency_ns, checkpoint_was_running)."""
+
+
+@dataclass
+class ClientPoolResult:
+    """Summary of one pool run."""
+
+    operations: int
+    started_at: int
+    finished_at: int
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock span of the measured phase."""
+        return self.finished_at - self.started_at
+
+
+class ClientPool:
+    """A fixed number of closed-loop threads sharing an operation budget."""
+
+    def __init__(self, sim: Simulator, engine: StorageEngine,
+                 generators: List[OperationGenerator],
+                 total_operations: int,
+                 on_complete: Optional[LatencySink] = None) -> None:
+        if not generators:
+            raise WorkloadError("need at least one client thread")
+        if total_operations < 1:
+            raise WorkloadError("total_operations must be >= 1")
+        self.sim = sim
+        self.engine = engine
+        self.generators = generators
+        self.total_operations = total_operations
+        self.on_complete = on_complete
+        self._remaining = total_operations
+        self._issued = 0
+
+    @property
+    def threads(self) -> int:
+        """Thread count of the pool."""
+        return len(self.generators)
+
+    def start(self) -> Process:
+        """Spawn every thread; returns a process to join for completion."""
+        started_at = self.sim.now
+        workers = [spawn(self.sim, self._thread_loop(generator),
+                         name=f"client{i}")
+                   for i, generator in enumerate(self.generators)]
+
+        def waiter():
+            yield all_of(self.sim, workers)
+            return ClientPoolResult(operations=self._issued,
+                                    started_at=started_at,
+                                    finished_at=self.sim.now)
+
+        return spawn(self.sim, waiter(), name="client-pool")
+
+    def _thread_loop(self, generator: OperationGenerator
+                     ) -> Generator[Any, Any, None]:
+        while self._remaining > 0:
+            self._remaining -= 1
+            operation = generator.next_operation()
+            ckpt_at_start = self.engine.checkpoint_running
+            started = self.sim.now
+            yield from self._execute(operation)
+            self._issued += 1
+            if self.on_complete is not None:
+                self.on_complete(operation, self.sim.now - started,
+                                 ckpt_at_start)
+
+    def _execute(self, operation: Operation) -> Generator[Any, Any, None]:
+        if operation.kind is OpKind.READ:
+            yield from self.engine.get(operation.key)
+        elif operation.kind is OpKind.UPDATE:
+            yield from self.engine.put(operation.key)
+        else:
+            yield from self.engine.read_modify_write(operation.key)

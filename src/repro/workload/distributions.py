@@ -1,0 +1,132 @@
+"""Request-key distributions: uniform and (scrambled) Zipfian.
+
+The Zipfian generator follows the YCSB reference implementation
+(Gray et al.'s rejection-free method): skew parameter theta = 0.99 by
+default, zeta precomputed once for the item count.  The scrambled variant
+hashes the rank so popular keys spread over the key space — this is what
+YCSB actually uses for its "zipfian" request distribution.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRng
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = (1 << 64) - 1
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 little-endian bytes."""
+    digest = _FNV_OFFSET
+    for _ in range(8):
+        digest ^= value & 0xFF
+        digest = (digest * _FNV_PRIME) & _MASK
+        value >>= 8
+    return digest
+
+
+class KeyDistribution(abc.ABC):
+    """Draws keys in ``[0, item_count)``."""
+
+    def __init__(self, item_count: int) -> None:
+        if item_count < 1:
+            raise WorkloadError("item_count must be >= 1")
+        self.item_count = item_count
+
+    @abc.abstractmethod
+    def next_key(self) -> int:
+        """Draw one key."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Distribution label used in reports."""
+
+
+class UniformKeys(KeyDistribution):
+    """Every key equally likely."""
+
+    def __init__(self, item_count: int, rng: SeededRng) -> None:
+        super().__init__(item_count)
+        self._rng = rng
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+    def next_key(self) -> int:
+        return self._rng.randint(0, self.item_count - 1)
+
+
+def zeta(n: int, theta: float) -> float:
+    """Partial harmonic sum ``sum(1 / i**theta for i in 1..n)``."""
+    if n < 1:
+        raise WorkloadError("zeta needs n >= 1")
+    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+
+class ZipfianKeys(KeyDistribution):
+    """YCSB's Zipfian distribution over ranks (rank 0 most popular)."""
+
+    def __init__(self, item_count: int, rng: SeededRng,
+                 theta: float = 0.99) -> None:
+        super().__init__(item_count)
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"theta must be in (0, 1), got {theta}")
+        self._rng = rng
+        self.theta = theta
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = zeta(item_count, theta)
+        self._zeta2 = zeta(2, theta) if item_count >= 2 else self._zetan
+        self._eta = ((1.0 - (2.0 / item_count) ** (1.0 - theta)) /
+                     (1.0 - self._zeta2 / self._zetan)) if item_count >= 2 else 1.0
+
+    @property
+    def name(self) -> str:
+        return "zipfian"
+
+    def next_key(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if self.item_count >= 2 and uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.item_count *
+                   ((self._eta * u - self._eta + 1.0) ** self._alpha))
+        return min(rank, self.item_count - 1)
+
+
+class ScrambledZipfianKeys(ZipfianKeys):
+    """Zipfian ranks scattered over the key space via FNV hashing."""
+
+    @property
+    def name(self) -> str:
+        return "scrambled_zipfian"
+
+    def next_key(self) -> int:
+        rank = super().next_key()
+        return fnv1a_64(rank) % self.item_count
+
+
+DISTRIBUTIONS = {
+    "uniform": UniformKeys,
+    "zipfian": ZipfianKeys,
+    "scrambled_zipfian": ScrambledZipfianKeys,
+}
+
+
+def make_distribution(name: str, item_count: int,
+                      rng: SeededRng) -> KeyDistribution:
+    """Factory keyed by distribution name."""
+    try:
+        cls = DISTRIBUTIONS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown distribution {name!r}; "
+            f"expected one of {sorted(DISTRIBUTIONS)}") from None
+    return cls(item_count, rng)

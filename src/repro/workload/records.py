@@ -1,0 +1,124 @@
+"""Record-size models.
+
+The main experiments use small key-value records (the paper focuses on
+updates of 512 B or less, §II-C); the sector-aligned-journaling study uses
+"four different patterns that randomly mix various record sizes from 128
+to 4096 bytes" (§IV-A).  Sizes are assigned per key at load time and stay
+fixed across updates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRng
+
+
+class RecordSizeModel(abc.ABC):
+    """Deterministically assigns a value size to each key."""
+
+    @abc.abstractmethod
+    def size_for_key(self, key: int) -> int:
+        """Value size in bytes for ``key`` (stable per key)."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Model label used in reports."""
+
+    def sizes(self, num_keys: int) -> List[Tuple[int, int]]:
+        """``(key, size)`` pairs for keys ``0 .. num_keys-1``."""
+        return [(key, self.size_for_key(key)) for key in range(num_keys)]
+
+
+class FixedSize(RecordSizeModel):
+    """Every record the same size."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes < 1:
+            raise WorkloadError("record size must be >= 1")
+        self.size_bytes = size_bytes
+
+    @property
+    def name(self) -> str:
+        return f"fixed-{self.size_bytes}"
+
+    def size_for_key(self, key: int) -> int:
+        return self.size_bytes
+
+
+class MixedSizes(RecordSizeModel):
+    """Sizes drawn from a weighted choice, hashed per key (stable)."""
+
+    def __init__(self, label: str, sizes: Sequence[int],
+                 weights: Sequence[float], seed: int = 1234) -> None:
+        if len(sizes) != len(weights) or not sizes:
+            raise WorkloadError("sizes and weights must be equal, non-empty")
+        if any(s < 1 for s in sizes):
+            raise WorkloadError("record sizes must be >= 1")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise WorkloadError("weights must be non-negative, sum > 0")
+        self._label = label
+        self.size_choices = list(sizes)
+        total = float(sum(weights))
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._seed = seed
+        self._cache: Dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def size_for_key(self, key: int) -> int:
+        size = self._cache.get(key)
+        if size is None:
+            draw = SeededRng(self._seed, "sizes").fork(str(key)).random()
+            index = 0
+            while draw > self._cumulative[index]:
+                index += 1
+            size = self.size_choices[index]
+            self._cache[key] = size
+        return size
+
+
+def mixed_pattern(pattern: str, seed: int = 1234) -> MixedSizes:
+    """The four mixed-record-size patterns of the Figure 13(b) study.
+
+    ==== =========================================================
+    P1   small-value heavy: mostly 128-512 B (chat/session stores)
+    P2   small-to-mid mix: 128-1024 B uniform-ish
+    P3   mid-size records: 512-2048 B
+    P4   full spread: 128-4096 B uniform over classes
+    ==== =========================================================
+    """
+    patterns = {
+        "P1": ([128, 256, 384, 512], [0.4, 0.3, 0.15, 0.15]),
+        "P2": ([128, 256, 512, 768, 1024], [0.2, 0.2, 0.2, 0.2, 0.2]),
+        "P3": ([512, 1024, 1536, 2048], [0.3, 0.3, 0.2, 0.2]),
+        "P4": ([128, 256, 512, 1024, 2048, 4096],
+               [1 / 6, 1 / 6, 1 / 6, 1 / 6, 1 / 6, 1 / 6]),
+    }
+    try:
+        sizes, weights = patterns[pattern.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown pattern {pattern!r}; expected P1..P4") from None
+    return MixedSizes(pattern.upper(), sizes, weights, seed=seed)
+
+
+def small_value_default(seed: int = 1234) -> MixedSizes:
+    """The main-evaluation size mix.
+
+    Small records around the paper's working sizes (§II-B uses 1 KiB
+    values; §II-C focuses on updates of 512 B or less): mostly one sector
+    or a small number of sectors, with a sub-sector tail that exercises
+    the PARTIAL/MERGED path.
+    """
+    return MixedSizes("small-default", [128, 256, 512, 768, 1024],
+                      [0.1, 0.15, 0.35, 0.2, 0.2], seed=seed)

@@ -1,0 +1,109 @@
+"""YCSB workload mixes and the per-thread operation generator.
+
+The paper evaluates three write-heavy mixes (§IV-D):
+
+* Workload A  — 50 % read, 50 % update
+* Workload F  — 50 % read, 50 % read-modify-write
+* Workload WO — 100 % update (write-only)
+
+Read-dominant YCSB B (95/5) and read-only YCSB C are provided as well for
+completeness — useful as sanity baselines where checkpointing is nearly
+irrelevant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRng
+from repro.workload.distributions import KeyDistribution
+
+
+class OpKind(enum.Enum):
+    """Primitive operation types."""
+
+    READ = "read"
+    UPDATE = "update"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated client operation."""
+
+    kind: OpKind
+    key: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation-mix proportions."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    rmw_proportion: float
+
+    def __post_init__(self) -> None:
+        total = (self.read_proportion + self.update_proportion +
+                 self.rmw_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"workload {self.name}: proportions sum to {total}, not 1")
+        for value in (self.read_proportion, self.update_proportion,
+                      self.rmw_proportion):
+            if value < 0:
+                raise WorkloadError("proportions must be non-negative")
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that journal an update."""
+        return self.update_proportion + self.rmw_proportion
+
+
+WORKLOAD_A = WorkloadSpec("A", read_proportion=0.5, update_proportion=0.5,
+                          rmw_proportion=0.0)
+WORKLOAD_B = WorkloadSpec("B", read_proportion=0.95, update_proportion=0.05,
+                          rmw_proportion=0.0)
+WORKLOAD_C = WorkloadSpec("C", read_proportion=1.0, update_proportion=0.0,
+                          rmw_proportion=0.0)
+WORKLOAD_F = WorkloadSpec("F", read_proportion=0.5, update_proportion=0.0,
+                          rmw_proportion=0.5)
+WORKLOAD_WO = WorkloadSpec("WO", read_proportion=0.0, update_proportion=1.0,
+                           rmw_proportion=0.0)
+
+WORKLOADS = {"A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C,
+             "F": WORKLOAD_F, "WO": WORKLOAD_WO}
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up one of the paper's workloads by letter."""
+    try:
+        return WORKLOADS[name.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+
+
+class OperationGenerator:
+    """Draws operations for one client thread."""
+
+    def __init__(self, spec: WorkloadSpec, keys: KeyDistribution,
+                 rng: SeededRng) -> None:
+        self.spec = spec
+        self.keys = keys
+        self._rng = rng
+
+    def next_operation(self) -> Operation:
+        """Draw one operation according to the mix."""
+        draw = self._rng.random()
+        if draw < self.spec.read_proportion:
+            kind = OpKind.READ
+        elif draw < self.spec.read_proportion + self.spec.update_proportion:
+            kind = OpKind.UPDATE
+        else:
+            kind = OpKind.READ_MODIFY_WRITE
+        return Operation(kind=kind, key=self.keys.next_key())

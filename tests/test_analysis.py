@@ -1,0 +1,146 @@
+"""Unit tests for the analysis helpers (tables, comparisons)."""
+
+import pytest
+
+from repro.analysis import (
+    Claim,
+    claims_table,
+    format_cell,
+    format_table,
+    improvement_pct,
+    monotonic,
+    ordering_holds,
+    reduction_pct,
+    speedup,
+)
+
+
+class TestFormatting:
+    def test_format_cell_float(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(3.14159, ".1f") == "3.1"
+
+    def test_format_cell_non_float(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+        assert format_cell(True) == "True"
+
+    def test_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.5], ["longer", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # Numbers right-aligned: the 1.50 ends at the same column as 22.25.
+        assert lines[2].rstrip().endswith("1.50")
+        assert lines[3].rstrip().endswith("22.25")
+
+    def test_table_title(self):
+        table = format_table(["x"], [[1]], title="My title")
+        assert table.splitlines()[0] == "My title"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestRatios:
+    def test_reduction(self):
+        assert reduction_pct(100, 25) == pytest.approx(75.0)
+        assert reduction_pct(0, 10) == 0.0
+
+    def test_improvement(self):
+        assert improvement_pct(100, 108) == pytest.approx(8.0)
+        assert improvement_pct(0, 10) == 0.0
+
+    def test_speedup(self):
+        assert speedup(100, 25) == pytest.approx(4.0)
+        assert speedup(100, 0) == float("inf")
+
+
+class TestMonotonic:
+    def test_increasing(self):
+        assert monotonic([1, 2, 3])
+        assert not monotonic([1, 3, 2])
+
+    def test_decreasing(self):
+        assert monotonic([3, 2, 1], increasing=False)
+        assert not monotonic([1, 2], increasing=False)
+
+    def test_tolerance(self):
+        assert monotonic([1.0, 0.99, 1.5], tolerance=0.05)
+        assert not monotonic([1.0, 0.8, 1.5], tolerance=0.05)
+
+
+class TestOrdering:
+    def test_holds(self):
+        data = {"a": 10.0, "b": 5.0, "c": 1.0}
+        assert ordering_holds(data, ["a", "b", "c"]) is None
+
+    def test_violation_reported(self):
+        data = {"a": 1.0, "b": 5.0}
+        violation = ordering_holds(data, ["a", "b"])
+        assert violation is not None
+        assert "a" in violation and "b" in violation
+
+    def test_slack_tolerates_small_inversion(self):
+        data = {"a": 0.98, "b": 1.0}
+        assert ordering_holds(data, ["a", "b"]) is not None
+        assert ordering_holds(data, ["a", "b"], slack=1.05) is None
+
+    def test_smaller_first(self):
+        data = {"a": 1.0, "b": 5.0}
+        assert ordering_holds(data, ["a", "b"], larger_first=False) is None
+
+
+class TestClaims:
+    def test_same_direction(self):
+        assert Claim("f", "m", 50.0, 30.0).same_direction
+        assert not Claim("f", "m", 50.0, -5.0).same_direction
+        assert Claim("f", "m", 0.0, 0.0).same_direction
+
+    def test_within_factor_two(self):
+        assert Claim("f", "m", 50.0, 30.0).within_factor_two
+        assert not Claim("f", "m", 50.0, 10.0).within_factor_two
+        assert not Claim("f", "m", 50.0, -30.0).within_factor_two
+
+    def test_claims_table_renders(self):
+        table = claims_table([
+            Claim("fig8a", "redundant reduction", 94.3, 95.0),
+            Claim("fig9", "p999 reduction", 92.1, 55.0, note="coarse"),
+        ], title="claims")
+        assert "fig8a" in table and "94.30" in table
+        assert "coarse" in table
+
+
+class TestExport:
+    def test_to_jsonable_dataclass_and_tuple_keys(self):
+        import dataclasses
+        from repro.analysis import to_jsonable
+
+        @dataclasses.dataclass
+        class Sample:
+            series: dict
+            values: list
+
+        data = Sample(series={("zipfian", "checkin"): 1.5}, values=[1, (2, 3)])
+        out = to_jsonable(data)
+        assert out == {"series": {"zipfian/checkin": 1.5},
+                       "values": [1, [2, 3]]}
+
+    def test_to_jsonable_fallback_to_str(self):
+        from repro.analysis import to_jsonable
+
+        class Opaque:
+            def __str__(self):
+                return "opaque!"
+
+        assert to_jsonable({"x": Opaque()}) == {"x": "opaque!"}
+
+    def test_save_json_roundtrip(self, tmp_path):
+        import json
+        from repro.analysis import save_json
+
+        path = save_json({"a": [1, 2]}, tmp_path / "out" / "r.json")
+        assert json.loads(path.read_text()) == {"a": [1, 2]}

@@ -1,0 +1,115 @@
+"""Unit tests for the host/device journal-log format contract."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.checkin import (
+    ALIGN_SIZES,
+    LogType,
+    MergedPayload,
+    align_full,
+    align_sub_sector,
+    extract_part,
+)
+from repro.common.errors import EngineError
+
+
+class TestAlignSubSector:
+    @pytest.mark.parametrize("size,expected", [
+        (1, 128), (128, 128), (129, 256), (256, 256),
+        (300, 384), (384, 384), (385, 512), (512, 512),
+    ])
+    def test_alignment_classes(self, size, expected):
+        assert align_sub_sector(size) == expected
+
+    def test_rejects_zero_and_oversize(self):
+        with pytest.raises(EngineError):
+            align_sub_sector(0)
+        with pytest.raises(EngineError):
+            align_sub_sector(513)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_result_is_align_class(self, size):
+        result = align_sub_sector(size)
+        assert result in ALIGN_SIZES
+        assert result >= size
+        assert result - size < 128
+
+
+class TestAlignFull:
+    def test_uncompressed_rounds_to_sectors(self):
+        assert align_full(513) == 1024
+        assert align_full(1024) == 1024
+        assert align_full(1025) == 1536
+
+    def test_compression_shrinks(self):
+        # 4096 at 50% compression -> 2048 (already sector aligned)
+        assert align_full(4096, compress_ratio=0.5) == 2048
+
+    def test_never_below_one_sector(self):
+        assert align_full(600, compress_ratio=0.01) == 512
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            align_full(512)  # not > 512
+        with pytest.raises(EngineError):
+            align_full(1024, compress_ratio=0.0)
+        with pytest.raises(EngineError):
+            align_full(1024, compress_ratio=1.5)
+
+    @given(st.integers(min_value=513, max_value=100_000),
+           st.floats(min_value=0.1, max_value=1.0))
+    def test_sector_multiple(self, size, ratio):
+        result = align_full(size, compress_ratio=ratio)
+        assert result % 512 == 0
+        assert result >= 512
+
+
+class TestMergedPayload:
+    def test_pack_two_values(self):
+        merged = MergedPayload()
+        off_a = merged.add(128, "A")
+        off_b = merged.add(384, "B")
+        assert (off_a, off_b) == (0, 128)
+        assert merged.used_bytes == 512
+        assert merged.part_at(0) == "A"
+        assert merged.part_at(128) == "B"
+        assert merged.part_at(64) is None
+
+    def test_fits(self):
+        merged = MergedPayload()
+        merged.add(384, "x")
+        assert merged.fits(128)
+        assert not merged.fits(256)
+
+    def test_overflow_rejected(self):
+        merged = MergedPayload()
+        merged.add(512, "full")
+        with pytest.raises(EngineError):
+            merged.add(128, "extra")
+
+    def test_unaligned_part_rejected(self):
+        with pytest.raises(EngineError):
+            MergedPayload().add(100, "x")
+        with pytest.raises(EngineError):
+            MergedPayload().add(0, "x")
+
+
+class TestExtractPart:
+    def test_plain_sector(self):
+        assert extract_part("tag", 0) == "tag"
+        assert extract_part("tag", 128) is None
+
+    def test_merged_sector(self):
+        merged = MergedPayload()
+        merged.add(256, "first")
+        merged.add(128, "second")
+        assert extract_part(merged, 0) == "first"
+        assert extract_part(merged, 256) == "second"
+        assert extract_part(merged, 384) is None
+
+
+class TestLogType:
+    def test_members(self):
+        assert {t.value for t in LogType} == {"full", "partial", "merged"}

@@ -1,0 +1,155 @@
+"""Unit tests for the ISCE components: processor policy, log manager,
+deallocator."""
+
+import pytest
+
+from repro.checkin.checkpoint import CheckpointProcessor, _contiguous_runs
+from repro.flash import FlashArray, FlashGeometry, FlashTiming
+from repro.ftl import Ftl, FtlConfig
+from repro.sim import Simulator, spawn
+from repro.ssd.commands import CowEntry
+
+
+def make_processor(mapping_unit=512, allow_remap=True):
+    sim = Simulator()
+    geometry = FlashGeometry(channels=2, packages_per_channel=1,
+                             dies_per_package=1, planes_per_die=1,
+                             blocks_per_plane=16, pages_per_block=8)
+    array = FlashArray(sim, geometry, FlashTiming(
+        read_ns=10_000, program_ns=100_000, erase_ns=1_000_000))
+    ftl = Ftl(sim, array, FtlConfig(mapping_unit=mapping_unit))
+    return sim, ftl, CheckpointProcessor(sim, ftl, allow_remap=allow_remap)
+
+
+def run(sim, generator):
+    proc = spawn(sim, generator)
+    sim.run()
+    assert proc.ok, proc.exception
+    return proc.value
+
+
+class TestRemappability:
+    def test_aligned_mapped_entry_remappable(self):
+        sim, ftl, processor = make_processor()
+
+        def setup():
+            yield from ftl.write(0, 1, tags=["j"], stream="journal")
+
+        run(sim, setup())
+        assert processor.is_remappable(CowEntry(src_lba=0, dst_lba=100))
+
+    def test_unmapped_source_not_remappable(self):
+        _sim, _ftl, processor = make_processor()
+        assert not processor.is_remappable(CowEntry(src_lba=0, dst_lba=100))
+
+    def test_offset_entry_not_remappable(self):
+        sim, ftl, processor = make_processor()
+        run(sim, ftl.write(0, 1, tags=["j"], stream="journal"))
+        assert not processor.is_remappable(
+            CowEntry(src_lba=0, dst_lba=100, src_offset=128, length_bytes=128))
+
+    def test_sub_length_entry_not_remappable(self):
+        sim, ftl, processor = make_processor()
+        run(sim, ftl.write(0, 1, tags=["j"], stream="journal"))
+        assert not processor.is_remappable(
+            CowEntry(src_lba=0, dst_lba=100, length_bytes=384))
+
+    def test_misaligned_lbas_not_remappable_with_large_unit(self):
+        sim, ftl, processor = make_processor(mapping_unit=4096)
+        run(sim, ftl.write(0, 8, tags=None, stream="journal"))
+        # whole-unit source but sector-misaligned destination
+        assert not processor.is_remappable(
+            CowEntry(src_lba=0, dst_lba=101, nsectors=8))
+        assert processor.is_remappable(
+            CowEntry(src_lba=0, dst_lba=104, nsectors=8))
+
+    def test_remap_disabled_device(self):
+        sim, ftl, processor = make_processor(allow_remap=False)
+        run(sim, ftl.write(0, 1, tags=["j"], stream="journal"))
+        assert not processor.is_remappable(CowEntry(src_lba=0, dst_lba=100))
+
+    def test_mismatched_spans_not_remappable(self):
+        sim, ftl, processor = make_processor()
+        run(sim, ftl.write(0, 2, tags=["a", "b"], stream="journal"))
+        assert not processor.is_remappable(
+            CowEntry(src_lba=0, dst_lba=100, nsectors=1, src_nsectors=2))
+
+
+class TestProcess:
+    def test_mixed_batch_splits_remap_and_copy(self):
+        sim, ftl, processor = make_processor()
+
+        def scenario():
+            yield from ftl.write(0, 2, tags=["a", "b"], stream="journal")
+            entries = (
+                CowEntry(src_lba=0, dst_lba=100),                  # remap
+                CowEntry(src_lba=1, dst_lba=108, src_offset=0,
+                         length_bytes=256),                        # copy
+            )
+            remapped, copied = yield from processor.process(entries)
+            return remapped, copied
+
+        remapped, copied = run(sim, scenario())
+        assert remapped == 1
+        assert copied == 1
+
+    def test_pacing_skipped_without_pressure(self):
+        sim, ftl, processor = make_processor()
+        processor.host_pressure = lambda: False
+        assert processor._pace_delay(100) == 0
+
+    def test_pacing_accumulates_under_pressure(self):
+        sim, ftl, processor = make_processor()
+        processor.host_pressure = lambda: True
+        first = processor._pace_delay(10)
+        second = processor._pace_delay(10)
+        assert second > first >= 0
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert _contiguous_runs([]) == []
+
+    def test_single(self):
+        assert _contiguous_runs([5]) == [(5, 1)]
+
+    def test_merges_adjacent(self):
+        assert _contiguous_runs([1, 2, 3, 7, 8, 12]) == \
+            [(1, 3), (7, 2), (12, 1)]
+
+
+class TestLogManagerAndDeallocator:
+    def test_log_manager_tracks_and_resets(self):
+        from repro.checkin.log_manager import LogManager
+        sim, ftl, _processor = make_processor()
+        manager = LogManager(sim, ftl, metadata_update_interval=2)
+
+        def scenario():
+            yield from manager.note_journal_write(0, 4)
+            yield from manager.note_journal_write(4, 4)
+
+        run(sim, scenario())
+        assert manager.committed_ranges == [(0, 4), (4, 4)]
+        manager.checkpoint_created()
+        assert manager.committed_ranges == []
+
+    def test_deallocator_frees_and_counts(self):
+        from repro.checkin.deallocator import Deallocator
+        sim, ftl, _processor = make_processor()
+        deallocator = Deallocator(sim, ftl)
+
+        def scenario():
+            yield from ftl.write(0, 4, tags=list("abcd"), stream="journal")
+            freed = yield from deallocator.delete_logs(0, 4)
+            return freed
+
+        assert run(sim, scenario()) == 4
+        assert ftl.stats.value("isce.deleted_log_units") == 4
+
+    def test_deallocator_gc_policy(self):
+        from repro.checkin.deallocator import Deallocator
+        sim, ftl, _processor = make_processor()
+        deallocator = Deallocator(sim, ftl)
+        # Fresh device: plenty of free blocks -> no GC even when idle.
+        assert not deallocator.should_collect(device_idle=True)
+        assert not deallocator.should_collect(device_idle=False)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.mode == "checkin"
+        assert args.threads == 32
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8a" in out and "table1" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Flash topology" in capsys.readouterr().out
+
+    def test_bench_small(self, capsys):
+        assert main(["bench", "--mode", "checkin", "--threads", "4",
+                     "--queries", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_qps" in out
+        assert "checkpoints" in out

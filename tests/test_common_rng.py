@@ -1,0 +1,71 @@
+"""Unit tests for repro.common.rng."""
+
+from repro.common.rng import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(43)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_is_deterministic(self):
+        a = SeededRng(7).fork("workload")
+        b = SeededRng(7).fork("workload")
+        assert [a.randint(0, 100) for _ in range(5)] == \
+            [b.randint(0, 100) for _ in range(5)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent1 = SeededRng(7)
+        parent2 = SeededRng(7)
+        for _ in range(100):
+            parent2.random()  # consume from one parent only
+        child1 = parent1.fork("x")
+        child2 = parent2.fork("x")
+        assert child1.random() == child2.random()
+
+    def test_forks_with_different_names_differ(self):
+        parent = SeededRng(7)
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_name_is_hierarchical(self):
+        child = SeededRng(1, "root").fork("ssd").fork("gc")
+        assert child.name == "root/ssd/gc"
+
+
+class TestPrimitives:
+    def test_randint_bounds(self):
+        rng = SeededRng(3)
+        values = [rng.randint(5, 9) for _ in range(200)]
+        assert min(values) >= 5
+        assert max(values) <= 9
+
+    def test_choice_member(self):
+        rng = SeededRng(3)
+        items = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(items) in items
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(3)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bytes_length(self):
+        rng = SeededRng(3)
+        assert len(rng.bytes(16)) == 16
+        assert rng.bytes(0) == b""
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(3)
+        for _ in range(50):
+            assert rng.expovariate(2.0) >= 0.0

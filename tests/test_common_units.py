@@ -1,0 +1,135 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import units
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert units.ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert units.ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert units.ceil_div(0, 4) == 0
+
+    def test_one_byte(self):
+        assert units.ceil_div(1, 4096) == 1
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 4)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, a, b):
+        import math
+        assert units.ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestRounding:
+    def test_round_up_already_aligned(self):
+        assert units.round_up(1024, 512) == 1024
+
+    def test_round_up_unaligned(self):
+        assert units.round_up(1000, 512) == 1024
+
+    def test_round_down(self):
+        assert units.round_down(1000, 512) == 512
+
+    def test_round_down_aligned(self):
+        assert units.round_down(1024, 512) == 1024
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_round_up_ge_value_and_aligned(self, value, multiple):
+        rounded = units.round_up(value, multiple)
+        assert rounded >= value
+        assert rounded % multiple == 0
+        assert rounded - value < multiple
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_round_down_le_value_and_aligned(self, value, multiple):
+        rounded = units.round_down(value, multiple)
+        assert rounded <= value
+        assert rounded % multiple == 0
+        assert value - rounded < multiple
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 512, 4096, 2**20])
+    def test_powers(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100, 4097])
+    def test_non_powers(self, value):
+        assert not units.is_power_of_two(value)
+
+
+class TestTransferTime:
+    def test_one_second_worth(self):
+        assert units.transfer_time_ns(1000, 1000) == units.SEC
+
+    def test_zero_bytes_is_free(self):
+        assert units.transfer_time_ns(0, 10**9) == 0
+
+    def test_never_zero_for_nonzero_bytes(self):
+        assert units.transfer_time_ns(1, 10**12) >= 1
+
+    def test_gbps_link(self):
+        # 4 KiB over 1 GB/s = 4096 ns
+        assert units.transfer_time_ns(4096, 10**9) == 4096
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_ns(10, 0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_ns(-1, 100)
+
+
+class TestFormatting:
+    def test_format_bytes_small(self):
+        assert units.format_bytes(100) == "100 B"
+
+    def test_format_bytes_kib(self):
+        assert units.format_bytes(4096) == "4.0 KiB"
+
+    def test_format_bytes_mib(self):
+        assert units.format_bytes(3 * units.MIB) == "3.0 MiB"
+
+    def test_format_time_ns(self):
+        assert units.format_time(500) == "500 ns"
+
+    def test_format_time_us(self):
+        assert units.format_time(1500) == "1.50 us"
+
+    def test_format_time_ms(self):
+        assert units.format_time(2 * units.MS) == "2.00 ms"
+
+    def test_format_time_s(self):
+        assert units.format_time(3 * units.SEC) == "3.000 s"
+
+
+class TestConstants:
+    def test_sector_size(self):
+        assert units.SECTOR_SIZE == 512
+
+    def test_size_ladder(self):
+        assert units.MIB == 1024 * units.KIB
+        assert units.GIB == 1024 * units.MIB
+
+    def test_time_ladder(self):
+        assert units.US == 1000 * units.NS
+        assert units.MS == 1000 * units.US
+        assert units.SEC == 1000 * units.MS

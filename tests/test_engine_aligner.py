@@ -1,0 +1,212 @@
+"""Unit tests for the journal formatters (Algorithm 2 and packed)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.checkin.format import LogType, MergedPayload, PackedSector
+from repro.common.errors import EngineError
+from repro.engine import PackedFormatter, SectorAlignedFormatter, UpdateRequest
+
+
+def request(key, size, version=1):
+    return UpdateRequest(key=key, version=version, value_bytes=size,
+                         target_lba=10_000 + key * 8, target_nsectors=8)
+
+
+class TestPackedFormatter:
+    def test_stored_size_is_raw(self):
+        assert PackedFormatter().stored_size(300) == 300
+
+    def test_single_log_layout(self):
+        formatter = PackedFormatter(header_bytes=16)
+        layout = formatter.layout([request(1, 300)], first_lba=100)
+        assert layout.nsectors == 1  # 316 bytes
+        entry = layout.entries[0]
+        assert entry.journal_lba == 100
+        assert entry.src_offset == 16
+        assert entry.journal_nsectors == 1
+        assert not entry.exclusive_sectors
+        assert layout.payload_bytes == 316
+        assert layout.padded_bytes == 512 - 316
+
+    def test_values_straddle_sectors(self):
+        formatter = PackedFormatter(header_bytes=16)
+        layout = formatter.layout([request(1, 400), request(2, 400)],
+                                  first_lba=0)
+        first, second = layout.entries
+        # Second value starts at byte 416+16=432 -> sector 0, spans into 1.
+        assert second.journal_lba == 0
+        assert second.src_offset == 432
+        assert second.journal_nsectors == 2
+        assert layout.nsectors == 2
+
+    def test_sector_tags_are_packed_sectors(self):
+        formatter = PackedFormatter()
+        layout = formatter.layout([request(1, 100)], first_lba=0)
+        assert isinstance(layout.sector_tags[0], PackedSector)
+        assert layout.sector_tags[0].part_at(16) == (1, 1)
+
+    def test_header_validation(self):
+        with pytest.raises(EngineError):
+            PackedFormatter(header_bytes=-1)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=20))
+    def test_property_layout_consistent(self, sizes):
+        formatter = PackedFormatter(header_bytes=16)
+        requests = [request(i, size) for i, size in enumerate(sizes)]
+        layout = formatter.layout(requests, first_lba=50)
+        assert len(layout.entries) == len(sizes)
+        total = sum(16 + s for s in sizes)
+        assert layout.payload_bytes == total
+        assert layout.nsectors * 512 >= total
+        assert layout.padded_bytes == layout.nsectors * 512 - total
+        for entry in layout.entries:
+            assert 50 <= entry.journal_lba < 50 + layout.nsectors
+            # The tag is recoverable from the sector where the value starts.
+            sector = layout.sector_tags[entry.journal_lba - 50]
+            assert sector.part_at(entry.src_offset) == (entry.key, entry.version)
+
+
+class TestSectorAlignedFormatterSizing:
+    def test_stored_size_small(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        assert formatter.stored_size(100) == 128
+        assert formatter.stored_size(400) == 512
+        assert formatter.stored_size(512) == 512
+
+    def test_stored_size_large(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        assert formatter.stored_size(513) == 1024
+        assert formatter.stored_size(1500) == 1536
+
+    def test_compression(self):
+        formatter = SectorAlignedFormatter(mapping_size=512, compress_ratio=0.5)
+        assert formatter.stored_size(2048) == 1024
+        # values <= unit are not compressed (Algorithm 2 only compresses FULLs)
+        assert formatter.stored_size(400) == 512
+
+    def test_classify(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        assert formatter.classify(100) is LogType.PARTIAL
+        assert formatter.classify(500) is LogType.FULL
+        assert formatter.classify(1000) is LogType.FULL
+
+    def test_larger_mapping_unit(self):
+        # The 128-byte sub-sector classes are fixed regardless of the
+        # mapping unit; mid-range values pad to sectors, and only whole
+        # units are FULL (remappable).
+        formatter = SectorAlignedFormatter(mapping_size=2048)
+        assert formatter.stored_size(300) == 384
+        assert formatter.stored_size(600) == 1024
+        assert formatter.classify(600) is LogType.PARTIAL
+        assert formatter.classify(2000) is LogType.FULL  # pads to 2048
+        assert formatter.stored_size(3000) == 4096  # > unit: align_full
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            SectorAlignedFormatter(mapping_size=300)
+        with pytest.raises(EngineError):
+            SectorAlignedFormatter(compress_ratio=0.0)
+
+
+class TestSectorAlignedLayout:
+    def test_full_log_is_exclusive_and_aligned(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 512)], first_lba=64)
+        entry = layout.entries[0]
+        assert entry.log_type is LogType.FULL
+        assert entry.exclusive_sectors
+        assert entry.src_offset == 0
+        assert entry.journal_lba == 64
+        assert entry.journal_nsectors == 1
+        assert layout.sector_tags == [(1, 1)]
+
+    def test_multi_sector_full(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 1500)], first_lba=0)
+        entry = layout.entries[0]
+        assert entry.journal_nsectors == 3
+        assert layout.sector_tags == [(1, 1)] * 3
+        assert layout.padded_bytes == 1536 - 1500
+
+    def test_two_partials_merge_into_one_sector(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 120), request(2, 250)],
+                                  first_lba=10)
+        assert layout.nsectors == 1
+        first, second = layout.entries
+        assert first.log_type is LogType.MERGED
+        assert second.log_type is LogType.MERGED
+        assert first.journal_lba == second.journal_lba == 10
+        assert first.src_offset == 0
+        assert second.src_offset == 128
+        merged = layout.sector_tags[0]
+        assert isinstance(merged, MergedPayload)
+        assert merged.part_at(0) == (1, 1)
+        assert merged.part_at(128) == (2, 1)
+
+    def test_lone_partial_stays_partial(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 100)], first_lba=0)
+        assert layout.entries[0].log_type is LogType.PARTIAL
+        assert layout.entries[0].exclusive_sectors
+
+    def test_overflowing_partials_open_new_sector(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        # 384 + 384 cannot share one 512 B sector.
+        layout = formatter.layout([request(1, 380), request(2, 380)],
+                                  first_lba=0)
+        assert layout.nsectors == 2
+        a, b = layout.entries
+        assert a.journal_lba != b.journal_lba
+
+    def test_first_fit_packs_across_arrival_order(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        # 384, 384, 128, 128 -> [384+128], [384+128]
+        layout = formatter.layout(
+            [request(1, 380), request(2, 380), request(3, 100),
+             request(4, 100)], first_lba=0)
+        assert layout.nsectors == 2
+        assert layout.padded_bytes == sum(
+            [384 - 380, 384 - 380, 128 - 100, 128 - 100])
+
+    def test_fulls_placed_before_partials(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 100), request(2, 512)],
+                                  first_lba=0)
+        by_key = {e.key: e for e in layout.entries}
+        assert by_key[2].journal_lba == 0
+        assert by_key[1].journal_lba == 1
+
+    def test_padding_accounting_fulls(self):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        layout = formatter.layout([request(1, 700)], first_lba=0)
+        assert layout.padded_bytes == 1024 - 700
+        assert layout.payload_bytes == 700
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=24))
+    def test_property_every_value_recoverable(self, sizes):
+        """Any mix of sizes: each value's tag is recoverable from its
+        journal location, and all placements are disjoint."""
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        requests = [request(i, size) for i, size in enumerate(sizes)]
+        layout = formatter.layout(requests, first_lba=0)
+        assert len(layout.entries) == len(sizes)
+        from repro.checkin.format import extract_part
+        for entry in layout.entries:
+            sector_tag = layout.sector_tags[entry.journal_lba]
+            assert extract_part(sector_tag, entry.src_offset) == \
+                (entry.key, entry.version)
+
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=30))
+    def test_property_merged_sectors_never_overflow(self, sizes):
+        formatter = SectorAlignedFormatter(mapping_size=512)
+        requests = [request(i, size) for i, size in enumerate(sizes)]
+        layout = formatter.layout(requests, first_lba=0)
+        for tag in layout.sector_tags:
+            if isinstance(tag, MergedPayload):
+                assert tag.used_bytes <= 512

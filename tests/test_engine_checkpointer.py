@@ -1,0 +1,247 @@
+"""Integration tests for the five checkpoint strategies via StorageEngine."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine import EngineConfig, StorageEngine, make_strategy
+from repro.flash import FlashGeometry, FlashTiming
+from repro.ftl import FtlConfig
+from repro.sim import Simulator, spawn
+from repro.ssd import InterfaceConfig, Ssd, SsdSpec
+
+MODES = ("baseline", "isc_a", "isc_b", "isc_c", "checkin")
+
+
+def build(mode, num_keys=32, mapping_unit=None, record_size=256,
+          lock_queries=False):
+    sim = Simulator()
+    unit = mapping_unit if mapping_unit is not None else \
+        (512 if mode in ("isc_c", "checkin") else 4096)
+    ssd = Ssd(sim, SsdSpec(
+        geometry=FlashGeometry(channels=2, packages_per_channel=1,
+                               dies_per_package=2, planes_per_die=1,
+                               blocks_per_plane=24, pages_per_block=16),
+        timing=FlashTiming(read_ns=20_000, program_ns=200_000,
+                           erase_ns=1_500_000),
+        ftl=FtlConfig(mapping_unit=unit),
+        interface=InterfaceConfig(queue_depth=16, command_overhead_ns=2_000),
+        enable_isce=(mode != "baseline"),
+        allow_remap=(mode in ("isc_c", "checkin"))))
+    engine = StorageEngine(sim, ssd, EngineConfig(
+        mode=mode, journal_lba_start=0, journal_sectors=1024,
+        meta_lba_start=1024, meta_sectors=64, data_lba_start=1100,
+        data_sectors=4096, mapping_unit=unit, group_commit_ns=5_000,
+        mem_cache_records=0, verify_reads=True,
+        lock_queries_during_checkpoint=lock_queries))
+    engine.load([(key, record_size) for key in range(num_keys)])
+    engine.start()
+    return sim, ssd, engine
+
+
+def run_process(sim, generator):
+    proc = spawn(sim, generator)
+    while not proc.triggered:
+        assert sim.step(), "simulation starved"
+    assert proc.ok, proc.exception
+    return proc.value
+
+
+def update_then_checkpoint(sim, engine, keys):
+    def scenario():
+        for key in keys:
+            yield from engine.put(key)
+        report = yield from engine.checkpoint()
+        return report
+    return run_process(sim, scenario())
+
+
+class TestAllStrategiesProduceDurableCheckpoints:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_checkpoint_then_read_from_data_area(self, mode):
+        sim, _ssd, engine = build(mode)
+        report = update_then_checkpoint(sim, engine, [1, 2, 3])
+        assert report is not None
+        assert report.entries_checkpointed == 3
+        assert report.duration_ns > 0
+        assert len(engine.journal.active_jmt) == 0
+
+        def verify():
+            versions = []
+            for key in (1, 2, 3):
+                versions.append((yield from engine.get(key)))
+            return versions
+
+        assert run_process(sim, verify()) == [1, 1, 1]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_only_latest_version_checkpointed(self, mode):
+        sim, _ssd, engine = build(mode)
+
+        def scenario():
+            for _ in range(4):
+                yield from engine.put(7)
+            report = yield from engine.checkpoint()
+            version = yield from engine.get(7)
+            return report, version
+
+        report, version = run_process(sim, scenario())
+        assert report.entries_total == 4
+        assert report.entries_checkpointed == 1
+        assert version == 4
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_journal_freed_after_checkpoint(self, mode):
+        sim, _ssd, engine = build(mode)
+        report = update_then_checkpoint(sim, engine, [1, 2])
+        assert report.journal_sectors_freed > 0
+        assert engine.journal.frozen is None
+
+    def test_checkpoint_skipped_when_empty(self):
+        sim, _ssd, engine = build("baseline")
+
+        def scenario():
+            return (yield from engine.checkpoint())
+
+        assert run_process(sim, scenario()) is None
+
+
+class TestStrategyMechanisms:
+    def test_baseline_reads_and_rewrites(self):
+        sim, ssd, engine = build("baseline")
+        report = update_then_checkpoint(sim, engine, [1, 2, 3])
+        assert report.read_commands == 3
+        assert report.write_commands >= 4  # 3 data + 1 metadata
+        assert report.cow_commands == 0
+        assert ssd.stats.value("ftl.units.write.ckpt") > 0
+
+    def test_isc_a_one_command_per_entry(self):
+        sim, _ssd, engine = build("isc_a")
+        report = update_then_checkpoint(sim, engine, [1, 2, 3, 4])
+        assert report.cow_commands == 4
+        assert report.read_commands == 0
+        assert report.copied_units > 0
+        assert report.remapped_units == 0
+
+    def test_isc_b_batches_commands(self):
+        sim, _ssd, engine = build("isc_b")
+        report = update_then_checkpoint(sim, engine, list(range(10)))
+        assert report.cow_commands == 1  # one multi-CoW for all ten
+        assert report.copied_units > 0
+
+    def test_isc_c_copies_packed_logs_despite_remap_support(self):
+        sim, _ssd, engine = build("isc_c")
+        report = update_then_checkpoint(sim, engine, list(range(10)))
+        # Packed journaling: headers misalign every log -> no remap.
+        assert report.remapped_units == 0
+        assert report.copied_units == 10
+
+    def test_checkin_remaps_full_logs(self):
+        # 512 B records with aligned journaling are FULL -> pure remap.
+        sim, ssd, engine = build("checkin", record_size=512)
+        programs_before = None
+
+        def scenario():
+            nonlocal programs_before
+            for key in range(10):
+                yield from engine.put(key)
+            yield from ssd.quiesce()
+            programs_before = ssd.stats.value("flash.program")
+            report = yield from engine.checkpoint()
+            return report
+
+        report = run_process(sim, scenario())
+        assert report.remapped_units == 10
+        assert report.copied_units == 0
+
+    def test_checkin_merged_partials_take_copy_path(self):
+        sim, _ssd, engine = build("checkin", record_size=200)
+        report = update_then_checkpoint(sim, engine, list(range(6)))
+        assert report.remapped_units == 0
+        assert report.copied_units == 6
+
+    def test_checkin_redundant_bytes_far_below_baseline(self):
+        """The fig 8a headline at miniature scale."""
+        results = {}
+        for mode in ("baseline", "checkin"):
+            sim, ssd, engine = build(mode, record_size=512)
+            update_then_checkpoint(sim, engine, list(range(20)))
+            results[mode] = ssd.stats.bytes("ftl.units.write.ckpt")
+        assert results["checkin"] == 0  # pure remap: zero copy bytes
+        assert results["baseline"] > 20 * 512
+
+    def test_strategy_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_strategy("nonsense", Simulator(), None)
+
+
+class TestQueryGate:
+    def test_queries_stall_while_locked_checkpoint_runs(self):
+        sim, _ssd, engine = build("baseline", lock_queries=True)
+        latencies = {}
+
+        def updater():
+            for key in range(4):
+                yield from engine.put(key)
+
+        def scenario():
+            yield from updater()
+            return (yield from engine.checkpoint())
+
+        proc = spawn(sim, scenario())
+
+        reader_started = []
+
+        def reader():
+            # Wait until the checkpoint is running, then issue a read.
+            while not engine.checkpoint_running:
+                yield 1_000
+            start = sim.now
+            reader_started.append(start)
+            yield from engine.get(0)
+            latencies["read"] = sim.now - start
+
+        reader_proc = spawn(sim, reader())
+        while not (proc.triggered and reader_proc.triggered):
+            assert sim.step()
+        assert proc.ok and reader_proc.ok
+        report = proc.value
+        # The read could not finish before the checkpoint ended.
+        assert reader_started[0] + latencies["read"] >= report.finished_at
+
+
+class TestConfigValidation:
+    def test_isc_mode_requires_isce_device(self):
+        sim = Simulator()
+        ssd = Ssd(sim, SsdSpec(enable_isce=False))
+        with pytest.raises(ConfigError):
+            StorageEngine(sim, ssd, EngineConfig(mode="isc_b"))
+
+    def test_mapping_unit_mismatch_rejected(self):
+        sim = Simulator()
+        ssd = Ssd(sim, SsdSpec(ftl=FtlConfig(mapping_unit=512)))
+        with pytest.raises(ConfigError):
+            StorageEngine(sim, ssd, EngineConfig(mode="baseline",
+                                                 mapping_unit=4096))
+
+    def test_region_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(journal_lba_start=0, journal_sectors=1000,
+                         meta_lba_start=500, meta_sectors=64,
+                         data_lba_start=2000, data_sectors=100)
+
+
+class TestOffloadProgramDownload:
+    """§III-C: the offload execution code is sent exactly once."""
+
+    def test_program_sent_once_across_checkpoints(self):
+        sim, ssd, engine = build("checkin")
+        update_then_checkpoint(sim, engine, [1, 2, 3])
+        assert ssd.isce.program_loaded
+        assert ssd.stats.value("host.load_program_cmds") == 1
+        update_then_checkpoint(sim, engine, [4, 5, 6])
+        assert ssd.stats.value("host.load_program_cmds") == 1
+
+    def test_baseline_never_downloads(self):
+        sim, ssd, engine = build("baseline")
+        update_then_checkpoint(sim, engine, [1, 2])
+        assert ssd.stats.value("host.load_program_cmds") == 0

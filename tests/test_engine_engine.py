@@ -1,0 +1,75 @@
+"""Unit tests for the engine facade pieces: memory cache, gate, config."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine import EngineConfig, MemoryCache
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = MemoryCache(4)
+        assert cache.lookup(1) is None
+        cache.insert(1, 3)
+        assert cache.lookup(1) == 3
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = MemoryCache(2)
+        cache.insert(1, 1)
+        cache.insert(2, 1)
+        cache.lookup(1)
+        cache.insert(3, 1)  # evicts 2
+        assert cache.lookup(2) is None
+        assert cache.lookup(1) == 1
+
+    def test_zero_capacity(self):
+        cache = MemoryCache(0)
+        cache.insert(1, 1)
+        assert cache.lookup(1) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryCache(-1)
+
+    def test_hit_ratio(self):
+        cache = MemoryCache(4)
+        cache.insert(1, 1)
+        cache.lookup(1)
+        cache.lookup(2)
+        assert cache.hit_ratio() == pytest.approx(0.5)
+        assert MemoryCache(4).hit_ratio() == 0.0
+
+    def test_version_refresh(self):
+        cache = MemoryCache(4)
+        cache.insert(1, 1)
+        cache.insert(1, 5)
+        assert cache.lookup(1) == 5
+
+
+class TestEngineConfigProperties:
+    def test_mode_flags(self):
+        baseline = EngineConfig(mode="baseline")
+        assert not baseline.uses_in_storage_checkpoint
+        assert not baseline.uses_aligned_journaling
+        assert not baseline.device_allow_remap
+
+        isc_b = EngineConfig(mode="isc_b")
+        assert isc_b.uses_in_storage_checkpoint
+        assert not isc_b.device_allow_remap
+
+        isc_c = EngineConfig(mode="isc_c", mapping_unit=512)
+        assert isc_c.device_allow_remap
+        assert not isc_c.uses_aligned_journaling
+
+        checkin = EngineConfig(mode="checkin", mapping_unit=512)
+        assert checkin.uses_aligned_journaling
+        assert checkin.device_allow_remap
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(mode="turbo")
+
+    def test_region_validation(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(journal_sectors=0)

@@ -1,0 +1,159 @@
+"""Integration tests for the journal manager (group commit, halves)."""
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine import JournalConfig, JournalManager, PackedFormatter, UpdateRequest
+from repro.engine.aligner import SectorAlignedFormatter
+from repro.flash import FlashGeometry, FlashTiming
+from repro.ftl import FtlConfig
+from repro.sim import Simulator, spawn
+from repro.ssd import InterfaceConfig, Ssd, SsdSpec
+
+
+def make_setup(formatter=None, total_sectors=64, group_commit_ns=5_000,
+               mapping_unit=512):
+    sim = Simulator()
+    ssd = Ssd(sim, SsdSpec(
+        geometry=FlashGeometry(channels=2, packages_per_channel=1,
+                               dies_per_package=1, planes_per_die=1,
+                               blocks_per_plane=8, pages_per_block=8),
+        timing=FlashTiming(read_ns=10_000, program_ns=100_000,
+                           erase_ns=1_000_000),
+        ftl=FtlConfig(mapping_unit=mapping_unit),
+        interface=InterfaceConfig(queue_depth=8, command_overhead_ns=1_000)))
+    journal = JournalManager(
+        sim, ssd, formatter or PackedFormatter(),
+        JournalConfig(lba_start=0, total_sectors=total_sectors,
+                      group_commit_ns=group_commit_ns))
+    journal.start()
+    return sim, ssd, journal
+
+
+def request(key, size=200, version=1):
+    return UpdateRequest(key=key, version=version, value_bytes=size,
+                         target_lba=5000 + key * 8, target_nsectors=1)
+
+
+def run_until(sim, event):
+    while not event.triggered:
+        assert sim.step(), "simulation starved"
+
+
+class TestGroupCommit:
+    def test_single_commit(self):
+        sim, ssd, journal = make_setup()
+        commit = journal.submit(request(1))
+        run_until(sim, commit)
+        entry = commit.value
+        assert entry.committed
+        assert journal.active_jmt.lookup(1) is entry
+        assert ssd.stats.value("journal.transactions") == 1
+
+    def test_window_batches_concurrent_submissions(self):
+        sim, ssd, journal = make_setup(group_commit_ns=10_000)
+        commits = [journal.submit(request(k)) for k in range(5)]
+        for commit in commits:
+            run_until(sim, commit)
+        # All five updates share one transaction (one journal write).
+        assert ssd.stats.value("journal.transactions") == 1
+        assert len(journal.active_jmt) == 5
+
+    def test_separated_submissions_are_separate_transactions(self):
+        sim, ssd, journal = make_setup(group_commit_ns=1_000)
+        first = journal.submit(request(1))
+        run_until(sim, first)
+        second = journal.submit(request(2))
+        run_until(sim, second)
+        assert ssd.stats.value("journal.transactions") == 2
+
+    def test_commit_event_carries_entry(self):
+        sim, _ssd, journal = make_setup()
+        commit = journal.submit(request(3, size=400, version=7))
+        run_until(sim, commit)
+        assert commit.value.tag == (3, 7)
+
+    def test_bytes_logged_accumulates(self):
+        sim, _ssd, journal = make_setup()
+        commit = journal.submit(request(1, size=200))
+        run_until(sim, commit)
+        assert journal.active_bytes_logged == 216  # header + value
+
+
+class TestFreezeRelease:
+    def test_freeze_rotates_halves(self):
+        sim, _ssd, journal = make_setup(total_sectors=64)
+        commit = journal.submit(request(1))
+        run_until(sim, commit)
+        head_before = journal.active_head_sectors
+        assert head_before > 0
+        frozen = journal.freeze()
+        assert frozen.used_sectors == head_before
+        assert frozen.lba_start == 0
+        assert journal.active_head_sectors == 0
+        assert len(journal.active_jmt) == 0
+        # New writes land in the second half.
+        commit2 = journal.submit(request(2))
+        run_until(sim, commit2)
+        assert commit2.value.journal_lba >= 32
+
+    def test_double_freeze_rejected(self):
+        sim, _ssd, journal = make_setup()
+        commit = journal.submit(request(1))
+        run_until(sim, commit)
+        journal.freeze()
+        with pytest.raises(EngineError):
+            journal.freeze()
+
+    def test_release_without_freeze_rejected(self):
+        _sim, _ssd, journal = make_setup()
+        with pytest.raises(EngineError):
+            journal.release_frozen()
+
+    def test_release_clears_frozen_jmt(self):
+        sim, _ssd, journal = make_setup()
+        commit = journal.submit(request(1))
+        run_until(sim, commit)
+        frozen = journal.freeze()
+        journal.release_frozen()
+        assert len(frozen.jmt) == 0
+        assert journal.frozen is None
+
+    def test_full_half_stalls_until_freeze(self):
+        # Half = 8 sectors; each txn (one 200 B log) takes 1 sector.
+        sim, ssd, journal = make_setup(total_sectors=16, group_commit_ns=100)
+        commits = []
+        for k in range(8):
+            commits.append(journal.submit(request(k)))
+            run_until(sim, commits[-1])
+        stalled = journal.submit(request(99))
+        # Drive time forward: the commit cannot complete yet.
+        sim.schedule(200_000, lambda: None)
+        sim.run()
+        assert not stalled.triggered
+        assert ssd.stats.value("journal.full_stalls") >= 1
+        journal.freeze()  # rotates to the empty half
+        run_until(sim, stalled)
+        assert stalled.value.committed
+
+
+class TestAlignedJournalWrites:
+    def test_aligned_formatter_writes_aligned_transactions(self):
+        sim, _ssd, journal = make_setup(
+            formatter=SectorAlignedFormatter(mapping_size=512))
+        commit = journal.submit(request(1, size=512))
+        run_until(sim, commit)
+        entry = commit.value
+        assert entry.journal_lba % 1 == 0
+        assert entry.exclusive_sectors
+
+    def test_txn_alignment_respected(self):
+        sim, _ssd, journal = make_setup(mapping_unit=512)
+        journal.config = JournalConfig(lba_start=0, total_sectors=64,
+                                       group_commit_ns=1_000,
+                                       txn_align_sectors=8)
+        first = journal.submit(request(1))
+        run_until(sim, first)
+        second = journal.submit(request(2))
+        run_until(sim, second)
+        assert second.value.journal_lba % 8 == 0

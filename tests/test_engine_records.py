@@ -1,0 +1,160 @@
+"""Unit tests for records, kvmap and the JMT."""
+
+import pytest
+
+from repro.common.errors import EngineError, KeyNotFoundError
+from repro.engine import (
+    JournalEntry,
+    JournalFlag,
+    JournalMappingTable,
+    KeyValueMap,
+    Record,
+    value_tag,
+)
+
+
+def make_entry(key, version, journal_lba=0, **kwargs):
+    defaults = dict(key=key, version=version, target_lba=1000 + key * 8,
+                    target_nsectors=1, value_bytes=256, stored_bytes=256,
+                    journal_lba=journal_lba, journal_nsectors=1)
+    defaults.update(kwargs)
+    return JournalEntry(**defaults)
+
+
+class TestRecord:
+    def test_tag(self):
+        record = Record(key=7, size_bytes=300, lba=100, nsectors=1)
+        assert record.tag == (7, 0)
+        record.version = 3
+        assert record.tag == (7, 3)
+
+    def test_size_validation(self):
+        with pytest.raises(EngineError):
+            Record(key=1, size_bytes=0, lba=0, nsectors=1)
+
+    def test_sector_capacity_validated(self):
+        with pytest.raises(EngineError):
+            Record(key=1, size_bytes=1025, lba=0, nsectors=0)
+
+    def test_value_tag_helper(self):
+        assert value_tag(3, 9) == (3, 9)
+
+
+class TestJournalEntry:
+    def test_defaults(self):
+        entry = make_entry(1, 1)
+        assert entry.flag is JournalFlag.NEW
+        assert entry.is_latest
+        assert not entry.committed
+        assert entry.tag == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            make_entry(1, 1, journal_nsectors=0)
+        with pytest.raises(EngineError):
+            make_entry(1, 1, src_offset=-1)
+
+
+class TestKeyValueMap:
+    def test_insert_and_get(self):
+        kvmap = KeyValueMap(1000, 100)
+        record = kvmap.insert(5, 300)
+        assert record.lba == 1000
+        assert record.nsectors == 1
+        assert kvmap.get(5) is record
+        assert 5 in kvmap and 6 not in kvmap
+
+    def test_sequential_allocation(self):
+        kvmap = KeyValueMap(1000, 100)
+        a = kvmap.insert(1, 1024)  # 2 sectors
+        b = kvmap.insert(2, 100)   # 1 sector
+        assert a.lba == 1000 and b.lba == 1002
+        assert kvmap.used_sectors == 3
+
+    def test_alignment(self):
+        kvmap = KeyValueMap(1000, 100, align_sectors=4)
+        a = kvmap.insert(1, 300)
+        b = kvmap.insert(2, 300)
+        assert a.nsectors == 4  # rounded to the unit
+        assert b.lba == 1004
+        assert b.lba % 4 == 0
+
+    def test_misaligned_region_rejected(self):
+        with pytest.raises(EngineError):
+            KeyValueMap(1001, 100, align_sectors=4)
+
+    def test_stored_bytes_override(self):
+        kvmap = KeyValueMap(1000, 100)
+        record = kvmap.insert(1, 2000, stored_bytes=1024)
+        assert record.size_bytes == 2000
+        assert record.nsectors == 2  # sized by the stored footprint
+
+    def test_duplicate_key_rejected(self):
+        kvmap = KeyValueMap(1000, 100)
+        kvmap.insert(1, 100)
+        with pytest.raises(EngineError):
+            kvmap.insert(1, 100)
+
+    def test_region_exhaustion(self):
+        kvmap = KeyValueMap(1000, 2)
+        kvmap.insert(1, 1024)
+        with pytest.raises(EngineError):
+            kvmap.insert(2, 100)
+
+    def test_missing_key(self):
+        with pytest.raises(KeyNotFoundError):
+            KeyValueMap(0, 10).get(99)
+
+    def test_bump_version(self):
+        kvmap = KeyValueMap(0, 10)
+        kvmap.insert(1, 100)
+        assert kvmap.bump_version(1) == 1
+        assert kvmap.bump_version(1) == 2
+        assert kvmap.get(1).version == 2
+
+
+class TestJournalMappingTable:
+    def test_add_and_lookup(self):
+        jmt = JournalMappingTable()
+        entry = make_entry(1, 1)
+        jmt.add(entry)
+        assert jmt.lookup(1) is entry
+        assert len(jmt) == 1
+        assert jmt.bytes_logged == 256
+
+    def test_resupersede_marks_old(self):
+        """The §II-B case study: updating A again flags the old log OLD."""
+        jmt = JournalMappingTable()
+        first = make_entry(1, 1)
+        second = make_entry(1, 2, journal_lba=2)
+        jmt.add(first)
+        jmt.add(second)
+        assert first.flag is JournalFlag.OLD
+        assert second.flag is JournalFlag.NEW
+        assert jmt.lookup(1) is second
+        assert len(jmt) == 2
+        assert jmt.distinct_keys == 1
+
+    def test_latest_entries_skip_old(self):
+        jmt = JournalMappingTable()
+        jmt.add(make_entry(1, 1))
+        jmt.add(make_entry(2, 1, journal_lba=1))
+        jmt.add(make_entry(1, 2, journal_lba=2))
+        latest = jmt.latest_entries()
+        assert [(e.key, e.version) for e in latest] == [(2, 1), (1, 2)]
+
+    def test_latest_ratio(self):
+        jmt = JournalMappingTable()
+        assert jmt.latest_ratio() == 0.0
+        for version in range(1, 5):
+            jmt.add(make_entry(1, version))
+        jmt.add(make_entry(2, 1))
+        assert jmt.latest_ratio() == pytest.approx(2 / 5)
+
+    def test_clear(self):
+        jmt = JournalMappingTable()
+        jmt.add(make_entry(1, 1))
+        jmt.clear()
+        assert len(jmt) == 0
+        assert jmt.lookup(1) is None
+        assert jmt.bytes_logged == 0

@@ -1,0 +1,44 @@
+"""The example scripts run end to end (they are part of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "checkpoint [checkin]" in out
+    assert "remapped" in out
+    assert "device statistics" in out
+
+
+def test_crash_recovery():
+    out = run_example("crash_recovery.py")
+    assert "device recovery" in out
+    assert "every acknowledged update recovered" in out
+
+
+@pytest.mark.slow
+def test_ycsb_comparison():
+    out = run_example("ycsb_comparison.py")
+    assert "baseline" in out and "checkin" in out
+    assert "Check-In vs baseline" in out
+
+
+@pytest.mark.slow
+def test_lifetime_study():
+    out = run_example("lifetime_study.py")
+    assert "gc_invocations" in out
+    assert "lifetime vs baseline" in out

@@ -1,0 +1,116 @@
+"""Smoke tests for the experiment harness at micro scale.
+
+These verify every registered experiment runs end to end and produces a
+coherent result object; the benchmarks do the real (paper-shape) runs.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, paper_config
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+MICRO = ExperimentScale(name="micro", queries=1_800, keys=512, threads=4,
+                        thread_sweep=(2, 4))
+
+
+class TestBase:
+    def test_paper_config_modes(self):
+        for mode in ("baseline", "isc_a", "isc_b", "isc_c", "checkin"):
+            config = paper_config(mode, MICRO)
+            assert config.mode == mode
+            config.check_capacity()
+
+    def test_paper_config_overrides(self):
+        config = paper_config("checkin", MICRO, threads=9, workload="WO")
+        assert config.threads == 9
+        assert config.workload == "WO"
+
+    def test_scaled_queries_floor(self):
+        assert MICRO.scaled_queries(0.0001) == 1_000
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig3a", "fig3b", "fig3c", "fig8a", "fig8b", "fig9", "fig10",
+            "fig11", "fig12", "fig13a", "fig13b", "table1"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_table1_renders(self):
+        text = run_experiment("table1", MICRO)
+        assert "Flash topology" in text
+
+
+class TestMicroRuns:
+    """Each experiment at micro scale: runs, returns, renders."""
+
+    def test_fig3a(self):
+        result = run_experiment("fig3a", MICRO)
+        assert {row["distribution"] for row in result.rows} == \
+            {"uniform", "zipfian"}
+        assert result.amp("uniform", "io") > 1.0
+        assert "Figure 3(a)" in result.table()
+
+    def test_fig3c(self):
+        result = run_experiment("fig3c", MICRO)
+        assert result.read_avg_us > 0
+        assert "slowdown" in result.table()
+
+    def test_fig8a(self):
+        result = run_experiment("fig8a", MICRO)
+        assert len(result.intervals_ms) == 4
+        assert result.mean_redundant("baseline") > \
+            result.mean_redundant("checkin")
+        assert "redundant" in result.table()
+
+    def test_fig9(self):
+        result = run_experiment("fig9", MICRO)
+        assert ("zipfian", "checkin") in result.p999_us
+        assert "tail latency" in result.table()
+
+    def test_fig12(self):
+        result = run_experiment("fig12", MICRO)
+        assert len(result.throughput_qps["baseline"]) == 5
+        assert result.table()
+
+    def test_fig13b(self):
+        result = run_experiment("fig13b", MICRO)
+        assert result.overhead_pct("P4", 4096) > \
+            result.overhead_pct("P4", 512) - 20.0
+        assert "space overhead" in result.table()
+
+
+class TestSlowerMicroRuns:
+    """Sweep experiments (still micro, a few seconds each)."""
+
+    def test_fig3b(self):
+        result = run_experiment("fig3b", MICRO)
+        assert len(result.rows) == 2 * len(MICRO.thread_sweep)
+        assert result.latest_ratio_factor() > 0
+
+    def test_fig10(self):
+        result = run_experiment("fig10", MICRO)
+        assert set(result.ckpt_ms) == {
+            "baseline", "isc_a", "isc_b", "isc_c", "checkin"}
+        assert result.at_max_threads("checkin") < \
+            result.at_max_threads("baseline")
+
+    def test_fig11(self):
+        result = run_experiment("fig11", MICRO)
+        key = ("A", "checkin", MICRO.thread_sweep[-1])
+        assert result.throughput_qps[key] > 0
+        assert "throughput" in result.table()
+
+    def test_fig8b_micro_device(self):
+        from repro.experiments.fig8 import run_fig8b
+        result = run_fig8b(MICRO, query_counts=(4_000, 9_000),
+                           modes=("baseline", "checkin"))
+        assert result.total_gc("baseline") >= result.total_gc("checkin")
+
+    def test_fig13a(self):
+        from repro.experiments.fig13 import run_fig13a
+        result = run_fig13a(MICRO, units=(512, 4096))
+        assert result.throughput_qps["checkin"][0] > 0

@@ -1,0 +1,212 @@
+"""Unit tests for the timed flash array (contention + accounting)."""
+
+import pytest
+
+from repro.common.errors import FlashError
+from repro.flash import FlashArray, FlashGeometry, FlashTiming
+from repro.sim import Simulator, spawn
+
+
+def make_array(channels=2, planes=1, blocks=4, pages=8):
+    sim = Simulator()
+    geometry = FlashGeometry(channels=channels, packages_per_channel=1,
+                             dies_per_package=1, planes_per_die=planes,
+                             blocks_per_plane=blocks, pages_per_block=pages,
+                             page_size=4096)
+    timing = FlashTiming(read_ns=50_000, program_ns=500_000,
+                         erase_ns=3_000_000, channel_bandwidth=10**9,
+                         channel_setup_ns=100)
+    return sim, FlashArray(sim, geometry, timing)
+
+
+class TestBasicOps:
+    def test_program_then_read_roundtrip(self):
+        sim, array = make_array()
+        results = []
+
+        def proc():
+            yield from array.program_page(0, {"tag": 1}, oob="meta")
+            data, oob = yield from array.read_page(0)
+            results.append((data, oob))
+
+        spawn(sim, proc())
+        sim.run()
+        assert results == [({"tag": 1}, "meta")]
+
+    def test_program_timing(self):
+        sim, array = make_array()
+        done_at = []
+
+        def proc():
+            yield from array.program_page(0, "x")
+            done_at.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        # transfer (100 setup + 4096 ns) + program 500_000
+        assert done_at == [100 + 4096 + 500_000]
+
+    def test_read_timing(self):
+        sim, array = make_array()
+        done_at = []
+
+        def proc():
+            yield from array.program_page(0, "x")
+            start = sim.now
+            yield from array.read_page(0)
+            done_at.append(sim.now - start)
+
+        spawn(sim, proc())
+        sim.run()
+        assert done_at == [50_000 + 100 + 4096]
+
+    def test_counters(self):
+        sim, array = make_array()
+
+        def proc():
+            yield from array.program_page(0, "x")
+            yield from array.read_page(0)
+            block = array.geometry.block_of_page(0)
+            yield from array.erase_block(block)
+
+        spawn(sim, proc())
+        sim.run()
+        assert array.stats.value("flash.program") == 1
+        assert array.stats.value("flash.read") == 1
+        assert array.stats.value("flash.erase") == 1
+        assert array.stats.bytes("flash.program") == 4096
+
+    def test_out_of_order_program_fails_process(self):
+        sim, array = make_array()
+
+        def proc():
+            yield from array.program_page(1, "x")
+
+        spawn(sim, proc())
+        with pytest.raises(FlashError):
+            sim.run()
+
+    def test_erase_allows_rewrite(self):
+        sim, array = make_array()
+        results = []
+
+        def proc():
+            yield from array.program_page(0, "old")
+            yield from array.erase_block(0)
+            yield from array.program_page(0, "new")
+            data, _ = yield from array.read_page(0)
+            results.append(data)
+
+        spawn(sim, proc())
+        sim.run()
+        assert results == ["new"]
+        assert array.block(0).erase_count == 1
+
+
+class TestContention:
+    def test_same_lun_serializes(self):
+        sim, array = make_array(channels=1, blocks=4)
+        finish = []
+
+        def writer(ppa):
+            yield from array.program_page(ppa, "x")
+            finish.append(sim.now)
+
+        # Pages 0 and 1 are in block 0 -> same LUN, sequential program order.
+        spawn(sim, writer(0))
+        spawn(sim, writer(1))
+        sim.run()
+        assert len(finish) == 2
+        # Second op waits for the first full program to complete.
+        assert finish[1] >= finish[0] + 500_000
+
+    def test_different_luns_overlap(self):
+        sim, array = make_array(channels=2, blocks=2)
+        geo = array.geometry
+        assert geo.num_luns == 2
+        finish = []
+
+        def writer(block):
+            ppa = geo.first_page_of_block(block)
+            yield from array.program_page(ppa, "x")
+            finish.append(sim.now)
+
+        spawn(sim, writer(0))  # lun 0, channel 0
+        spawn(sim, writer(1))  # lun 1, channel 1
+        sim.run()
+        # Both finish at the same time: full parallelism.
+        assert finish[0] == finish[1]
+
+    def test_shared_channel_serializes_transfers(self):
+        # 1 channel, 2 planes -> 2 LUNs share the channel.
+        sim, array = make_array(channels=1, planes=2, blocks=2)
+        geo = array.geometry
+        assert geo.num_luns == 2 and geo.channels == 1
+        finish = []
+
+        def writer(block):
+            ppa = geo.first_page_of_block(block)
+            yield from array.program_page(ppa, "x")
+            finish.append(sim.now)
+
+        spawn(sim, writer(0))
+        spawn(sim, writer(1))
+        sim.run()
+        transfer = 100 + 4096
+        # Programs overlap but the two transfers serialize on the channel.
+        assert max(finish) == transfer * 2 + 500_000
+
+
+class TestRecoveryHelpers:
+    def test_scan_oob(self):
+        sim, array = make_array()
+
+        def proc():
+            yield from array.program_page(0, "a", oob=("k1", 1))
+            yield from array.program_page(1, "b", oob=("k2", 1))
+
+        spawn(sim, proc())
+        sim.run()
+        scan = array.scan_oob()
+        assert (0, ("k1", 1)) in scan
+        assert (1, ("k2", 1)) in scan
+        assert len(scan) == 2
+
+    def test_program_page_now(self):
+        _sim, array = make_array()
+        array.program_page_now(0, "fast", oob="o")
+        assert array.page_data(0) == "fast"
+        assert array.page_oob(0) == "o"
+        assert array.stats.value("flash.program") == 1
+
+    def test_check_not_written(self):
+        _sim, array = make_array()
+        array.check_not_written(0)
+        array.program_page_now(0, "x")
+        with pytest.raises(FlashError):
+            array.check_not_written(0)
+
+    def test_wear_statistics(self):
+        sim, array = make_array()
+
+        def proc():
+            yield from array.erase_block(0)
+            yield from array.erase_block(0)
+            yield from array.erase_block(1)
+
+        spawn(sim, proc())
+        sim.run()
+        assert array.total_erase_count() == 3
+        assert array.max_erase_count() == 2
+
+    def test_endurance_limit_via_array(self):
+        sim, array = make_array()
+        array.max_pe_cycles = 1
+
+        def proc():
+            yield from array.erase_block(0)
+            yield from array.erase_block(0)
+
+        spawn(sim, proc())
+        with pytest.raises(FlashError):
+            sim.run()

@@ -1,0 +1,96 @@
+"""Unit tests for per-block NAND state."""
+
+import pytest
+
+from repro.common.errors import FlashError
+from repro.flash import Block, PageState
+
+
+class TestProgramSequence:
+    def test_fresh_block_all_free(self):
+        block = Block(0, 4)
+        assert all(block.page_state(i) == PageState.FREE for i in range(4))
+        assert not block.is_full
+        assert block.written_pages == 0
+
+    def test_in_order_program(self):
+        block = Block(0, 4)
+        block.program(0, "a")
+        block.program(1, "b")
+        assert block.page_state(0) == PageState.WRITTEN
+        assert block.page_state(2) == PageState.FREE
+        assert block.data(0) == "a"
+        assert block.data(1) == "b"
+
+    def test_out_of_order_program_rejected(self):
+        block = Block(0, 4)
+        with pytest.raises(FlashError):
+            block.program(1, "x")
+
+    def test_reprogram_rejected(self):
+        block = Block(0, 4)
+        block.program(0, "a")
+        with pytest.raises(FlashError):
+            block.program(0, "b")
+
+    def test_full_after_last_page(self):
+        block = Block(0, 2)
+        block.program(0, "a")
+        block.program(1, "b")
+        assert block.is_full
+        with pytest.raises(FlashError):
+            block.program(2, "c")
+
+    def test_oob_stored(self):
+        block = Block(0, 2)
+        block.program(0, "data", oob=("lba", 3))
+        assert block.oob(0) == ("lba", 3)
+
+    def test_read_unwritten_rejected(self):
+        block = Block(0, 4)
+        with pytest.raises(FlashError):
+            block.data(0)
+        with pytest.raises(FlashError):
+            block.oob(0)
+
+    def test_bad_index_rejected(self):
+        block = Block(0, 4)
+        with pytest.raises(FlashError):
+            block.page_state(4)
+        with pytest.raises(FlashError):
+            block.page_state(-1)
+
+
+class TestErase:
+    def test_erase_resets_and_counts(self):
+        block = Block(0, 2)
+        block.program(0, "a")
+        block.program(1, "b")
+        block.erase()
+        assert block.erase_count == 1
+        assert block.written_pages == 0
+        assert block.page_state(0) == PageState.FREE
+        block.program(0, "again")
+        assert block.data(0) == "again"
+
+    def test_erase_clears_payloads(self):
+        block = Block(0, 2)
+        block.program(0, "a", oob="meta")
+        block.erase()
+        block.program(0, "new")
+        assert block.data(0) == "new"
+        assert block.oob(0) is None
+
+    def test_endurance_enforced(self):
+        block = Block(0, 2)
+        block.erase(max_pe_cycles=2)
+        block.erase(max_pe_cycles=2)
+        with pytest.raises(FlashError):
+            block.erase(max_pe_cycles=2)
+        assert block.erase_count == 2
+
+    def test_unlimited_endurance(self):
+        block = Block(0, 1)
+        for _ in range(100):
+            block.erase()
+        assert block.erase_count == 100

@@ -1,0 +1,115 @@
+"""Unit tests for flash geometry and address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.flash import FlashGeometry
+
+
+def small_geometry():
+    return FlashGeometry(channels=2, packages_per_channel=1, dies_per_package=2,
+                         planes_per_die=1, blocks_per_plane=4,
+                         pages_per_block=8, page_size=4096)
+
+
+class TestDerivedSizes:
+    def test_num_luns(self):
+        geo = small_geometry()
+        assert geo.num_luns == 2 * 1 * 2 * 1
+
+    def test_total_blocks(self):
+        geo = small_geometry()
+        assert geo.total_blocks == geo.num_luns * 4
+
+    def test_total_pages(self):
+        geo = small_geometry()
+        assert geo.total_pages == geo.total_blocks * 8
+
+    def test_capacity(self):
+        geo = small_geometry()
+        assert geo.capacity_bytes == geo.total_pages * 4096
+
+    def test_block_bytes(self):
+        assert small_geometry().block_bytes == 8 * 4096
+
+    def test_default_geometry_is_valid(self):
+        geo = FlashGeometry()
+        assert geo.total_pages > 0
+        assert geo.num_luns == 8 * 1 * 2 * 2
+
+
+class TestValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            FlashGeometry(channels=0)
+
+    def test_rejects_non_sector_page(self):
+        with pytest.raises(ConfigError):
+            FlashGeometry(page_size=1000)
+
+    def test_page_range_check(self):
+        geo = small_geometry()
+        with pytest.raises(ConfigError):
+            geo.block_of_page(geo.total_pages)
+
+    def test_block_range_check(self):
+        geo = small_geometry()
+        with pytest.raises(ConfigError):
+            geo.lun_of_block(geo.total_blocks)
+
+    def test_negative_page(self):
+        with pytest.raises(ConfigError):
+            small_geometry().check_page(-1)
+
+
+class TestAddressing:
+    def test_block_of_page(self):
+        geo = small_geometry()
+        assert geo.block_of_page(0) == 0
+        assert geo.block_of_page(7) == 0
+        assert geo.block_of_page(8) == 1
+
+    def test_page_in_block(self):
+        geo = small_geometry()
+        assert geo.page_in_block(0) == 0
+        assert geo.page_in_block(9) == 1
+
+    def test_first_page_of_block_roundtrip(self):
+        geo = small_geometry()
+        for block in range(geo.total_blocks):
+            ppa = geo.first_page_of_block(block)
+            assert geo.block_of_page(ppa) == block
+            assert geo.page_in_block(ppa) == 0
+
+    def test_lun_striping(self):
+        geo = small_geometry()
+        luns = [geo.lun_of_block(b) for b in range(geo.num_luns)]
+        assert luns == list(range(geo.num_luns))
+
+    def test_channel_of_lun_within_range(self):
+        geo = small_geometry()
+        for lun in range(geo.num_luns):
+            assert 0 <= geo.channel_of_lun(lun) < geo.channels
+
+    def test_channel_of_lun_rejects_bad_lun(self):
+        with pytest.raises(ConfigError):
+            small_geometry().channel_of_lun(99)
+
+    @given(st.integers(min_value=0, max_value=small_geometry().total_pages - 1))
+    def test_page_decomposition_roundtrip(self, ppa):
+        geo = small_geometry()
+        block = geo.block_of_page(ppa)
+        index = geo.page_in_block(ppa)
+        assert block * geo.pages_per_block + index == ppa
+
+    @given(st.integers(min_value=0, max_value=small_geometry().total_pages - 1))
+    def test_lun_consistency(self, ppa):
+        geo = small_geometry()
+        assert geo.lun_of_page(ppa) == geo.lun_of_block(geo.block_of_page(ppa))
+
+    def test_blocks_spread_across_all_luns(self):
+        geo = small_geometry()
+        seen = {geo.lun_of_block(b) for b in range(geo.total_blocks)}
+        assert seen == set(range(geo.num_luns))

@@ -1,0 +1,32 @@
+"""Unit tests for flash timing parameters."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.flash import FlashTiming
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        timing = FlashTiming()
+        assert timing.read_ns > 0
+        assert timing.program_ns > timing.read_ns
+        assert timing.erase_ns > timing.program_ns
+
+    @pytest.mark.parametrize("field", ["read_ns", "program_ns", "erase_ns",
+                                       "channel_bandwidth",
+                                       "channel_setup_ns"])
+    def test_non_positive_rejected(self, field):
+        with pytest.raises(ConfigError):
+            FlashTiming(**{field: 0})
+
+
+class TestTransfer:
+    def test_transfer_includes_setup(self):
+        timing = FlashTiming(channel_bandwidth=10 ** 9, channel_setup_ns=200)
+        assert timing.transfer_ns(0) == 200
+        assert timing.transfer_ns(4096) == 200 + 4096
+
+    def test_transfer_scales_with_bytes(self):
+        timing = FlashTiming(channel_bandwidth=10 ** 9)
+        assert timing.transfer_ns(8192) > timing.transfer_ns(4096)

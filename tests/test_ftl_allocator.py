@@ -1,0 +1,131 @@
+"""Unit tests for the log-structured block allocator."""
+
+import pytest
+
+from repro.common.errors import DeviceFullError, FtlError
+from repro.flash import FlashGeometry
+from repro.ftl import BlockAllocator
+
+
+def make_allocator(units_per_page=4, blocks=4, pages=2):
+    geometry = FlashGeometry(channels=1, packages_per_channel=1,
+                             dies_per_package=1, planes_per_die=1,
+                             blocks_per_plane=blocks, pages_per_block=pages,
+                             page_size=4096)
+    return BlockAllocator(geometry, units_per_page)
+
+
+class TestAllocation:
+    def test_sequential_unit_addresses(self):
+        alloc = make_allocator()
+        upas, programs = alloc.allocate("data", 3)
+        assert upas == [0, 1, 2]
+        assert programs == []  # page not yet full (4 units per page)
+        assert alloc.staged_units("data") == (0, 1, 2)
+
+    def test_page_program_emitted_when_full(self):
+        alloc = make_allocator(units_per_page=4)
+        upas, programs = alloc.allocate("data", 4)
+        assert len(programs) == 1
+        assert programs[0].ppa == 0
+        assert programs[0].upas == (0, 1, 2, 3)
+        assert programs[0].padded_units == 0
+        assert alloc.staged_units("data") == ()
+
+    def test_multi_page_allocation(self):
+        alloc = make_allocator(units_per_page=4)
+        _upas, programs = alloc.allocate("data", 10)
+        assert [p.ppa for p in programs] == [0, 1]
+        assert alloc.staged_units("data") == (8, 9)
+
+    def test_streams_use_distinct_blocks(self):
+        alloc = make_allocator()
+        upas_a, _ = alloc.allocate("journal", 1)
+        upas_b, _ = alloc.allocate("data", 1)
+        units_per_block = alloc.units_per_block
+        assert upas_a[0] // units_per_block != upas_b[0] // units_per_block
+
+    def test_block_becomes_full(self):
+        alloc = make_allocator(units_per_page=4, pages=2)  # 8 units/block
+        alloc.allocate("data", 8)
+        assert alloc.full_blocks == {0}
+        # Next allocation opens a new block.
+        upas, _ = alloc.allocate("data", 1)
+        assert upas[0] == alloc.units_per_block
+
+    def test_device_full_raises(self):
+        alloc = make_allocator(units_per_page=4, blocks=2, pages=1)
+        alloc.allocate("data", 8)  # fills both blocks
+        with pytest.raises(DeviceFullError):
+            alloc.allocate("data", 1)
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(FtlError):
+            make_allocator().allocate("data", 0)
+
+    def test_units_per_page_must_divide_page(self):
+        geometry = FlashGeometry(channels=1, packages_per_channel=1,
+                                 dies_per_package=1, planes_per_die=1,
+                                 blocks_per_plane=2, pages_per_block=2)
+        with pytest.raises(FtlError):
+            BlockAllocator(geometry, 3)
+
+    def test_written_units_tracked(self):
+        alloc = make_allocator(units_per_page=4)
+        alloc.allocate("data", 6)
+        assert alloc.written_units[0] == 6
+
+
+class TestFlush:
+    def test_flush_pads_open_page(self):
+        alloc = make_allocator(units_per_page=4)
+        alloc.allocate("data", 2)
+        programs = alloc.flush("data")
+        assert len(programs) == 1
+        program = programs[0]
+        assert program.padded_units == 2
+        assert program.upas == (0, 1)
+        assert alloc.padded_units_total == 2
+        assert alloc.written_units[0] == 4  # padding counts as written
+
+    def test_flush_empty_returns_nothing(self):
+        alloc = make_allocator()
+        assert alloc.flush("data") == []
+        alloc.allocate("data", 4)  # exactly one page -> auto program
+        assert alloc.flush("data") == []
+
+    def test_allocation_after_flush_starts_new_page(self):
+        alloc = make_allocator(units_per_page=4)
+        alloc.allocate("data", 1)
+        alloc.flush("data")
+        upas, _ = alloc.allocate("data", 1)
+        assert upas[0] == 4  # second page of block 0
+
+    def test_flush_filling_block_retires_it(self):
+        alloc = make_allocator(units_per_page=4, pages=1)  # 4 units/block
+        alloc.allocate("data", 1)
+        alloc.flush("data")
+        assert 0 in alloc.full_blocks
+
+
+class TestFreePool:
+    def test_register_free_recycles(self):
+        alloc = make_allocator(units_per_page=4, blocks=2, pages=1)
+        alloc.allocate("data", 8)
+        assert alloc.free_block_count == 0
+        alloc.register_free(0)
+        assert alloc.free_block_count == 1
+        upas, _ = alloc.allocate("data", 1)
+        assert upas[0] // alloc.units_per_block == 0
+        assert alloc.written_units.get(0, 0) == 1  # stats reset on recycle
+
+    def test_double_free_rejected(self):
+        alloc = make_allocator()
+        with pytest.raises(FtlError):
+            alloc.register_free(0)  # still in the free pool
+
+    def test_active_block_ids(self):
+        alloc = make_allocator()
+        alloc.allocate("a", 1)
+        alloc.allocate("b", 1)
+        assert len(alloc.active_block_ids()) == 2

@@ -1,0 +1,88 @@
+"""Tests for the DFTL map-cache model."""
+
+from repro.flash import FlashArray, FlashGeometry, FlashTiming
+from repro.ftl import Ftl, FtlConfig
+from repro.sim import Simulator, spawn
+
+
+def make_ftl(map_cache_bytes, mapping_unit=512):
+    sim = Simulator()
+    geometry = FlashGeometry(channels=2, packages_per_channel=1,
+                             dies_per_package=1, planes_per_die=1,
+                             blocks_per_plane=16, pages_per_block=8)
+    array = FlashArray(sim, geometry, FlashTiming(
+        read_ns=10_000, program_ns=100_000, erase_ns=1_000_000))
+    return sim, Ftl(sim, array, FtlConfig(mapping_unit=mapping_unit,
+                                          map_cache_bytes=map_cache_bytes))
+
+
+def run(sim, generator):
+    proc = spawn(sim, generator)
+    sim.run()
+    assert proc.ok, proc.exception
+    return proc.value
+
+
+class TestMapCache:
+    def test_first_touch_misses_then_hits(self):
+        sim, ftl = make_ftl(map_cache_bytes=2 * 4096)
+
+        def proc():
+            yield from ftl.write(0, 1, tags=["a"])   # miss on map page 0
+            yield from ftl.write(1, 1, tags=["b"])   # hit (same map page)
+            yield from ftl.read(0, 2)                # hit
+
+        run(sim, proc())
+        assert ftl.stats.value("ftl.map_miss") == 1
+        assert ftl.stats.value("flash.read.map") == 1
+
+    def test_capacity_evictions_cause_remisses(self):
+        # One cached map page; alternate between two distant map pages.
+        sim, ftl = make_ftl(map_cache_bytes=4096)
+        entries_per_page = ftl._map_entries_per_page
+
+        def proc():
+            for _ in range(3):
+                yield from ftl.write(0, 1, tags=None)
+                yield from ftl.write(entries_per_page, 1, tags=None)
+
+        run(sim, proc())
+        assert ftl.stats.value("ftl.map_miss") == 6
+
+    def test_disabled_cache_never_misses(self):
+        sim, ftl = make_ftl(map_cache_bytes=0)
+
+        def proc():
+            yield from ftl.write(0, 4, tags=None)
+            yield from ftl.read(0, 4)
+
+        run(sim, proc())
+        assert ftl.stats.value("ftl.map_miss") == 0
+
+    def test_miss_costs_flash_read_time(self):
+        sim, ftl = make_ftl(map_cache_bytes=2 * 4096)
+        times = []
+
+        def proc():
+            start = sim.now
+            yield from ftl.read(0, 1)  # unmapped but map page missing
+            times.append(sim.now - start)
+            start = sim.now
+            yield from ftl.read(0, 1)  # map page now cached
+            times.append(sim.now - start)
+
+        run(sim, proc())
+        assert times[0] >= 10_000       # paid the map read
+        assert times[1] < times[0]
+
+    def test_larger_units_cover_more_space_per_page(self):
+        """The fig13(a) mechanism: fewer mapping entries at bigger units."""
+        _sim512, ftl512 = make_ftl(map_cache_bytes=4096, mapping_unit=512)
+        _sim4k, ftl4k = make_ftl(map_cache_bytes=4096, mapping_unit=4096)
+        span = 512  # sectors
+        pages_512 = {lpn // ftl512._map_entries_per_page
+                     for lpn in ftl512.lpn_span(0, span)}
+        pages_4k = {lpn // ftl4k._map_entries_per_page
+                    for lpn in ftl4k.lpn_span(0, span)}
+        assert len(pages_512) >= len(pages_4k)
+        assert len(ftl4k.lpn_span(0, span)) == len(ftl512.lpn_span(0, span)) / 8

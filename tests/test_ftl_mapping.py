@@ -1,0 +1,179 @@
+"""Unit tests for the sub-page mapping table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import FtlError
+from repro.ftl import SubPageMappingTable
+
+
+def make_table(units_per_page=8, pages_per_block=4):
+    return SubPageMappingTable(units_per_page, pages_per_block)
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        table = make_table()
+        assert table.lookup(0) is None
+        assert not table.is_mapped(0)
+        assert table.mapped_lpn_count == 0
+
+    def test_map_and_lookup(self):
+        table = make_table()
+        table.map(5, 100)
+        assert table.lookup(5) == 100
+        assert table.referrers(100) == frozenset({5})
+        assert table.refcount(100) == 1
+
+    def test_remap_releases_old_unit(self):
+        table = make_table()
+        table.map(5, 100)
+        table.map(5, 200)
+        assert table.lookup(5) == 200
+        assert table.refcount(100) == 0
+        assert table.refcount(200) == 1
+
+    def test_map_same_unit_is_noop(self):
+        table = make_table()
+        table.map(5, 100)
+        table.map(5, 100)
+        assert table.refcount(100) == 1
+
+    def test_unmap(self):
+        table = make_table()
+        table.map(5, 100)
+        assert table.unmap(5) == 100
+        assert table.lookup(5) is None
+        assert table.refcount(100) == 0
+
+    def test_unmap_unmapped_returns_none(self):
+        assert make_table().unmap(7) is None
+
+    def test_negative_unit_rejected(self):
+        with pytest.raises(FtlError):
+            make_table().map(0, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(FtlError):
+            SubPageMappingTable(0, 4)
+
+
+class TestSharing:
+    """The remap primitive: several LPNs on one physical unit."""
+
+    def test_share_creates_alias(self):
+        table = make_table()
+        table.map(1, 100)  # journal lpn
+        upa = table.share(1, 50)  # checkpoint: data lpn 50 -> same unit
+        assert upa == 100
+        assert table.lookup(50) == 100
+        assert table.referrers(100) == frozenset({1, 50})
+        assert table.is_shared(100)
+
+    def test_share_unmapped_source_is_error(self):
+        with pytest.raises(FtlError):
+            make_table().share(9, 50)
+
+    def test_unmap_one_alias_keeps_unit_valid(self):
+        table = make_table()
+        table.map(1, 100)
+        table.share(1, 50)
+        table.unmap(1)  # journal log deleted after checkpoint
+        assert table.refcount(100) == 1
+        assert table.lookup(50) == 100
+        block = table.block_of_unit(100)
+        assert table.valid_units(block) == 1
+
+    def test_shared_unit_counts_once_per_block(self):
+        table = make_table()
+        table.map(1, 100)
+        table.share(1, 50)
+        block = table.block_of_unit(100)
+        assert table.valid_units(block) == 1
+
+
+class TestValidCounting:
+    def test_valid_units_per_block(self):
+        table = make_table(units_per_page=8, pages_per_block=4)
+        # units per block = 32; unit 0 and 33 are in blocks 0 and 1
+        table.map(1, 0)
+        table.map(2, 33)
+        table.map(3, 34)
+        assert table.valid_units(0) == 1
+        assert table.valid_units(1) == 2
+
+    def test_overwrite_invalidates(self):
+        table = make_table()
+        table.map(1, 0)
+        table.map(1, 1)  # out-of-place update
+        assert table.valid_units(0) == 1  # unit 1 valid, unit 0 invalid
+
+    def test_release_block_requires_no_valid(self):
+        table = make_table()
+        table.map(1, 0)
+        with pytest.raises(FtlError):
+            table.release_block(0)
+        table.unmap(1)
+        table.release_block(0)
+        assert table.valid_units(0) == 0
+
+    def test_valid_units_in_page(self):
+        table = make_table(units_per_page=4, pages_per_block=2)
+        table.map(1, 0)
+        table.map(2, 3)
+        table.map(3, 4)  # page 1
+        assert table.valid_units_in_page(0) == (0, 3)
+        assert table.valid_units_in_page(1) == (4,)
+
+
+class TestAddressHelpers:
+    def test_block_page_unit_decomposition(self):
+        table = make_table(units_per_page=4, pages_per_block=2)
+        # units_per_block = 8
+        assert table.block_of_unit(9) == 1
+        assert table.page_of_unit(9) == 2
+        assert table.unit_index(9) == 1
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        table = make_table()
+        table.map(1, 10)
+        table.map(2, 20)
+        table.share(1, 3)
+        snap = table.snapshot()
+        other = make_table()
+        other.restore(snap)
+        assert other.lookup(1) == 10
+        assert other.lookup(3) == 10
+        assert other.referrers(10) == frozenset({1, 3})
+        assert other.valid_units(table.block_of_unit(10)) == \
+            table.valid_units(table.block_of_unit(10))
+
+    def test_restore_replaces_state(self):
+        table = make_table()
+        table.map(9, 99)
+        table.restore({1: 10})
+        assert table.lookup(9) is None
+        assert table.lookup(1) == 10
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 40)), max_size=60))
+def test_property_refcounts_consistent(ops):
+    """After any sequence of maps, reverse map and valid counts agree."""
+    table = SubPageMappingTable(4, 4)
+    for lpn, upa in ops:
+        table.map(lpn, upa)
+    # Reconstruct expectations from the forward table.
+    from collections import defaultdict
+    expected_refs = defaultdict(set)
+    for lpn, upa in table.items():
+        expected_refs[upa].add(lpn)
+    for upa, refs in expected_refs.items():
+        assert table.referrers(upa) == frozenset(refs)
+    blocks = defaultdict(int)
+    for upa in expected_refs:
+        blocks[table.block_of_unit(upa)] += 1
+    for block, count in blocks.items():
+        assert table.valid_units(block) == count

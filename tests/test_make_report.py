@@ -1,0 +1,43 @@
+"""Tests for the EXPERIMENTS.md assembler (benchmarks/make_report.py)."""
+
+import importlib.util
+import pathlib
+import sys
+
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "benchmarks" / "make_report.py"
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location("make_report", REPORT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReportAssembly:
+    def test_sections_cover_every_experiment(self):
+        module = load_module()
+        ids = {exp_id for exp_id, _title, _c in module.SECTIONS}
+        for required in ("table1", "fig3a", "fig3b", "fig3c", "fig8a",
+                         "fig8b", "fig9", "fig10", "fig11", "fig12",
+                         "fig13a", "fig13b"):
+            assert required in ids
+
+    def test_main_builds_report(self, tmp_path, monkeypatch):
+        module = load_module()
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig8a.txt").write_text("rows here\n")
+        target = tmp_path / "EXPERIMENTS.md"
+        monkeypatch.setattr(module, "RESULTS", results)
+        monkeypatch.setattr(module, "TARGET", target)
+        assert module.main() == 0
+        text = target.read_text()
+        assert "rows here" in text
+        assert "missing: run the fig9 benchmark" in text
+        assert text.startswith("# EXPERIMENTS")
+
+    def test_main_without_results_dir(self, tmp_path, monkeypatch):
+        module = load_module()
+        monkeypatch.setattr(module, "RESULTS", tmp_path / "nope")
+        assert module.main() == 1

@@ -1,0 +1,110 @@
+"""Property-based tests over the full engine: random op sequences.
+
+Hypothesis drives randomized interleavings of puts, gets, checkpoints and
+crash-point recoveries against a small Check-In system, checking the
+invariants that must survive anything:
+
+* a read returns the exact version most recently committed for that key;
+* recovery never loses an acknowledged update and never invents one;
+* checkpoints never change observable values.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineConfig, StorageEngine
+from repro.engine.recovery import check_durability
+from repro.flash import FlashGeometry, FlashTiming
+from repro.ftl import FtlConfig
+from repro.sim import Simulator, spawn
+from repro.ssd import InterfaceConfig, Ssd, SsdSpec
+
+KEYS = 12
+
+# Operations: ("put", key) | ("get", key) | ("ckpt",)
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, KEYS - 1)),
+        st.tuples(st.just("get"), st.integers(0, KEYS - 1)),
+        st.tuples(st.just("ckpt")),
+    ),
+    min_size=1, max_size=40)
+
+
+def build(mode):
+    sim = Simulator()
+    unit = 512 if mode in ("isc_c", "checkin") else 4096
+    ssd = Ssd(sim, SsdSpec(
+        geometry=FlashGeometry(channels=2, packages_per_channel=1,
+                               dies_per_package=1, planes_per_die=2,
+                               blocks_per_plane=16, pages_per_block=8),
+        timing=FlashTiming(read_ns=10_000, program_ns=100_000,
+                           erase_ns=1_000_000),
+        ftl=FtlConfig(mapping_unit=unit),
+        interface=InterfaceConfig(queue_depth=8),
+        enable_isce=(mode != "baseline"),
+        allow_remap=(mode in ("isc_c", "checkin"))))
+    engine = StorageEngine(sim, ssd, EngineConfig(
+        mode=mode, journal_lba_start=0, journal_sectors=2048,
+        meta_lba_start=2048, meta_sectors=64, data_lba_start=2112,
+        data_sectors=2048, mapping_unit=unit, group_commit_ns=2_000,
+        mem_cache_records=4, verify_reads=True))
+    engine.load([(key, 200 + 37 * key) for key in range(KEYS)])
+    engine.start()
+    return sim, engine
+
+
+def execute(sim, engine, operations):
+    committed = {}
+    observed = []
+
+    def driver():
+        for operation in operations:
+            if operation[0] == "put":
+                key = operation[1]
+                version = yield from engine.put(key)
+                committed[key] = version
+            elif operation[0] == "get":
+                key = operation[1]
+                version = yield from engine.get(key)
+                observed.append((key, version, committed.get(key, 0)))
+            else:
+                yield from engine.checkpoint()
+
+    proc = spawn(sim, driver())
+    while not proc.triggered:
+        assert sim.step(), "simulation starved"
+    assert proc.ok, proc.exception
+    return committed, observed
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=OPERATIONS)
+def test_property_reads_see_committed_versions_checkin(operations):
+    sim, engine = build("checkin")
+    _committed, observed = execute(sim, engine, operations)
+    for key, version, expected in observed:
+        assert version == expected, (key, version, expected)
+    engine.shutdown()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=OPERATIONS)
+def test_property_reads_see_committed_versions_baseline(operations):
+    sim, engine = build("baseline")
+    _committed, observed = execute(sim, engine, operations)
+    for key, version, expected in observed:
+        assert version == expected, (key, version, expected)
+    engine.shutdown()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=OPERATIONS)
+def test_property_durability_after_any_sequence(operations):
+    sim, engine = build("checkin")
+    committed, _observed = execute(sim, engine, operations)
+    check_durability(engine, committed)
+    engine.shutdown()

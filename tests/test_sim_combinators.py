@@ -1,0 +1,111 @@
+"""Extra kernel tests: combinators with processes, store edge cases."""
+
+from repro.sim import Simulator, Store, any_of, all_of, sleep_event, spawn
+
+
+class TestAnyOfWithProcesses:
+    def test_first_process_wins(self):
+        sim = Simulator()
+
+        def slow():
+            yield 100
+            return "slow"
+
+        def fast():
+            yield 10
+            return "fast"
+
+        winner = any_of(sim, [spawn(sim, slow()), spawn(sim, fast())])
+        sim.run()
+        assert winner.value == "fast"
+
+    def test_race_between_sleep_and_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield 50
+            return "done"
+
+        first = any_of(sim, [sleep_event(sim, 10), spawn(sim, worker())])
+        sim.run()
+        assert first.triggered
+        assert first.value is None  # the timeout fired first
+
+    def test_all_of_nested_processes(self):
+        sim = Simulator()
+
+        def child(ret, delay):
+            yield delay
+            return ret
+
+        combined = all_of(sim, [spawn(sim, child(i, 10 * (3 - i)))
+                                for i in range(3)])
+        sim.run()
+        assert combined.value == [0, 1, 2]  # input order, not finish order
+
+
+class TestStoreEdges:
+    def test_multiple_blocked_putters_fifo(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        store.put("a")
+        order = []
+
+        def producer(tag):
+            yield store.put(tag)
+            order.append(tag)
+
+        spawn(sim, producer("b"))
+        spawn(sim, producer("c"))
+
+        def consumer():
+            got = []
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+                yield 1
+            return got
+
+        proc = spawn(sim, consumer())
+        sim.run()
+        assert proc.value == ["a", "b", "c"]
+        assert order == ["b", "c"]
+
+    def test_get_before_put_handoff(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append(item)
+
+        spawn(sim, getter())
+        sim.schedule(10, store.put, "direct")
+        sim.run()
+        assert results == ["direct"]
+        assert len(store) == 0
+
+    def test_interleaved_producers_consumers(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        consumed = []
+
+        def producer(base):
+            for i in range(4):
+                yield store.put(f"{base}{i}")
+                yield 3
+
+        def consumer():
+            for _ in range(8):
+                item = yield store.get()
+                consumed.append(item)
+                yield 2
+
+        spawn(sim, producer("x"))
+        spawn(sim, producer("y"))
+        proc = spawn(sim, consumer())
+        sim.run()
+        assert proc.ok
+        assert sorted(consumed) == sorted(
+            [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)])

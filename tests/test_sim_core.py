@@ -1,0 +1,164 @@
+"""Unit tests for the event loop and Event primitive."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Simulator, all_of, any_of
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_callback_runs_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_fifo_order_at_same_timestamp(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(10, seen.append, i)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(30, seen.append, "c")
+        sim.schedule(10, seen.append, "a")
+        sim.schedule(20, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.schedule(10, seen.append, 1)
+        timer.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "early")
+        sim.schedule(100, seen.append, "late")
+        sim.run(until=50)
+        assert seen == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_past_is_error(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: sim.schedule(5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15]
+
+    def test_peek_reports_next_event_time(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.schedule(42, lambda: None)
+        assert sim.peek() == 42
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        timer = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        timer.cancel()
+        assert sim.peek() == 20
+
+
+class TestEvent:
+    def test_succeed_wakes_callback(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        event.succeed("v")
+        sim.run()
+        assert seen == ["v"]
+
+    def test_callback_after_resolution_still_fires(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        sim.run()
+        assert seen == [1]
+
+    def test_double_trigger_is_error(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_ok_flag(self):
+        sim = Simulator()
+        good = sim.event().succeed()
+        bad = sim.event().fail(RuntimeError("x"))
+        assert good.ok and good.triggered
+        assert bad.triggered and not bad.ok
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        combined = all_of(sim, [e1, e2])
+        sim.schedule(20, e1.succeed, "first")
+        sim.schedule(10, e2.succeed, "second")
+        sim.run()
+        assert combined.ok
+        assert combined.value == ["first", "second"]
+
+    def test_all_of_empty_succeeds_immediately(self):
+        sim = Simulator()
+        assert all_of(sim, []).triggered
+
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        combined = all_of(sim, [e1, e2])
+        e1.fail(RuntimeError("boom"))
+        sim.run()
+        assert combined.triggered and not combined.ok
+
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        first = any_of(sim, [e1, e2])
+        sim.schedule(5, e2.succeed, "fast")
+        sim.schedule(50, e1.succeed, "slow")
+        sim.run()
+        assert first.value == "fast"
+
+    def test_any_of_requires_events(self):
+        with pytest.raises(SimulationError):
+            any_of(Simulator(), [])

@@ -1,0 +1,216 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Interrupt, Simulator, sleep_event, spawn
+
+
+class TestBasics:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield 100
+            seen.append(sim.now)
+            yield 50
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert seen == [100, 150]
+
+    def test_return_value_via_join(self):
+        sim = Simulator()
+        result = []
+
+        def child():
+            yield 10
+            return 99
+
+        def parent():
+            value = yield spawn(sim, child())
+            result.append(value)
+
+        spawn(sim, parent())
+        sim.run()
+        assert result == [99]
+
+    def test_wait_on_event_receives_value(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+
+        def proc():
+            value = yield event
+            seen.append((sim.now, value))
+
+        spawn(sim, proc())
+        sim.schedule(30, event.succeed, "payload")
+        sim.run()
+        assert seen == [(30, "payload")]
+
+    def test_join_finished_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 1
+            return "done"
+
+        proc = spawn(sim, child())
+        sim.run()
+        got = []
+
+        def late_joiner():
+            value = yield proc
+            got.append(value)
+
+        spawn(sim, late_joiner())
+        sim.run()
+        assert got == ["done"]
+
+    def test_alive_flag(self):
+        sim = Simulator()
+
+        def child():
+            yield 10
+
+        proc = spawn(sim, child())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+    def test_yielding_garbage_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_sleep_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield -5
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestFailures:
+    def test_unjoined_failure_propagates_to_run(self):
+        sim = Simulator()
+
+        def proc():
+            yield 5
+            raise ValueError("crash")
+
+        spawn(sim, proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_joined_failure_delivered_to_joiner(self):
+        sim = Simulator()
+        caught = []
+
+        def child():
+            yield 5
+            raise ValueError("crash")
+
+        def parent():
+            try:
+                yield spawn(sim, child())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        spawn(sim, parent())
+        sim.run()
+        assert caught == ["crash"]
+
+    def test_failed_event_raises_in_waiter(self):
+        sim = Simulator()
+        event = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield event
+            except RuntimeError:
+                caught.append(True)
+
+        spawn(sim, proc())
+        sim.schedule(1, event.fail, RuntimeError("bad"))
+        sim.run()
+        assert caught == [True]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper_early(self):
+        sim = Simulator()
+        seen = []
+
+        def sleeper():
+            try:
+                yield 1000
+            except Interrupt as intr:
+                seen.append((sim.now, intr.cause))
+
+        proc = spawn(sim, sleeper())
+        sim.schedule(100, proc.interrupt, "wake up")
+        sim.run()
+        assert seen == [(100, "wake up")]
+
+    def test_interrupt_while_waiting_on_event(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+
+        def waiter():
+            try:
+                yield event
+            except Interrupt:
+                seen.append("interrupted")
+                yield 10
+                seen.append("resumed")
+
+        proc = spawn(sim, waiter())
+        sim.schedule(5, proc.interrupt)
+        sim.schedule(7, event.succeed)  # must not re-wake the process
+        sim.run()
+        assert seen == ["interrupted", "resumed"]
+
+    def test_interrupt_finished_process_is_error(self):
+        sim = Simulator()
+
+        def quick():
+            yield 1
+
+        proc = spawn(sim, quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        sim = Simulator()
+
+        def stubborn():
+            yield 1000
+
+        proc = spawn(sim, stubborn())
+        sim.schedule(10, proc.interrupt)
+        with pytest.raises(Interrupt):
+            sim.run()
+
+
+class TestSleepEvent:
+    def test_sleep_event_fires(self):
+        sim = Simulator()
+        seen = []
+        sleep_event(sim, 25).add_callback(lambda ev: seen.append(sim.now))
+        sim.run()
+        assert seen == [25]

@@ -1,0 +1,135 @@
+"""Unit tests for simulation statistics primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, LatencySample, Simulator, StatRegistry, TimeWeightedGauge
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        counter = Counter("x")
+        assert counter.count == 0
+        assert counter.total_bytes == 0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add(2, num_bytes=1024)
+        counter.add()
+        assert counter.count == 3
+        assert counter.total_bytes == 1024
+
+
+class TestTimeWeightedGauge:
+    def test_constant_level(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim, initial=5.0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert gauge.time_average() == pytest.approx(5.0)
+
+    def test_step_change(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim, initial=0.0)
+        sim.schedule(50, gauge.set, 10.0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        # 0 for 50 ns, 10 for 50 ns -> average 5
+        assert gauge.time_average() == pytest.approx(5.0)
+
+    def test_adjust(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim)
+        gauge.adjust(3.0)
+        gauge.adjust(-1.0)
+        assert gauge.level == pytest.approx(2.0)
+
+    def test_zero_elapsed_returns_level(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim, initial=7.0)
+        assert gauge.time_average() == pytest.approx(7.0)
+
+
+class TestLatencySample:
+    def test_empty_sample(self):
+        sample = LatencySample()
+        assert len(sample) == 0
+        assert sample.mean() == 0.0
+        assert sample.percentile(99) == 0.0
+        assert sample.min() == 0 and sample.max() == 0
+
+    def test_single_sample(self):
+        sample = LatencySample()
+        sample.record(42)
+        assert sample.percentile(0) == 42
+        assert sample.percentile(100) == 42
+        assert sample.mean() == 42
+
+    def test_median_of_odd_count(self):
+        sample = LatencySample()
+        sample.extend([10, 30, 20])
+        assert sample.p50() == 20
+
+    def test_interpolated_median(self):
+        sample = LatencySample()
+        sample.extend([10, 20])
+        assert sample.p50() == pytest.approx(15.0)
+
+    def test_percentile_bounds_checked(self):
+        sample = LatencySample()
+        sample.record(1)
+        with pytest.raises(ValueError):
+            sample.percentile(101)
+        with pytest.raises(ValueError):
+            sample.percentile(-1)
+
+    def test_tail_percentiles_ordering(self):
+        sample = LatencySample()
+        sample.extend(range(1, 10001))
+        assert sample.p50() <= sample.p99() <= sample.p999() <= sample.p9999()
+        assert sample.p999() == pytest.approx(9990.001, rel=1e-3)
+
+    def test_record_after_query_invalidates_cache(self):
+        sample = LatencySample()
+        sample.extend([1, 2, 3])
+        assert sample.p50() == 2
+        sample.record(100)
+        assert sample.max() == 100
+        assert sample.percentile(100) == 100
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+    def test_percentiles_within_range(self, values):
+        sample = LatencySample()
+        sample.extend(values)
+        for pct in (0, 25, 50, 90, 99, 99.9, 100):
+            p = sample.percentile(pct)
+            assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=2))
+    def test_percentile_monotone_in_pct(self, values):
+        sample = LatencySample()
+        sample.extend(values)
+        pcts = [0, 10, 50, 90, 99, 100]
+        results = [sample.percentile(p) for p in pcts]
+        assert results == sorted(results)
+
+
+class TestStatRegistry:
+    def test_counter_get_or_create(self):
+        registry = StatRegistry()
+        a = registry.counter("flash.read")
+        b = registry.counter("flash.read")
+        assert a is b
+
+    def test_value_of_untouched_is_zero(self):
+        registry = StatRegistry()
+        assert registry.value("nothing") == 0
+        assert registry.bytes("nothing") == 0
+
+    def test_snapshot(self):
+        registry = StatRegistry()
+        registry.counter("b").add(2, num_bytes=10)
+        registry.counter("a").add(1, num_bytes=5)
+        assert registry.snapshot() == {"a": 1, "b": 2}
+        assert registry.snapshot_bytes() == {"a": 5, "b": 10}

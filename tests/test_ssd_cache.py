@@ -1,0 +1,98 @@
+"""Unit tests for the device DRAM read cache."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.ssd import DramReadCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = DramReadCache(4)
+        assert cache.get(1) is None
+        cache.put(1, ("a",))
+        assert cache.get(1) == ("a",)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peek_no_stats(self):
+        cache = DramReadCache(4)
+        cache.put(1, ("a",))
+        assert cache.peek(1) == ("a",)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            DramReadCache(-1)
+
+    def test_zero_capacity_disabled(self):
+        cache = DramReadCache(0)
+        assert not cache.enabled
+        cache.put(1, ("a",))
+        assert cache.get(1) is None
+        assert len(cache) == 0
+
+    def test_hit_ratio(self):
+        cache = DramReadCache(4)
+        cache.put(1, ("a",))
+        cache.get(1)
+        cache.get(2)
+        assert cache.hit_ratio() == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert DramReadCache(4).hit_ratio() == 0.0
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = DramReadCache(2)
+        cache.put(1, ("a",))
+        cache.put(2, ("b",))
+        cache.put(3, ("c",))  # evicts 1
+        assert cache.peek(1) is None
+        assert cache.peek(2) == ("b",)
+        assert cache.peek(3) == ("c",)
+
+    def test_get_refreshes_recency(self):
+        cache = DramReadCache(2)
+        cache.put(1, ("a",))
+        cache.put(2, ("b",))
+        cache.get(1)          # 1 becomes most recent
+        cache.put(3, ("c",))  # evicts 2
+        assert cache.peek(1) == ("a",)
+        assert cache.peek(2) is None
+
+    def test_put_overwrites(self):
+        cache = DramReadCache(2)
+        cache.put(1, ("old",))
+        cache.put(1, ("new",))
+        assert cache.get(1) == ("new",)
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_one(self):
+        cache = DramReadCache(4)
+        cache.put(1, ("a",))
+        cache.invalidate(1)
+        assert cache.peek(1) is None
+
+    def test_invalidate_missing_is_noop(self):
+        DramReadCache(4).invalidate(9)
+
+    def test_invalidate_range(self):
+        cache = DramReadCache(8)
+        for lpn in range(6):
+            cache.put(lpn, (str(lpn),))
+        cache.invalidate_range(2, 4)
+        assert cache.peek(1) is not None
+        assert cache.peek(2) is None
+        assert cache.peek(4) is None
+        assert cache.peek(5) is not None
+
+    def test_invalidate_huge_range_uses_scan_path(self):
+        cache = DramReadCache(8)
+        cache.put(5, ("x",))
+        cache.put(100, ("y",))
+        cache.invalidate_range(0, 10**9)
+        assert len(cache) == 0

@@ -1,0 +1,145 @@
+"""Unit tests for the device write coalescer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.ssd.coalescer import WriteCoalescer
+
+
+def make(spu=8, capacity=4):
+    return WriteCoalescer(sectors_per_unit=spu, capacity_units=capacity)
+
+
+class TestMerge:
+    def test_partial_write_buffers(self):
+        wb = make()
+        ready = wb.merge(0, 2, ["a", "b"], "journal", "journal")
+        assert ready == []
+        assert len(wb) == 1
+        entry = wb.peek(0)
+        assert entry.tags[:2] == ["a", "b"]
+        assert entry.covered[:2] == [True, True]
+        assert not entry.full
+
+    def test_sequential_appends_complete_unit(self):
+        """The WAL pattern: sub-unit appends coalesce until full."""
+        wb = make(spu=4)
+        assert wb.merge(0, 2, ["a", "b"], "j", "j") == []
+        ready = wb.merge(2, 2, ["c", "d"], "j", "j")
+        assert len(ready) == 1
+        assert ready[0].tags == ["a", "b", "c", "d"]
+        assert len(wb) == 0  # full units leave the buffer
+
+    def test_full_cover_in_one_write(self):
+        wb = make(spu=2)
+        ready = wb.merge(0, 4, list("abcd"), "d", "d")
+        assert [u.lpn for u in ready] == [0, 1]
+
+    def test_overwrite_in_buffer(self):
+        wb = make(spu=4)
+        wb.merge(0, 1, ["old"], "d", "d")
+        wb.merge(0, 1, ["new"], "d", "d")
+        assert wb.peek(0).tags[0] == "new"
+        assert len(wb) == 1
+
+    def test_write_spanning_units(self):
+        wb = make(spu=2)
+        ready = wb.merge(1, 2, ["x", "y"], "d", "d")
+        assert ready == []
+        assert len(wb) == 2  # tail of unit 0 and head of unit 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WriteCoalescer(0, 4)
+        with pytest.raises(ConfigError):
+            WriteCoalescer(8, -1)
+
+    def test_disabled(self):
+        wb = WriteCoalescer(8, 0)
+        assert not wb.enabled
+
+
+class TestEviction:
+    def test_lru_eviction_under_pressure(self):
+        wb = make(spu=8, capacity=2)
+        wb.merge(0, 1, ["a"], "d", "d")     # unit 0
+        wb.merge(8, 1, ["b"], "d", "d")     # unit 1
+        wb.merge(16, 1, ["c"], "d", "d")    # unit 2 -> over capacity
+        evicted = wb.evict_pressure()
+        assert [u.lpn for u in evicted] == [0]
+        assert len(wb) == 2
+
+    def test_covered_runs(self):
+        wb = make(spu=8)
+        wb.merge(1, 2, ["a", "b"], "d", "d")
+        wb.merge(5, 1, ["c"], "d", "d")
+        entry = wb.peek(0)
+        assert entry.covered_runs == [(1, 2), (5, 1)]
+
+
+class TestDrainDiscard:
+    def test_drain_all(self):
+        wb = make()
+        wb.merge(0, 1, ["a"], "d", "d")
+        wb.merge(8, 1, ["b"], "d", "d")
+        drained = wb.drain_all()
+        assert len(drained) == 2
+        assert len(wb) == 0
+
+    def test_drain_range(self):
+        wb = make(spu=8)
+        wb.merge(0, 1, ["a"], "d", "d")
+        wb.merge(8, 1, ["b"], "d", "d")
+        drained = wb.drain_range(0, 8)
+        assert [u.lpn for u in drained] == [0]
+        assert len(wb) == 1
+
+    def test_discard_only_full_units(self):
+        wb = make(spu=8)
+        wb.merge(0, 1, ["a"], "d", "d")
+        # Range covers only part of the unit: nothing dropped.
+        assert wb.discard_range(0, 4) == 0
+        # Whole unit inside the range: dropped.
+        assert wb.discard_range(0, 8) == 1
+        assert len(wb) == 0
+
+
+class TestOverlay:
+    def test_overlay_patches_covered_sectors(self):
+        wb = make(spu=4)
+        wb.merge(1, 2, ["B", "C"], "d", "d")
+        tags = wb.overlay(0, 4, ["w", "x", "y", "z"])
+        assert tags == ["w", "B", "C", "z"]
+
+    def test_overlay_ignores_uncovered(self):
+        wb = make(spu=4)
+        wb.merge(0, 1, ["A"], "d", "d")
+        tags = wb.overlay(2, 1, ["keep"])
+        assert tags == ["keep"]
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(1, 8)),
+                    max_size=20))
+    def test_property_overlay_reflects_latest_merge(self, writes):
+        """After any write sequence, overlay returns the latest value for
+        every covered sector still in the buffer."""
+        wb = WriteCoalescer(4, capacity_units=1000)
+        latest = {}
+        flushed = set()
+        for index, (lba, n) in enumerate(writes):
+            tags = [f"v{index}-{i}" for i in range(n)]
+            ready = wb.merge(lba, n, tags, "d", "d")
+            for i in range(n):
+                latest[lba + i] = tags[i]
+            for unit in ready:
+                for offset in range(4):
+                    flushed.add(unit.lpn * 4 + offset)
+                    # flushed sectors carry the latest value at flush time
+                    assert unit.tags[offset] == latest.get(
+                        unit.lpn * 4 + offset)
+        result = wb.overlay(0, 40, [None] * 40)
+        for sector in range(40):
+            entry = wb.peek(sector // 4)
+            if entry is not None and entry.covered[sector % 4]:
+                assert result[sector] == latest[sector]

@@ -1,0 +1,83 @@
+"""Unit tests for the command set."""
+
+import pytest
+
+from repro.common.errors import CommandError
+from repro.ssd import Command, Completion, CowEntry, Op, read_command, write_command
+
+
+class TestCommandValidation:
+    def test_read_requires_sectors(self):
+        with pytest.raises(CommandError):
+            Command(op=Op.READ, lba=0, nsectors=0)
+
+    def test_negative_lba_rejected(self):
+        with pytest.raises(CommandError):
+            Command(op=Op.READ, lba=-1, nsectors=1)
+
+    def test_write_tag_count_checked(self):
+        with pytest.raises(CommandError):
+            Command(op=Op.WRITE, lba=0, nsectors=2, tags=["one"])
+
+    def test_cow_requires_entries(self):
+        with pytest.raises(CommandError):
+            Command(op=Op.COW_MULTI)
+
+    def test_single_cow_exactly_one_entry(self):
+        entries = (CowEntry(0, 100), CowEntry(1, 101))
+        with pytest.raises(CommandError):
+            Command(op=Op.COW, entries=entries)
+        Command(op=Op.COW, entries=(CowEntry(0, 100),))  # ok
+
+    def test_flush_needs_nothing(self):
+        Command(op=Op.FLUSH)  # ok
+
+
+class TestCowEntry:
+    def test_defaults(self):
+        entry = CowEntry(src_lba=3, dst_lba=100)
+        assert entry.nsectors == 1
+        assert entry.src_offset == 0
+        assert entry.length_bytes is None
+
+    def test_validation(self):
+        with pytest.raises(CommandError):
+            CowEntry(-1, 0)
+        with pytest.raises(CommandError):
+            CowEntry(0, -1)
+        with pytest.raises(CommandError):
+            CowEntry(0, 0, nsectors=0)
+        with pytest.raises(CommandError):
+            CowEntry(0, 0, src_offset=-5)
+
+
+class TestDataBytes:
+    def test_read_write_payload(self):
+        assert Command(op=Op.READ, lba=0, nsectors=4).data_bytes == 2048
+        assert Command(op=Op.WRITE, lba=0, nsectors=1).data_bytes == 512
+
+    def test_cow_moves_descriptors_only(self):
+        entries = tuple(CowEntry(i, 100 + i) for i in range(10))
+        cmd = Command(op=Op.COW_MULTI, entries=entries)
+        assert cmd.data_bytes == 160  # 16 B per descriptor
+        # An order of magnitude less than moving the data itself.
+        assert cmd.data_bytes < 10 * 512
+
+    def test_flush_no_payload(self):
+        assert Command(op=Op.FLUSH).data_bytes == 0
+
+
+class TestHelpers:
+    def test_read_command(self):
+        cmd = read_command(5, 2)
+        assert cmd.op is Op.READ and cmd.lba == 5 and cmd.nsectors == 2
+
+    def test_write_command(self):
+        cmd = write_command(5, 2, tags=["a", "b"], fua=True, stream="journal",
+                            cause="host")
+        assert cmd.op is Op.WRITE and cmd.fua and cmd.stream == "journal"
+
+    def test_completion_latency(self):
+        completion = Completion(command=read_command(0, 1),
+                                submitted_at=100, completed_at=350)
+        assert completion.latency_ns == 250

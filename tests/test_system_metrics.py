@@ -1,0 +1,113 @@
+"""Unit tests for run-level metrics."""
+
+import pytest
+
+from repro.sim import Simulator, StatRegistry
+from repro.system.metrics import LifetimeEstimate, RunMetrics
+from repro.workload.ycsb import Operation, OpKind
+
+
+def make_metrics():
+    sim = Simulator()
+    stats = StatRegistry()
+    return sim, stats, RunMetrics(sim, stats)
+
+
+class TestLatencyRecording:
+    def test_split_by_kind_and_checkpoint(self):
+        _sim, _stats, metrics = make_metrics()
+        metrics.record(Operation(OpKind.READ, 1), 100, False)
+        metrics.record(Operation(OpKind.READ, 2), 500, True)
+        metrics.record(Operation(OpKind.UPDATE, 3), 50, False)
+        metrics.record(Operation(OpKind.READ_MODIFY_WRITE, 4), 900, True)
+        assert metrics.operations == 4
+        assert len(metrics.latency_read) == 2
+        assert len(metrics.latency_update) == 2  # update + rmw
+        assert len(metrics.latency_read_ckpt) == 1
+        assert len(metrics.latency_update_ckpt) == 1
+        assert metrics.latency_read_normal.mean() == 100
+        assert metrics.latency_update_ckpt.mean() == 900
+
+
+class TestDeltas:
+    def test_counters_windowed_to_measurement(self):
+        sim, stats, metrics = make_metrics()
+        stats.counter("flash.program").add(5, num_bytes=100)
+        metrics.start_measurement()
+        stats.counter("flash.program").add(3, num_bytes=60)
+        metrics.finish_measurement()
+        stats.counter("flash.program").add(9)
+        assert metrics.delta("flash.program") == 3
+        assert metrics.delta_bytes("flash.program") == 60
+
+    def test_live_delta_before_finish(self):
+        _sim, stats, metrics = make_metrics()
+        metrics.start_measurement()
+        stats.counter("x").add(2)
+        assert metrics.delta("x") == 2
+
+
+class TestDerived:
+    def test_throughput(self):
+        sim, _stats, metrics = make_metrics()
+        metrics.start_measurement()
+        for _ in range(10):
+            metrics.record(Operation(OpKind.READ, 0), 10, False)
+        sim.schedule(1_000_000, lambda: None)  # 1 ms
+        sim.run()
+        metrics.finish_measurement()
+        assert metrics.throughput_qps() == pytest.approx(10 / 1e-3)
+
+    def test_amplifications(self):
+        _sim, stats, metrics = make_metrics()
+        metrics.start_measurement()
+        stats.counter("query.update").add(10, num_bytes=1000)
+        stats.counter("host.read_cmds").add(2, num_bytes=500)
+        stats.counter("host.write_cmds").add(5, num_bytes=2000)
+        stats.counter("flash.read").add(1, num_bytes=4096)
+        stats.counter("flash.program").add(1, num_bytes=4096)
+        assert metrics.io_amplification() == pytest.approx(2.5)
+        assert metrics.flash_amplification() == pytest.approx(8192 / 1000)
+
+    def test_zero_denominators(self):
+        _sim, _stats, metrics = make_metrics()
+        metrics.start_measurement()
+        assert metrics.io_amplification() == 0.0
+        assert metrics.flash_amplification() == 0.0
+        assert metrics.waf() == 0.0
+        assert metrics.throughput_qps() == 0.0
+
+    def test_redundant_units_combines_causes(self):
+        _sim, stats, metrics = make_metrics()
+        metrics.start_measurement()
+        stats.counter("ftl.units.write.ckpt").add(7, num_bytes=700)
+        stats.counter("ftl.units.write.ckpt_meta").add(3, num_bytes=300)
+        assert metrics.redundant_write_units() == 10
+        assert metrics.redundant_write_bytes() == 1000
+
+    def test_summary_keys(self):
+        _sim, _stats, metrics = make_metrics()
+        metrics.start_measurement()
+        summary = metrics.summary()
+        for key in ("throughput_qps", "latency_p999_us", "io_amplification",
+                    "redundant_units", "gc_invocations", "waf"):
+            assert key in summary
+
+
+class TestLifetime:
+    def test_equation_one(self):
+        estimate = LifetimeEstimate(max_pe_cycles=3000,
+                                    operation_time_ns=10 ** 9,
+                                    block_erase_count=100)
+        assert estimate.relative_lifetime == pytest.approx(3000 * 1e9 / 100)
+
+    def test_no_erases_is_infinite(self):
+        estimate = LifetimeEstimate(3000, 10 ** 9, 0)
+        assert estimate.relative_lifetime == float("inf")
+
+    def test_metrics_lifetime(self):
+        _sim, stats, metrics = make_metrics()
+        metrics.start_measurement()
+        stats.counter("flash.erase").add(4)
+        estimate = metrics.lifetime(3000)
+        assert estimate.block_erase_count == 4

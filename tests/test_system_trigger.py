@@ -1,0 +1,60 @@
+"""Checkpoint trigger policy: interval vs journal quota (§IV-C)."""
+
+from repro.common.units import KIB, MS
+from repro.system import KvSystem, RunResult, tiny_config
+from repro.system.metrics import RunMetrics
+
+
+class TestTriggerPolicy:
+    def test_quota_fires_before_interval(self):
+        # Interval far beyond the run; small quota: checkpoints must still
+        # happen, driven purely by journal volume.
+        system = KvSystem(tiny_config(
+            total_queries=1500,
+            checkpoint_interval_ns=10 ** 13,
+            checkpoint_journal_quota=96 * KIB,
+        ))
+        result = system.run()
+        # More than just the final checkpoint ran.
+        assert result.checkpoint_count >= 2
+        for report in result.checkpoint_reports[:-1]:
+            assert report.entries_checkpointed > 0
+
+    def test_interval_fires_without_quota(self):
+        system = KvSystem(tiny_config(
+            total_queries=1500,
+            checkpoint_interval_ns=5 * MS,
+            checkpoint_journal_quota=10 ** 12,
+        ))
+        result = system.run()
+        assert result.checkpoint_count >= 2
+
+    def test_no_mid_run_checkpoint_when_both_disabled(self):
+        system = KvSystem(tiny_config(
+            total_queries=800,
+            checkpoint_interval_ns=10 ** 13,
+            checkpoint_journal_quota=10 ** 12,
+        ))
+        result = system.run()
+        # Only the final checkpoint (final_checkpoint=True by default).
+        assert result.checkpoint_count == 1
+
+    def test_final_checkpoint_disabled(self):
+        from dataclasses import replace
+        config = tiny_config(total_queries=600,
+                             checkpoint_interval_ns=10 ** 13,
+                             checkpoint_journal_quota=10 ** 12)
+        system = KvSystem(replace(config, final_checkpoint=False))
+        result = system.run()
+        assert result.checkpoint_count == 0
+        # The journal still holds the un-checkpointed epoch.
+        assert len(system.engine.journal.active_jmt) > 0
+
+
+class TestRunResult:
+    def test_mean_checkpoint_ns_empty(self):
+        from repro.sim import Simulator, StatRegistry
+        metrics = RunMetrics(Simulator(), StatRegistry())
+        result = RunResult(config=tiny_config(), metrics=metrics)
+        assert result.checkpoint_count == 0
+        assert result.mean_checkpoint_ns() == 0.0

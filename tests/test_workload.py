@@ -1,0 +1,229 @@
+"""Unit tests for workload generation: distributions, mixes, sizes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRng
+from repro.workload import (
+    FixedSize,
+    MixedSizes,
+    OperationGenerator,
+    OpKind,
+    ScrambledZipfianKeys,
+    UniformKeys,
+    WorkloadSpec,
+    ZipfianKeys,
+    fnv1a_64,
+    make_distribution,
+    mixed_pattern,
+    small_value_default,
+    workload_by_name,
+    zeta,
+)
+
+
+class TestUniform:
+    def test_keys_in_range(self):
+        dist = UniformKeys(100, SeededRng(1))
+        keys = [dist.next_key() for _ in range(1000)]
+        assert min(keys) >= 0 and max(keys) < 100
+
+    def test_roughly_flat(self):
+        dist = UniformKeys(10, SeededRng(1))
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[dist.next_key()] += 1
+        assert min(counts) > 700  # each ~1000 expected
+
+    def test_item_count_validated(self):
+        with pytest.raises(WorkloadError):
+            UniformKeys(0, SeededRng(1))
+
+
+class TestZipfian:
+    def test_keys_in_range(self):
+        dist = ZipfianKeys(1000, SeededRng(2))
+        keys = [dist.next_key() for _ in range(5000)]
+        assert min(keys) >= 0 and max(keys) < 1000
+
+    def test_head_dominates(self):
+        dist = ZipfianKeys(1000, SeededRng(2))
+        keys = [dist.next_key() for _ in range(20_000)]
+        head_fraction = sum(1 for k in keys if k < 10) / len(keys)
+        # With theta=0.99, the top-10 ranks draw a large share.
+        assert head_fraction > 0.30
+
+    def test_rank_zero_most_popular(self):
+        dist = ZipfianKeys(1000, SeededRng(2))
+        counts = {}
+        for _ in range(20_000):
+            key = dist.next_key()
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts, key=counts.get) == 0
+
+    def test_theta_validated(self):
+        with pytest.raises(WorkloadError):
+            ZipfianKeys(100, SeededRng(1), theta=1.0)
+
+    def test_zeta(self):
+        assert zeta(1, 0.99) == pytest.approx(1.0)
+        assert zeta(2, 0.5) == pytest.approx(1.0 + 2 ** -0.5)
+        with pytest.raises(WorkloadError):
+            zeta(0, 0.9)
+
+    def test_deterministic(self):
+        a = ZipfianKeys(500, SeededRng(9))
+        b = ZipfianKeys(500, SeededRng(9))
+        assert [a.next_key() for _ in range(50)] == \
+            [b.next_key() for _ in range(50)]
+
+    def test_single_item(self):
+        dist = ZipfianKeys(1, SeededRng(3))
+        assert all(dist.next_key() == 0 for _ in range(20))
+
+
+class TestScrambledZipfian:
+    def test_hot_keys_spread_over_space(self):
+        dist = ScrambledZipfianKeys(1000, SeededRng(4))
+        counts = {}
+        for _ in range(5000):
+            key = dist.next_key()
+            counts[key] = counts.get(key, 0) + 1
+        hot = sorted(counts, key=counts.get, reverse=True)[:5]
+        # Popular ranks hash anywhere, so the hot keys are not all < 10.
+        assert max(hot) > 10
+
+    def test_fnv_hash_is_stable(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+    def test_skew_preserved(self):
+        dist = ScrambledZipfianKeys(1000, SeededRng(4))
+        counts = {}
+        for _ in range(20_000):
+            key = dist.next_key()
+            counts[key] = counts.get(key, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:10]
+        assert sum(top) / 20_000 > 0.30
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["uniform", "zipfian", "scrambled_zipfian"])
+    def test_known_names(self, name):
+        dist = make_distribution(name, 100, SeededRng(1))
+        assert dist.name == name
+        assert 0 <= dist.next_key() < 100
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("latest", 100, SeededRng(1))
+
+
+class TestWorkloadSpecs:
+    def test_paper_mixes(self):
+        a = workload_by_name("A")
+        assert a.read_proportion == 0.5 and a.update_proportion == 0.5
+        f = workload_by_name("f")
+        assert f.rmw_proportion == 0.5
+        wo = workload_by_name("WO")
+        assert wo.update_proportion == 1.0
+        assert wo.write_fraction == 1.0
+
+    def test_extended_mixes(self):
+        b = workload_by_name("B")
+        assert b.read_proportion == 0.95
+        assert b.write_fraction == pytest.approx(0.05)
+        c = workload_by_name("C")
+        assert c.write_fraction == 0.0
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            workload_by_name("Z")
+
+    def test_proportions_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", 0.5, 0.2, 0.1)
+
+    def test_operation_mix_statistics(self):
+        spec = workload_by_name("A")
+        gen = OperationGenerator(spec, UniformKeys(100, SeededRng(5)),
+                                 SeededRng(6))
+        kinds = [gen.next_operation().kind for _ in range(4000)]
+        reads = sum(1 for k in kinds if k is OpKind.READ)
+        assert 0.45 < reads / len(kinds) < 0.55
+
+    def test_wo_only_updates(self):
+        gen = OperationGenerator(workload_by_name("WO"),
+                                 UniformKeys(10, SeededRng(5)), SeededRng(6))
+        assert all(gen.next_operation().kind is OpKind.UPDATE
+                   for _ in range(100))
+
+    def test_f_has_rmw(self):
+        gen = OperationGenerator(workload_by_name("F"),
+                                 UniformKeys(10, SeededRng(5)), SeededRng(6))
+        kinds = {gen.next_operation().kind for _ in range(200)}
+        assert OpKind.READ_MODIFY_WRITE in kinds
+        assert OpKind.UPDATE not in kinds
+
+
+class TestRecordSizes:
+    def test_fixed(self):
+        model = FixedSize(512)
+        assert model.size_for_key(0) == 512
+        assert model.size_for_key(999) == 512
+        assert model.name == "fixed-512"
+
+    def test_fixed_validated(self):
+        with pytest.raises(WorkloadError):
+            FixedSize(0)
+
+    def test_mixed_stable_per_key(self):
+        model = MixedSizes("m", [128, 4096], [0.5, 0.5], seed=7)
+        sizes = [model.size_for_key(k) for k in range(50)]
+        again = [model.size_for_key(k) for k in range(50)]
+        assert sizes == again
+        assert set(sizes) <= {128, 4096}
+        assert len(set(sizes)) == 2  # both appear over 50 keys
+
+    def test_mixed_validation(self):
+        with pytest.raises(WorkloadError):
+            MixedSizes("m", [128], [0.5, 0.5])
+        with pytest.raises(WorkloadError):
+            MixedSizes("m", [], [])
+        with pytest.raises(WorkloadError):
+            MixedSizes("m", [128], [0.0])
+
+    @pytest.mark.parametrize("pattern", ["P1", "P2", "P3", "P4"])
+    def test_patterns_cover_paper_range(self, pattern):
+        model = mixed_pattern(pattern)
+        sizes = {model.size_for_key(k) for k in range(500)}
+        assert min(sizes) >= 128
+        assert max(sizes) <= 4096
+
+    def test_pattern_p4_reaches_4096(self):
+        model = mixed_pattern("P4")
+        sizes = {model.size_for_key(k) for k in range(500)}
+        assert 4096 in sizes
+
+    def test_unknown_pattern(self):
+        with pytest.raises(WorkloadError):
+            mixed_pattern("P9")
+
+    def test_small_default_mostly_small(self):
+        model = small_value_default()
+        sizes = [model.size_for_key(k) for k in range(1000)]
+        small = sum(1 for s in sizes if s <= 512)
+        sub_sector = sum(1 for s in sizes if s < 512)
+        assert small / len(sizes) > 0.5
+        assert sub_sector / len(sizes) > 0.15  # PARTIAL/MERGED path exercised
+
+    def test_sizes_helper(self):
+        pairs = FixedSize(100).sizes(3)
+        assert pairs == [(0, 100), (1, 100), (2, 100)]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_pattern_sizes_from_choice_set(self, key):
+        model = mixed_pattern("P2")
+        assert model.size_for_key(key) in model.size_choices

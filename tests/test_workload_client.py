@@ -1,0 +1,97 @@
+"""Unit tests for the closed-loop client pool."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeededRng
+from repro.engine import EngineConfig, StorageEngine
+from repro.flash import FlashGeometry, FlashTiming
+from repro.ftl import FtlConfig
+from repro.sim import Simulator
+from repro.ssd import Ssd, SsdSpec
+from repro.workload import ClientPool, OperationGenerator, UniformKeys, workload_by_name
+
+
+def make_engine(sim):
+    ssd = Ssd(sim, SsdSpec(
+        geometry=FlashGeometry(channels=2, packages_per_channel=1,
+                               dies_per_package=1, planes_per_die=2,
+                               blocks_per_plane=16, pages_per_block=8),
+        timing=FlashTiming(read_ns=10_000, program_ns=100_000,
+                           erase_ns=1_000_000),
+        ftl=FtlConfig(mapping_unit=4096)))
+    engine = StorageEngine(sim, ssd, EngineConfig(
+        mode="baseline", journal_lba_start=0, journal_sectors=2048,
+        meta_lba_start=2048, meta_sectors=64, data_lba_start=2112,
+        data_sectors=1024, mapping_unit=4096, group_commit_ns=2_000,
+        mem_cache_records=8))
+    engine.load([(key, 256) for key in range(16)])
+    engine.start()
+    return engine
+
+
+def make_generators(n):
+    rng = SeededRng(5)
+    return [OperationGenerator(workload_by_name("A"),
+                               UniformKeys(16, rng.fork(f"k{i}")),
+                               rng.fork(f"o{i}"))
+            for i in range(n)]
+
+
+class TestClientPool:
+    def test_exact_operation_budget(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        completions = []
+        pool = ClientPool(sim, engine, make_generators(4), 57,
+                          on_complete=lambda op, lat, ckpt:
+                          completions.append((op, lat, ckpt)))
+        done = pool.start()
+        while not done.triggered:
+            assert sim.step()
+        assert done.ok
+        assert done.value.operations == 57
+        assert len(completions) == 57
+        engine.shutdown()
+
+    def test_latencies_positive_and_flags_boolean(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        seen = []
+        pool = ClientPool(sim, engine, make_generators(2), 20,
+                          on_complete=lambda op, lat, ckpt:
+                          seen.append((lat, ckpt)))
+        done = pool.start()
+        while not done.triggered:
+            assert sim.step()
+        for latency, ckpt_flag in seen:
+            assert latency > 0
+            assert isinstance(ckpt_flag, bool)
+        engine.shutdown()
+
+    def test_duration_spans_run(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        pool = ClientPool(sim, engine, make_generators(2), 10)
+        done = pool.start()
+        while not done.triggered:
+            assert sim.step()
+        assert done.value.duration_ns > 0
+        assert done.value.finished_at == sim.now
+        engine.shutdown()
+
+    def test_validation(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        with pytest.raises(WorkloadError):
+            ClientPool(sim, engine, [], 10)
+        with pytest.raises(WorkloadError):
+            ClientPool(sim, engine, make_generators(1), 0)
+        engine.shutdown()
+
+    def test_threads_property(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        pool = ClientPool(sim, engine, make_generators(7), 10)
+        assert pool.threads == 7
+        engine.shutdown()
