@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig8a [--scale quick|full]
     python -m repro bench --mode checkin --workload A --threads 32
     python -m repro table1
+    python -m repro fault-sweep --crash-points 50 --seed 7
 """
 
 from __future__ import annotations
@@ -68,6 +69,43 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
+FAULT_SWEEP_MODES = ("baseline", "isc_c", "checkin")
+"""Configurations the crash sweep exercises: the conventional system and
+the two remapping-FTL systems (ISC-A/B share the baseline's device FTL)."""
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    from repro.fault.harness import fault_sweep
+    modes = FAULT_SWEEP_MODES if args.mode == "all" else (args.mode,)
+    rows = []
+    failed = 0
+    started = time.time()
+    for mode in modes:
+        sweep = fault_sweep(mode=mode, crash_points=args.crash_points,
+                            seed=args.seed, ops=args.ops)
+        failures = sweep.failures()
+        failed += len(failures)
+        rows.append([mode, len(sweep.results), sweep.total_steps,
+                     len(failures), sweep.digest()])
+        for result in failures:
+            problems = (result.invariant_violations
+                        + result.checkpoint_violations)
+            if result.durability_error:
+                problems.append(result.durability_error)
+            if result.mapping_mismatches:
+                problems.append(
+                    f"{result.mapping_mismatches} SPOR mapping mismatches")
+            print(f"FAIL {mode} crash point {result.index} "
+                  f"(step {result.crash_step}): {problems[0]}",
+                  file=sys.stderr)
+    elapsed = time.time() - started
+    print(format_table(
+        ["mode", "crash_points", "workload_steps", "failures", "digest"],
+        rows, title=f"fault sweep (seed {args.seed})"))
+    print(f"\n[{sum(r[1] for r in rows)} crash points: {elapsed:.1f}s]")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse CLI: list / run / bench / table1 subcommands."""
     parser = argparse.ArgumentParser(
@@ -100,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("table1", help="print the Table-I configuration") \
         .set_defaults(handler=_cmd_table1)
+
+    fault_parser = commands.add_parser(
+        "fault-sweep",
+        help="crash-consistency sweep: power-cut at N seeded instants")
+    fault_parser.add_argument("--mode", default="all",
+                              choices=("all",) + FAULT_SWEEP_MODES)
+    fault_parser.add_argument("--crash-points", type=int, default=20)
+    fault_parser.add_argument("--seed", type=int, default=7)
+    fault_parser.add_argument("--ops", type=int, default=120)
+    fault_parser.set_defaults(handler=_cmd_fault_sweep)
     return parser
 
 

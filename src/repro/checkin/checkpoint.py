@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Tuple
 
-from repro.checkin.format import extract_part
+from repro.checkin.format import extract_from_span
 from repro.common.units import SECTOR_SIZE
 from repro.ftl.ftl import Ftl
 from repro.sim.core import Simulator, all_of
@@ -161,10 +161,11 @@ class CheckpointProcessor:
                 dst_tags = [buffered[entry.src_lba + i]
                             for i in range(entry.nsectors)]
             else:
-                # Merged-partial value: extract it from its shared sector
-                # and lay it at the start of the destination sector(s).
-                value_tag = extract_part(buffered[entry.src_lba],
-                                         entry.src_offset)
+                # Merged or packed value: extract it from its shared source
+                # span and lay it at the start of the destination sector(s).
+                span = [buffered[entry.src_lba + i]
+                        for i in range(entry.read_span)]
+                value_tag = extract_from_span(span, entry.src_offset)
                 dst_tags = [value_tag] + [None] * (entry.nsectors - 1)
             if self.device_writer is not None:
                 yield from self.device_writer(entry.dst_lba, entry.nsectors,

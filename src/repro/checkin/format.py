@@ -146,3 +146,24 @@ def extract_part(sector_tag: Any, offset: int) -> Any:
     if isinstance(sector_tag, (MergedPayload, PackedSector)):
         return sector_tag.part_at(offset)
     return sector_tag if offset == 0 else None
+
+
+def extract_from_span(tags: Optional[Any], offset: int) -> Any:
+    """Resolve a value tag from a multi-sector read span.
+
+    ``offset`` is the byte offset of the value relative to the *first*
+    sector of the span.  A packed record whose header straddles a sector
+    boundary spans from the header's sector, so the value may start in a
+    later sector (``offset >= 512``).  A merged unit keeps its whole
+    payload on the first sector with unit-relative offsets, so it is
+    resolved there directly.
+    """
+    if not tags:
+        return None
+    first = tags[0]
+    if isinstance(first, MergedPayload):
+        return first.part_at(offset)
+    index, sub = divmod(offset, SECTOR_SIZE)
+    if index >= len(tags):
+        return None
+    return extract_part(tags[index], sub)

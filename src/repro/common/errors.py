@@ -19,6 +19,10 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an illegal state."""
 
 
+class PowerLossError(SimulationError):
+    """A simulated power cut terminated a process or device operation."""
+
+
 class FlashError(ReproError):
     """Illegal NAND flash operation (e.g. programming a written page)."""
 

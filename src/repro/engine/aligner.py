@@ -107,10 +107,14 @@ class PackedFormatter(JournalFormatter):
         for request in requests:
             value_start = cursor + self.header_bytes
             value_end = value_start + request.value_bytes
-            sector_index = value_start // SECTOR_SIZE
+            # The record starts at its *header*: when the header straddles
+            # the preceding sector boundary, the entry's sector span must
+            # include that sector or recovery reads miss part of the log.
+            record_sector = cursor // SECTOR_SIZE
+            value_sector = value_start // SECTOR_SIZE
             while len(sectors) <= (value_end - 1) // SECTOR_SIZE:
                 sectors.append(PackedSector())
-            sectors[sector_index].add(value_start % SECTOR_SIZE,
+            sectors[value_sector].add(value_start % SECTOR_SIZE,
                                       value_tag(request.key, request.version))
             layout.entries.append(JournalEntry(
                 key=request.key,
@@ -119,9 +123,9 @@ class PackedFormatter(JournalFormatter):
                 target_nsectors=request.target_nsectors,
                 value_bytes=request.value_bytes,
                 stored_bytes=self.header_bytes + request.value_bytes,
-                journal_lba=first_lba + sector_index,
-                journal_nsectors=((value_end - 1) // SECTOR_SIZE) - sector_index + 1,
-                src_offset=value_start % SECTOR_SIZE,
+                journal_lba=first_lba + record_sector,
+                journal_nsectors=((value_end - 1) // SECTOR_SIZE) - record_sector + 1,
+                src_offset=value_start - record_sector * SECTOR_SIZE,
                 log_type=LogType.FULL,
                 exclusive_sectors=False,
             ))

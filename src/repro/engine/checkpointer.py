@@ -190,11 +190,10 @@ class BaselineCheckpointer(CheckpointStrategy):
         # Phase 2: write each latest value to its target location, in
         # ascending target order so neighbouring records coalesce into
         # whole mapping units in the device buffer.
-        from repro.checkin.format import extract_part
+        from repro.checkin.format import extract_from_span
 
         def write_job(index: int, entry: JournalEntry):
-            tags = read_results[index]
-            tag = extract_part(tags[0] if tags else None, entry.src_offset)
+            tag = extract_from_span(read_results[index], entry.src_offset)
             sector_tags = [tag] * entry.target_nsectors
             yield self.ssd.submit(write_command(
                 entry.target_lba, entry.target_nsectors, tags=sector_tags,

@@ -17,7 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.checkin.format import extract_part
+from repro.checkin.format import extract_from_span
 from repro.common.errors import ConfigError, EngineError
 from repro.common.units import SECTOR_SIZE, US
 from repro.engine.aligner import (
@@ -195,6 +195,9 @@ class StorageEngine:
         self._gate: Optional[Event] = None  # closed during locked checkpoints
         self._checkpoint_running = False
         self.checkpoint_reports: List[CheckpointReport] = []
+        self.on_checkpoint: List[Any] = []
+        """Callbacks ``f(engine, report)`` invoked after each completed
+        checkpoint — the fault harness hooks its invariant checker here."""
 
     def _make_formatter(self) -> JournalFormatter:
         if self.config.uses_aligned_journaling:
@@ -271,8 +274,7 @@ class StorageEngine:
             completion = yield self.ssd.submit(Command(
                 op=Op.READ, lba=entry.journal_lba,
                 nsectors=entry.journal_nsectors))
-            tag = extract_part(completion.tags[0] if completion.tags else None,
-                               entry.src_offset)
+            tag = extract_from_span(completion.tags, entry.src_offset)
             version = entry.version
         else:
             completion = yield self.ssd.submit(Command(
@@ -320,6 +322,8 @@ class StorageEngine:
             self.journal.release_frozen()
             self.checkpoint_reports.append(report)
             self.stats.counter("ckpt.count").add(1)
+            for hook in self.on_checkpoint:
+                hook(self, report)
             return report
         finally:
             self._checkpoint_running = False

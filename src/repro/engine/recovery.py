@@ -52,7 +52,7 @@ def peek_sector_tags(device: Any, lba: int, nsectors: int) -> List[Any]:
         offset = sector - lpn * ftl.sectors_per_unit
         result.append(unit_tags[offset] if unit_tags else None)
     if hasattr(device, "controller"):
-        device.controller.write_buffer.overlay(lba, nsectors, result)
+        device.controller.durable_overlay(lba, nsectors, result)
     return result
 
 

@@ -1,0 +1,24 @@
+"""Crash-consistency fault injection and invariant checking.
+
+The harness pulls the plug on a running :class:`~repro.system.KvSystem`
+at an arbitrary event boundary, discards everything a power cut destroys
+(in-flight flash programs tear at unit granularity, DRAM structures
+vanish, the capacitor-backed buffers survive), re-runs the recovery
+procedures of §III-G against the post-crash image, and asserts that the
+recovered KV state matches what was durably committed.
+"""
+
+from repro.fault.crash import CrashReport, power_cut, recover_device
+from repro.fault.harness import CrashPointResult, SweepResult, fault_sweep
+from repro.fault.invariants import assert_ftl_invariants, check_ftl_invariants
+
+__all__ = [
+    "CrashReport",
+    "power_cut",
+    "recover_device",
+    "CrashPointResult",
+    "SweepResult",
+    "fault_sweep",
+    "assert_ftl_invariants",
+    "check_ftl_invariants",
+]

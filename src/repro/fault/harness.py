@@ -1,0 +1,184 @@
+"""Deterministic crash-point sweep over a scripted KV workload.
+
+One sweep (a) runs a scripted update/checkpoint workload to completion to
+learn its event-step count ``T``, then (b) replays the identical workload
+``crash_points`` times on fresh systems, each time pulling the plug after
+a seeded-random number of steps in ``[1, T]``, recovering the device and
+asserting:
+
+* the SPOR scan rebuilds exactly the pre-crash mapping table (nothing the
+  capacitor promised to hold was lost, nothing is invented);
+* every FTL structural invariant holds after recovery — and after every
+  checkpoint that completed before the crash;
+* the recovered KV store satisfies ``acked <= recovered <= current``:
+  no acknowledged commit is lost and no version is invented.
+
+Everything is derived from one root seed, so a sweep is exactly
+reproducible: same seed, same crash points, same recovered state digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.common.errors import RecoveryError, SimulationError
+from repro.common.rng import SeededRng
+from repro.engine.recovery import check_durability
+from repro.fault.crash import CrashReport, power_cut, recover_device
+from repro.fault.invariants import check_ftl_invariants
+from repro.sim.process import spawn
+from repro.system.config import SystemConfig, tiny_config
+from repro.system.system import KvSystem
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one crash/recover/verify cycle."""
+
+    index: int
+    crash_step: int
+    sim_time_ns: int
+    acked_keys: int
+    report: CrashReport
+    mapping_mismatches: int = 0
+    checkpoint_violations: List[str] = field(default_factory=list)
+    invariant_violations: List[str] = field(default_factory=list)
+    durability_error: str = ""
+    recovered_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when recovery was exact and every invariant held."""
+        return (self.mapping_mismatches == 0
+                and not self.checkpoint_violations
+                and not self.invariant_violations
+                and not self.durability_error)
+
+
+@dataclass
+class SweepResult:
+    """All crash points of one (mode, seed) sweep."""
+
+    mode: str
+    seed: int
+    total_steps: int
+    results: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every crash point recovered cleanly."""
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> List[CrashPointResult]:
+        """The crash points that violated an invariant or lost data."""
+        return [result for result in self.results if not result.ok]
+
+    def digest(self) -> str:
+        """Stable fingerprint of the sweep (determinism checks)."""
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(
+                f"{result.crash_step}:{result.recovered_digest}".encode())
+        return digest.hexdigest()[:16]
+
+
+def _sweep_config(mode: str, seed: int, num_keys: int) -> SystemConfig:
+    return tiny_config(mode=mode, seed=seed, num_keys=num_keys,
+                       track_op_log=True, snapshot_metadata=True)
+
+
+def _scripted_client(system: KvSystem, acked: Dict[int, int], ops: int,
+                     ckpt_every: int) -> Generator[Any, Any, None]:
+    engine = system.engine
+    num_keys = system.config.num_keys
+    for i in range(ops):
+        key = (i * 7) % num_keys
+        version = yield from engine.put(key)
+        acked[key] = version
+        if ckpt_every and (i + 1) % ckpt_every == 0:
+            yield from engine.checkpoint()
+
+
+def _start(config: SystemConfig, ops: int, ckpt_every: int
+           ) -> Tuple[KvSystem, Dict[int, int], Any, List[str]]:
+    """Build a loaded, started system running the scripted workload."""
+    system = KvSystem(config)
+    system.load()
+    system.engine.start()
+    acked: Dict[int, int] = {}
+    ckpt_violations: List[str] = []
+    system.engine.on_checkpoint.append(
+        lambda engine, _report: ckpt_violations.extend(
+            check_ftl_invariants(engine.ssd.ftl)))
+    proc = spawn(system.sim, _scripted_client(system, acked, ops, ckpt_every),
+                 name="fault-client")
+    return system, acked, proc, ckpt_violations
+
+
+def _state_digest(versions: Dict[int, int]) -> str:
+    payload = ",".join(f"{key}:{version}"
+                       for key, version in sorted(versions.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
+                ops: int = 120, num_keys: int = 64,
+                ckpt_every: int = 40) -> SweepResult:
+    """Sweep ``crash_points`` seeded crash instants over one configuration.
+
+    ``mode`` is one of the engine modes ('baseline' is the conventional
+    system; 'isc_c' and 'checkin' exercise the remapping FTL).  Returns a
+    :class:`SweepResult`; inspect ``.ok`` / ``.failures()``.
+    """
+    config = _sweep_config(mode, seed, num_keys)
+
+    # Reference run: learn the workload's event-step count T.
+    system, acked, proc, ckpt_violations = _start(config, ops, ckpt_every)
+    total_steps = 0
+    while not proc.triggered:
+        if not system.sim.step():
+            raise SimulationError("fault sweep reference run drained early")
+        total_steps += 1
+    if not proc.ok:
+        raise proc.exception
+    if ckpt_violations:
+        raise SimulationError(
+            f"invariants already broken in reference run: {ckpt_violations[:3]}")
+
+    sweep = SweepResult(mode=mode, seed=seed, total_steps=total_steps)
+    rng = SeededRng(seed).fork(f"fault/{mode}")
+    for index in range(crash_points):
+        point_rng = rng.fork(f"point{index}")
+        crash_step = point_rng.randint(1, total_steps)
+        system, acked, proc, ckpt_violations = _start(config, ops, ckpt_every)
+        for _ in range(crash_step):
+            if proc.triggered:
+                break
+            if not system.sim.step():
+                raise SimulationError("fault sweep crash run drained early")
+
+        acked_at_crash = dict(acked)
+        current = {record.key: record.version
+                   for record in system.engine.kvmap.records()}
+        pre_crash_mapping = system.ssd.ftl.mapping.snapshot()
+
+        report = power_cut(system, point_rng.fork("tear"))
+        rebuilt = recover_device(system)
+
+        result = CrashPointResult(
+            index=index, crash_step=crash_step, sim_time_ns=system.sim.now,
+            acked_keys=len(acked_at_crash), report=report,
+            checkpoint_violations=list(ckpt_violations))
+        result.mapping_mismatches = sum(
+            1 for lpn in set(pre_crash_mapping) | set(rebuilt)
+            if pre_crash_mapping.get(lpn) != rebuilt.get(lpn))
+        result.invariant_violations = check_ftl_invariants(system.ssd.ftl)
+        try:
+            recovered = check_durability(system.engine, acked_at_crash, current)
+            result.recovered_digest = _state_digest(recovered.versions)
+        except RecoveryError as exc:
+            result.durability_error = str(exc)
+        sweep.results.append(result)
+    return sweep

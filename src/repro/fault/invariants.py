@@ -1,0 +1,83 @@
+"""FTL structural invariants.
+
+The mapping table keeps three mutually redundant structures — the forward
+map, the reverse (refcount) map and the per-block valid-unit counters —
+and the flash array holds the ground truth about which pages exist.  Any
+divergence between them is a latent durability bug long before it loses
+data, so the fault harness checks them after every checkpoint and after
+every simulated crash recovery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.common.errors import FtlError
+from repro.ftl.ftl import Ftl
+
+
+def check_ftl_invariants(ftl: Ftl) -> List[str]:
+    """Return a description of every violated invariant (empty = healthy).
+
+    Checked invariants:
+
+    1. the reverse map is exactly the inversion of the forward map;
+    2. per-block valid-unit counters match the reverse map;
+    3. every mapped physical unit lives on a programmed flash page or in
+       the capacitor-backed staging buffer (never on an erased block).
+    """
+    violations: List[str] = []
+    mapping = ftl.mapping
+
+    # 1. reverse map == inverted forward map
+    expected_refs: Dict[int, Set[int]] = defaultdict(set)
+    for lpn, upa in mapping.items():
+        expected_refs[upa].add(lpn)
+    actual_refs = {upa: set(refs) for upa, refs in mapping.reverse_items()}
+    for upa, refs in expected_refs.items():
+        got = actual_refs.get(upa, set())
+        if got != refs:
+            violations.append(
+                f"refcount mismatch for upa {upa}: forward map says "
+                f"{sorted(refs)}, reverse map says {sorted(got)}")
+    for upa in set(actual_refs) - set(expected_refs):
+        violations.append(
+            f"stale reverse entry: upa {upa} has referrers "
+            f"{sorted(actual_refs[upa])} but no forward mapping")
+
+    # 2. per-block valid counters
+    expected_valid: Dict[int, int] = defaultdict(int)
+    for upa in expected_refs:
+        expected_valid[mapping.block_of_unit(upa)] += 1
+    actual_valid = mapping.valid_counts()
+    for block in set(expected_valid) | set(actual_valid):
+        want = expected_valid.get(block, 0)
+        got = actual_valid.get(block, 0)
+        if want != got:
+            violations.append(
+                f"valid-count mismatch for block {block}: "
+                f"{got} counted, {want} actual")
+
+    # 3. every mapped unit is durably backed
+    geometry = ftl.geometry
+    for upa in expected_refs:
+        if ftl.is_staged(upa):
+            continue
+        ppa = mapping.page_of_unit(upa)
+        block = ftl.array.block(geometry.block_of_page(ppa))
+        if geometry.page_in_block(ppa) >= block.write_pointer:
+            violations.append(
+                f"upa {upa} (lpns {sorted(expected_refs[upa])}) maps to "
+                f"unwritten page {ppa} of block {block.block_id} and is "
+                "not staged")
+    return violations
+
+
+def assert_ftl_invariants(ftl: Ftl) -> None:
+    """Raise :class:`FtlError` when any structural invariant is violated."""
+    violations = check_ftl_invariants(ftl)
+    if violations:
+        raise FtlError(
+            f"{len(violations)} FTL invariant violation(s): "
+            + "; ".join(violations[:5]))

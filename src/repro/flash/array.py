@@ -17,7 +17,7 @@ Accounting: every operation increments the shared
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.common.errors import FlashError
 from repro.flash.block import Block
@@ -46,6 +46,9 @@ class FlashArray:
                       for i in range(geometry.num_luns)]
         self._channels = [Resource(sim, 1, name=f"chan{i}")
                           for i in range(geometry.channels)]
+        self._inflight_programs: Dict[int, Tuple[Block, int]] = {}
+        """Pages whose program pulse has not completed: ppa -> (block,
+        page index).  A power cut mid-pulse leaves these pages torn."""
 
     # -- synchronous state access (no simulated time) -----------------------
     def block(self, block_id: int) -> Block:
@@ -120,7 +123,9 @@ class FlashArray:
             # Commit the page content before the long program pulse so a
             # reader that wins the LUN immediately afterwards sees it.
             block.program(page_index, data, oob)
+            self._inflight_programs[ppa] = (block, page_index)
             yield self.timing.program_ns
+            self._inflight_programs.pop(ppa, None)
         finally:
             lun.release()
         self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
@@ -160,6 +165,35 @@ class FlashArray:
         finally:
             lun.release()
         self.stats.counter("flash.erase").add(1)
+
+    # -- power-loss modelling ------------------------------------------------
+    def power_cut(self, rng: Any) -> List[int]:
+        """Tear every in-flight program at unit granularity.
+
+        For each page whose program pulse had not completed, a random
+        prefix of its units survives (possibly none, possibly all); the
+        rest of the page reads back as garbage (data dropped, OOB nulled).
+        Returns the torn page addresses.
+        """
+        torn: List[int] = []
+        for ppa, (block, page_index) in sorted(self._inflight_programs.items()):
+            data = block.data(page_index)
+            oob = block.oob(page_index)
+            nunits = len(oob) if isinstance(oob, list) else 0
+            if not nunits:
+                continue
+            keep = rng.randint(0, nunits)
+            if keep == nunits:
+                continue
+            if isinstance(data, dict):
+                new_data: Any = {u: v for u, v in data.items() if u < keep}
+            else:
+                new_data = data if keep else None
+            new_oob = [oob[u] if u < keep else None for u in range(nunits)]
+            block.corrupt(page_index, new_data, new_oob)
+            torn.append(ppa)
+        self._inflight_programs.clear()
+        return torn
 
     # -- instantaneous variants (used by recovery tooling) -------------------
     def program_page_now(self, ppa: int, data: Any, oob: Any = None) -> None:

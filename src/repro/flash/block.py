@@ -82,6 +82,20 @@ class Block:
         self._oob[page_index] = oob
         self.write_pointer += 1
 
+    def corrupt(self, page_index: int, data: Any, oob: Any) -> None:
+        """Overwrite a *written* page's payload in place.
+
+        Power-loss modelling only: a program interrupted by a power cut
+        leaves the page partially programmed (torn).  The page stays
+        WRITTEN — its charge state is simply wrong.
+        """
+        if self.page_state(page_index) != PageState.WRITTEN:
+            raise FlashError(
+                f"block {self.block_id}: cannot corrupt unwritten page "
+                f"{page_index}")
+        self._data[page_index] = data
+        self._oob[page_index] = oob
+
     def erase(self, max_pe_cycles: Optional[int] = None) -> None:
         """Erase the block, consuming one P/E cycle."""
         if max_pe_cycles is not None and self.erase_count >= max_pe_cycles:

@@ -612,6 +612,61 @@ class Ftl:
         return dict(self._persisted_snapshot)
 
     # ------------------------------------------------------------------
+    # durability model (power-loss semantics, §III-G)
+    # ------------------------------------------------------------------
+    def is_staged(self, upa: int) -> bool:
+        """True while ``upa`` still lives in the capacitor-backed staging
+        buffer (its flash page may be unwritten or torn)."""
+        return upa in self._staged_tags
+
+    def durable_state(self) -> Dict[str, Any]:
+        """Everything that survives a power cut.
+
+        The staging buffer is capacitor-backed (writes ack only once
+        staged, §III-D), so its content — and the OOB records that will
+        accompany it to flash — is durable.  The op log models the
+        remap/trim journal the paper persists with sequence numbers, and
+        the persisted snapshot is the last mapping-table flush.
+        """
+        return {
+            "staged_tags": dict(self._staged_tags),
+            "staged_oob": dict(self._staged_oob),
+            "op_log": list(self.op_log) if self.op_log is not None else None,
+            "persisted_snapshot": dict(self._persisted_snapshot),
+        }
+
+    def volatile_state(self) -> Dict[str, Any]:
+        """Everything a power cut destroys (diagnostic summary).
+
+        The live mapping table is also volatile — recovery rebuilds it
+        from the OOB scan — but it is kept out of this summary because
+        :func:`repro.engine.recovery.rebuild_mapping_from_oob` replaces it
+        wholesale.
+        """
+        return {
+            "map_cache_pages": len(self._map_cache),
+            "lpn_locks": len(self._lpn_locks),
+            "inflight_blocks": dict(self._inflight_per_block),
+            "dirty_map_entries": self._dirty_map_entries,
+            "buffer_held": set(self._buffer_held),
+        }
+
+    def discard_volatile(self) -> None:
+        """Drop every DRAM structure a power cut destroys.
+
+        Keeps the capacitor-backed staging buffer and the durable op log;
+        clears the DFTL map cache, per-LPN locks, in-flight program
+        counters, un-persisted dirty-entry accounting and write-buffer
+        slot bookkeeping.  The live mapping table is left for the
+        recovery scan to rebuild.
+        """
+        self._map_cache.clear()
+        self._lpn_locks.clear()
+        self._inflight_per_block.clear()
+        self._dirty_map_entries = 0
+        self._buffer_held.clear()
+
+    # ------------------------------------------------------------------
     # statistics helpers
     # ------------------------------------------------------------------
     def invalid_units(self) -> int:

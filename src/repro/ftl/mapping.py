@@ -93,6 +93,19 @@ class SubPageMappingTable:
         """Iterate ``(lpn, upa)`` pairs (snapshot-safe copy)."""
         return iter(list(self._l2p.items()))
 
+    def reverse_items(self) -> Iterator[Tuple[int, FrozenSet[int]]]:
+        """Iterate ``(upa, referrers)`` pairs (snapshot-safe copy).
+
+        Exposed for invariant checking: the reverse map must always equal
+        the inversion of the forward map.
+        """
+        return iter([(upa, frozenset(refs))
+                     for upa, refs in self._p2l.items()])
+
+    def valid_counts(self) -> Dict[int, int]:
+        """Copy of the per-block valid-unit counters (invariant checking)."""
+        return dict(self._valid_per_block)
+
     # -- mutations --------------------------------------------------------------
     def map(self, lpn: int, upa: int) -> None:
         """Point ``lpn`` at ``upa``, releasing any previous mapping."""

@@ -12,7 +12,7 @@ number, so two runs with the same seeds produce identical event orderings.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
@@ -25,26 +25,87 @@ class Simulator:
         sim = Simulator()
         sim.schedule(10, lambda: print(sim.now))
         sim.run()
+
+    ``strict_failures`` (default on) makes :meth:`run` raise when a failed
+    event drained out of the loop without any waiter ever observing the
+    exception — otherwise a failed flash op can vanish without trace.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict_failures: bool = True) -> None:
         self._now = 0
         self._seq = 0
         self._heap: List[Tuple[int, int, "_Timer"]] = []
+        self.strict_failures = strict_failures
+        self._unconsumed_failures: Dict[int, "Event"] = {}
+        self._crashed = False
+        self._live_processes: Dict[int, Any] = {}  # id -> Process, in spawn order
 
     @property
     def now(self) -> int:
         """Current simulation time in nanoseconds."""
         return self._now
 
+    @property
+    def crashed(self) -> bool:
+        """True after :meth:`power_cut`; the loop no longer accepts work."""
+        return self._crashed
+
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> "_Timer":
         """Run ``fn(*args)`` after ``delay`` ns; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         timer = _Timer(fn, args)
+        if self._crashed:
+            # Power is gone: nothing scheduled after the cut may ever run.
+            timer.cancelled = True
+            return timer
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, timer))
         return timer
+
+    def power_cut(self) -> int:
+        """Kill the simulation at the current event boundary (power loss).
+
+        Every pending timer is discarded and every live process is torn
+        down without resuming it — generators are closed so their
+        ``finally`` blocks run, but anything they try to schedule is
+        suppressed.  Returns the number of processes killed.  After the
+        cut only forensic (zero-time) inspection of durable state is
+        meaningful; :meth:`run`/:meth:`step` find an empty heap.
+        """
+        if self._crashed:
+            return 0
+        self._crashed = True
+        self._heap.clear()
+        victims = list(self._live_processes.values())
+        for process in victims:
+            process.kill()
+        self._live_processes.clear()
+        self._heap.clear()
+        self._unconsumed_failures.clear()
+        return len(victims)
+
+    # -- unconsumed-failure tracking ------------------------------------
+    def _note_unconsumed_failure(self, event: "Event") -> None:
+        if not self._crashed:
+            self._unconsumed_failures[id(event)] = event
+
+    def _consume_failure(self, event: "Event") -> None:
+        self._unconsumed_failures.pop(id(event), None)
+
+    def unconsumed_failures(self) -> List[BaseException]:
+        """Exceptions from failed events that no waiter has observed."""
+        return [event.exception for event in self._unconsumed_failures.values()
+                if event.exception is not None]
+
+    def _check_unconsumed(self) -> None:
+        if not self.strict_failures or self._crashed:
+            return
+        failures = self.unconsumed_failures()
+        if failures:
+            raise SimulationError(
+                f"{len(failures)} event failure(s) were never consumed by any "
+                f"waiter (first: {failures[0]!r})") from failures[0]
 
     def event(self) -> "Event":
         """Create a fresh untriggered event bound to this simulator."""
@@ -82,6 +143,7 @@ class Simulator:
             timer.fire()
         if until is not None:
             self._now = until
+        self._check_unconsumed()
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next live event, or None when idle."""
@@ -116,7 +178,8 @@ class Event:
     after resolution are woken immediately (same timestamp).
     """
 
-    __slots__ = ("sim", "_callbacks", "_resolved", "value", "exception")
+    __slots__ = ("sim", "_callbacks", "_resolved", "value", "exception",
+                 "_defused")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
@@ -124,6 +187,7 @@ class Event:
         self._resolved = False
         self.value: Any = None
         self.exception: Optional[BaseException] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -154,15 +218,31 @@ class Event:
         self.value = value
         self.exception = exception
         callbacks, self._callbacks = self._callbacks, []
+        if exception is not None and not callbacks and not self._defused:
+            # Nobody is waiting: remember the failure so it cannot vanish
+            # silently (surfaced at run() exit under strict_failures).
+            self.sim._note_unconsumed_failure(self)
         for callback in callbacks:
             self.sim.schedule(0, callback, self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Invoke ``callback(event)`` when resolved (immediately if already)."""
         if self._resolved:
+            if self.exception is not None:
+                self.sim._consume_failure(self)
             self.sim.schedule(0, callback, self)
         else:
             self._callbacks.append(callback)
+
+    def defuse(self) -> "Event":
+        """Declare this event's failure handled (strict-mode opt-out).
+
+        Works before or after resolution: a defused event never counts as
+        an unconsumed failure.
+        """
+        self._defused = True
+        self.sim._consume_failure(self)
+        return self
 
 
 def all_of(sim: Simulator, events: List[Event]) -> Event:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, Union
 
-from repro.common.errors import SimulationError
+from repro.common.errors import PowerLossError, SimulationError
 from repro.sim.core import Event, Simulator
 
 ProcessGenerator = Generator[Union[int, Event], Any, Any]
@@ -44,7 +44,12 @@ class Process(Event):
         self.defused = False
         self._waiting_on: Optional[Event] = None
         self._sleep_timer = None
+        sim._live_processes[id(self)] = self
         sim.schedule(0, self._resume, None, None)
+
+    def _resolve(self, value: Any, exception: Optional[BaseException]) -> None:
+        super()._resolve(value, exception)
+        self.sim._live_processes.pop(id(self), None)
 
     @property
     def alive(self) -> bool:
@@ -64,6 +69,29 @@ class Process(Event):
             self._sleep_timer = None
         self._waiting_on = None
         self.sim.schedule(0, self._resume_with_exception, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Tear the process down without resuming it (power-cut unwinding).
+
+        The generator is closed so ``finally`` blocks run, then the
+        process resolves with :class:`PowerLossError`.  Only meaningful
+        during :meth:`Simulator.power_cut`, when scheduling is suppressed
+        — nothing the teardown triggers can execute afterwards.
+        """
+        if self.triggered:
+            return
+        if self._sleep_timer is not None:
+            self._sleep_timer.cancel()
+            self._sleep_timer = None
+        self._waiting_on = None
+        self.defused = True
+        try:
+            self._generator.close()
+        except BaseException:  # noqa: BLE001 - teardown must not propagate
+            pass
+        if not self.triggered:
+            self.fail(PowerLossError(f"process {self.name} lost power"))
+            self.sim._consume_failure(self)
 
     # -- driving the generator ------------------------------------------
     def _resume(self, send_value: Any, _token: Any) -> None:
@@ -127,6 +155,9 @@ class Process(Event):
             self.fail(exc)
         except SimulationError:
             raise exc
+        # The failure is surfaced here, by re-raise or deliberate defusal;
+        # it must not also count as an unconsumed event failure.
+        self.sim._consume_failure(self)
         if not self.defused:
             raise exc
 

@@ -68,6 +68,10 @@ class DramReadCache:
         """Drop one unit (after trim or remap redirection)."""
         self._entries.pop(lpn, None)
 
+    def clear(self) -> None:
+        """Drop every entry (power cut: the DRAM cache is volatile)."""
+        self._entries.clear()
+
     def invalidate_range(self, first_lpn: int, last_lpn: int) -> None:
         """Drop every cached unit in [first_lpn, last_lpn]."""
         if last_lpn - first_lpn > len(self._entries):

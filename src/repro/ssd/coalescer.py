@@ -134,14 +134,27 @@ class WriteCoalescer:
         return drained
 
     def discard_range(self, lba: int, nsectors: int) -> int:
-        """Drop units fully inside a trimmed range; returns the count."""
+        """Drop the trimmed sectors of overlapping units; returns units freed.
+
+        Partially overlapping units lose only the trimmed sectors'
+        ``covered`` flags and tags — keeping them would let
+        :meth:`overlay` resurrect trimmed data into later reads.  An
+        entry is removed once nothing of it remains covered.
+        """
         spu = self.sectors_per_unit
         dropped = 0
         first_lpn = lba // spu
         last_lpn = (lba + nsectors - 1) // spu
         for lpn in self._candidates(first_lpn, last_lpn):
+            entry = self._entries[lpn]
             unit_first = lpn * spu
-            if unit_first >= lba and unit_first + spu <= lba + nsectors:
+            start = max(lba, unit_first)
+            end = min(lba + nsectors, unit_first + spu)
+            for sector in range(start, end):
+                offset = sector - unit_first
+                entry.covered[offset] = False
+                entry.tags[offset] = None
+            if not any(entry.covered):
                 del self._entries[lpn]
                 dropped += 1
         return dropped

@@ -14,7 +14,7 @@ The controller owns the host-visible behaviour of the device:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.common.errors import CommandError, ConfigError
 from repro.common.units import US
@@ -82,6 +82,11 @@ class SsdController:
         self._outstanding = 0
         self._outstanding_user = 0
         self._gc_daemon = None
+        self._in_transit: Dict[int, CoalescedUnit] = {}
+        """Units popped from the durable coalescer whose FTL staging write
+        has not completed yet, keyed by LPN.  Still capacitor-covered:
+        the host was acked at merge time, so a power cut in this
+        pop-to-stage window must not lose them."""
 
     # ------------------------------------------------------------------
     # submission
@@ -252,13 +257,18 @@ class SsdController:
             return
         self._invalidate_cache_range(lba, nsectors)
         ready = self.write_buffer.merge(lba, nsectors, tags, cause, stream)
+        for unit in ready:
+            self._in_transit[unit.lpn] = unit
         yield self.ftl.config.map_update_ns * max(1, len(ready))
         spu = self.ftl.sectors_per_unit
         for unit in ready:
             yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
                                       stream=unit.stream, cause=unit.cause)
+            self._release_transit(unit)
         for unit in self.write_buffer.evict_pressure():
+            self._in_transit[unit.lpn] = unit
             yield from self._write_partial_unit(unit)
+            self._release_transit(unit)
 
     def _write_partial_unit(self, unit: CoalescedUnit) -> Generator[Any, Any, None]:
         """Flush a partially covered coalesced unit (RMW if it was mapped)."""
@@ -272,12 +282,37 @@ class SsdController:
     def _drain_buffered(self, units: List[CoalescedUnit]
                         ) -> Generator[Any, Any, None]:
         for unit in units:
+            self._in_transit[unit.lpn] = unit
+        for unit in units:
             if unit.full:
                 spu = self.ftl.sectors_per_unit
                 yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
                                           stream=unit.stream, cause=unit.cause)
             else:
                 yield from self._write_partial_unit(unit)
+            self._release_transit(unit)
+
+    def _release_transit(self, unit: CoalescedUnit) -> None:
+        """The unit is staged in the FTL (durable again): drop its
+        capacitor shadow unless a newer generation replaced it."""
+        if self._in_transit.get(unit.lpn) is unit:
+            del self._in_transit[unit.lpn]
+
+    def durable_overlay(self, lba: int, nsectors: int,
+                        tags: List[Any]) -> List[Any]:
+        """Patch ``tags`` with all capacitor-protected buffered content.
+
+        Applies the in-transit units first (older than the coalescer: a
+        sector rewritten after its unit went in transit lives in a fresh
+        coalescer entry), then the coalescer itself.  Recovery uses this
+        to observe every durable-but-unstaged sector after a power cut.
+        """
+        spu = self.ftl.sectors_per_unit
+        for index, sector in enumerate(range(lba, lba + nsectors)):
+            unit = self._in_transit.get(sector // spu)
+            if unit is not None and unit.covered[sector % spu]:
+                tags[index] = unit.tags[sector % spu]
+        return self.write_buffer.overlay(lba, nsectors, tags)
 
     def _do_flush(self) -> Generator[Any, Any, None]:
         self.stats.counter("host.flush_cmds").add(1)

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.checkin.format import LogType, MergedPayload, PackedSector
+from repro.checkin.format import (
+    LogType,
+    MergedPayload,
+    PackedSector,
+    extract_from_span,
+)
 from repro.common.errors import EngineError
 from repro.engine import PackedFormatter, SectorAlignedFormatter, UpdateRequest
 
@@ -64,9 +69,29 @@ class TestPackedFormatter:
         assert layout.padded_bytes == layout.nsectors * 512 - total
         for entry in layout.entries:
             assert 50 <= entry.journal_lba < 50 + layout.nsectors
-            # The tag is recoverable from the sector where the value starts.
-            sector = layout.sector_tags[entry.journal_lba - 50]
-            assert sector.part_at(entry.src_offset) == (entry.key, entry.version)
+            first = entry.journal_lba - 50
+            # The span starts at the record's header sector and covers the
+            # whole value; the tag is recoverable relative to the span.
+            assert first + entry.journal_nsectors <= layout.nsectors
+            span = layout.sector_tags[first:first + entry.journal_nsectors]
+            assert extract_from_span(span, entry.src_offset) == \
+                (entry.key, entry.version)
+
+    def test_straddling_header_included_in_span(self):
+        """Regression: a header crossing a sector boundary must pull the
+        preceding sector into the entry's journal span, or a recovery
+        read of [journal_lba, +nsectors) misses part of the log record."""
+        formatter = PackedFormatter(header_bytes=16)
+        # First record ends at byte 504; the second record's header
+        # occupies bytes 504..520, straddling the sector-0/1 boundary.
+        layout = formatter.layout([request(1, 488), request(2, 300)],
+                                  first_lba=100)
+        second = layout.entries[1]
+        assert second.journal_lba == 100      # span begins at the header's sector
+        assert second.journal_nsectors == 2   # header sector + value sector
+        assert second.src_offset == 520       # value starts in the next sector
+        span = layout.sector_tags[0:2]
+        assert extract_from_span(span, second.src_offset) == (2, 1)
 
 
 class TestSectorAlignedFormatterSizing:

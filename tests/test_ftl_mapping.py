@@ -159,6 +159,31 @@ class TestSnapshotRestore:
         assert table.lookup(1) == 10
 
 
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 20),
+                          st.integers(0, 40)), max_size=60))
+def test_property_snapshot_restore_roundtrip(ops):
+    """snapshot()/restore() rebuilds the reverse map, refcounts and
+    per-block valid counts identically — including shared units created
+    by remap-style aliasing."""
+    table = SubPageMappingTable(4, 4)
+    for op, lpn, upa in ops:
+        if op == 0:
+            table.map(lpn, upa)
+        elif op == 1:
+            src = upa % 21
+            if table.is_mapped(src):
+                table.share(src, lpn)
+        else:
+            table.unmap(lpn)
+    restored = SubPageMappingTable(4, 4)
+    restored.restore(table.snapshot())
+    assert dict(restored.items()) == dict(table.items())
+    assert sorted(restored.reverse_items()) == sorted(table.reverse_items())
+    assert restored.valid_counts() == table.valid_counts()
+    for upa in dict(table.reverse_items()):
+        assert restored.refcount(upa) == table.refcount(upa)
+
+
 @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 40)), max_size=60))
 def test_property_refcounts_consistent(ops):
     """After any sequence of maps, reverse map and valid counts agree."""

@@ -1,0 +1,123 @@
+"""Power-cut semantics of the sim kernel and unconsumed-failure tracking."""
+
+import pytest
+
+from repro.common.errors import PowerLossError, SimulationError
+from repro.sim import Simulator, spawn
+
+
+class TestUnconsumedFailures:
+    def test_unwaited_failure_raises_at_run_exit(self):
+        """Regression: Event.fail with zero waiters used to swallow the
+        exception silently — a failed flash op could vanish without trace."""
+        sim = Simulator()
+        sim.event().fail(RuntimeError("lost flash op"))
+        with pytest.raises(SimulationError, match="never consumed"):
+            sim.run()
+
+    def test_strict_mode_opt_out(self):
+        sim = Simulator(strict_failures=False)
+        sim.event().fail(RuntimeError("ignored by request"))
+        sim.run()
+
+    def test_late_waiter_consumes_failure(self):
+        sim = Simulator()
+        event = sim.event().fail(RuntimeError("seen eventually"))
+        observed = []
+        event.add_callback(lambda ev: observed.append(ev.exception))
+        sim.run()
+        assert len(observed) == 1
+
+    def test_defuse_before_failure(self):
+        sim = Simulator()
+        event = sim.event()
+        event.defuse()
+        event.fail(RuntimeError("declared handled up front"))
+        sim.run()
+
+    def test_defuse_after_failure(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("handled late")).defuse()
+        sim.run()
+
+    def test_unconsumed_failures_listed(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("a"))
+        sim.event().fail(RuntimeError("b"))
+        assert len(sim.unconsumed_failures()) == 2
+
+
+class TestPowerCut:
+    def test_kills_live_processes_with_power_loss(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield 1_000_000
+
+        proc = spawn(sim, sleeper(), name="victim")
+        sim.step()  # start the process; it is now mid-sleep
+        assert sim.power_cut() == 1
+        assert sim.crashed
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.exception, PowerLossError)
+
+    def test_heap_is_discarded(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.power_cut()
+        assert sim.peek() is None
+        assert sim.step() is False
+
+    def test_schedule_after_crash_is_suppressed(self):
+        sim = Simulator()
+        sim.power_cut()
+        fired = []
+        timer = sim.schedule(0, fired.append, 1)
+        assert timer.cancelled
+        sim.run()
+        assert fired == []
+
+    def test_finally_blocks_run_but_schedule_nothing(self):
+        sim = Simulator()
+        released = []
+
+        def holder():
+            try:
+                yield 1_000_000
+            finally:
+                released.append(sim.now)
+                # A finally block releasing a resource would schedule the
+                # next waiter here; after the cut that must be inert.
+
+        spawn(sim, holder(), name="holder")
+        sim.step()
+        sim.power_cut()
+        assert released == [0]
+        assert sim.peek() is None
+
+    def test_kill_failures_do_not_trip_strict_check(self):
+        """The PowerLossError each killed process fails with is part of
+        the crash, not an unobserved bug — run() stays quiet."""
+        sim = Simulator()
+        spawn(sim, (yield_ for yield_ in [1_000_000]), name="victim")
+        sim.step()
+        sim.power_cut()
+        sim.run()
+
+    def test_second_power_cut_is_noop(self):
+        sim = Simulator()
+        spawn(sim, (x for x in [1_000]), name="p")
+        sim.step()
+        assert sim.power_cut() == 1
+        assert sim.power_cut() == 0
+
+    def test_completed_process_is_not_a_victim(self):
+        sim = Simulator()
+
+        def quick():
+            yield 5
+
+        proc = spawn(sim, quick(), name="quick")
+        sim.run()
+        assert proc.ok
+        assert sim.power_cut() == 0

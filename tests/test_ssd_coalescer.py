@@ -96,14 +96,35 @@ class TestDrainDiscard:
         assert [u.lpn for u in drained] == [0]
         assert len(wb) == 1
 
-    def test_discard_only_full_units(self):
+    def test_discard_clears_partial_overlap(self):
         wb = make(spu=8)
         wb.merge(0, 1, ["a"], "d", "d")
-        # Range covers only part of the unit: nothing dropped.
+        wb.merge(6, 2, ["b", "c"], "d", "d")
+        # The trim covers sectors 0-3: sector 0's content must go, but the
+        # unit survives because sectors 6-7 are still covered.
         assert wb.discard_range(0, 4) == 0
-        # Whole unit inside the range: dropped.
+        entry = wb.peek(0)
+        assert entry is not None
+        assert not entry.covered[0] and entry.tags[0] is None
+        assert entry.covered[6] and entry.covered[7]
+        # Trimming the rest empties the unit and drops it.
+        assert wb.discard_range(4, 4) == 1
+        assert len(wb) == 0
+
+    def test_discard_whole_unit(self):
+        wb = make(spu=8)
+        wb.merge(0, 1, ["a"], "d", "d")
         assert wb.discard_range(0, 8) == 1
         assert len(wb) == 0
+
+    def test_discard_does_not_resurrect_trimmed_sectors(self):
+        """Regression: a partially-overlapping unit used to keep its
+        covered flags, so overlay() served trimmed data to later reads."""
+        wb = make(spu=8)
+        wb.merge(0, 2, ["a", "b"], "d", "d")
+        wb.discard_range(0, 1)
+        tags = wb.overlay(0, 2, [None, None])
+        assert tags == [None, "b"]
 
 
 class TestOverlay:
