@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig8a [--scale quick|full]
+    python -m repro run fig8a [--scale quick|full] [--trace [--out t.json]]
     python -m repro bench --mode checkin --workload A --threads 32
+    python -m repro trace fig8 --out trace.json
+    python -m repro trace --validate trace.json
     python -m repro table1
     python -m repro fault-sweep --crash-points 50 --seed 7
 """
@@ -14,11 +16,29 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.experiments.base import FULL, QUICK
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENT_ALIASES,
+    EXPERIMENTS,
+    run_experiment,
+)
 from repro.system import SystemConfig, run_config
+from repro.trace import (
+    Tracer,
+    clear_runs,
+    collected_runs,
+    component_table,
+    disable_tracing,
+    enable_tracing,
+    phase_table,
+    queue_split_table,
+    summarize,
+    validate_trace_file,
+    write_chrome_trace,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -28,17 +48,81 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _runs_phase_table(runs: Sequence[Tuple[str, Tracer]]) -> str:
+    """One row per traced run: checkpoint count and per-phase totals."""
+    summaries = [(label, summarize(tracer)) for label, tracer in runs]
+    phases = sorted({phase for _label, summary in summaries
+                     for phase in summary.phase_totals})
+    headers = ["run", "ckpts", "ckpt_ms"] + [f"{p}_ms" for p in phases]
+    rows: List[List[Any]] = []
+    for label, summary in summaries:
+        total_ms = sum(c["duration_ns"] for c in summary.checkpoints) / 1e6
+        rows.append([label, summary.checkpoint_count, total_ms]
+                    + [summary.phase_totals.get(p, 0) / 1e6 for p in phases])
+    return format_table(headers, rows,
+                        title="trace: checkpoint phases per run")
+
+
+def _emit_trace(out: Optional[str]) -> None:
+    """Print the trace overview and optionally export the Chrome JSON."""
+    runs = collected_runs()
+    if not runs:
+        print("[trace: no traced runs collected]", file=sys.stderr)
+        return
+    print()
+    print(_runs_phase_table(runs))
+    if out:
+        count = write_chrome_trace(out, runs)
+        problems = validate_trace_file(out)
+        status = "valid" if not problems else f"{len(problems)} PROBLEMS"
+        print(f"\n[trace: {count} events from {len(runs)} run(s) -> {out} "
+              f"({status})]")
+    clear_runs()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = FULL if args.scale == "full" else QUICK
+    if args.trace:
+        clear_runs()
+        enable_tracing()
     started = time.time()
-    result = run_experiment(args.experiment, scale)
+    try:
+        result = run_experiment(args.experiment, scale)
+    finally:
+        if args.trace:
+            disable_tracing()
     elapsed = time.time() - started
     print(result if isinstance(result, str) else result.table())
     for extra in ("comparison_table", "lifetime_table"):
         if hasattr(result, extra):
             print()
             print(getattr(result, extra)())
+    if args.trace:
+        _emit_trace(args.out)
     print(f"\n[{args.experiment} at {scale.name} scale: {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.validate:
+        problems = validate_trace_file(args.validate)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{args.validate}: "
+              + ("ok" if not problems else f"{len(problems)} problems"))
+        return 1 if problems else 0
+    scale = FULL if args.scale == "full" else QUICK
+    clear_runs()
+    enable_tracing()
+    started = time.time()
+    try:
+        run_experiment(args.experiment, scale)
+    finally:
+        disable_tracing()
+    elapsed = time.time() - started
+    _emit_trace(args.out)
+    print(f"\n[{args.experiment} traced at {scale.name} scale: "
+          f"{elapsed:.1f}s]")
     return 0
 
 
@@ -46,7 +130,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     config = SystemConfig(mode=args.mode, workload=args.workload,
                           threads=args.threads, total_queries=args.queries,
                           distribution=args.distribution,
-                          verify_reads=False)
+                          verify_reads=False, trace=args.trace)
+    if args.trace:
+        clear_runs()
     started = time.time()
     result = run_config(config)
     elapsed = time.time() - started
@@ -58,6 +144,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(["metric", "value"], rows,
                        title=f"{args.mode} / workload {args.workload} / "
                              f"{args.threads} threads"))
+    if result.trace_summary is not None:
+        for table in (component_table, phase_table, queue_split_table):
+            print()
+            print(table(result.trace_summary))
+        if args.out:
+            count = write_chrome_trace(args.out, collected_runs())
+            print(f"\n[trace: {count} events -> {args.out}]")
+        clear_runs()
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
           f"{metrics.duration_ns / 1e9:.3f}s]")
     return 0
@@ -86,7 +180,8 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
         failures = sweep.failures()
         failed += len(failures)
         rows.append([mode, len(sweep.results), sweep.total_steps,
-                     len(failures), sweep.digest()])
+                     len(failures), sweep.mean_recovery_wall_ns() / 1e6,
+                     sweep.max_recovery_wall_ns() / 1e6, sweep.digest()])
         for result in failures:
             problems = (result.invariant_violations
                         + result.checkpoint_violations)
@@ -100,7 +195,8 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
     elapsed = time.time() - started
     print(format_table(
-        ["mode", "crash_points", "workload_steps", "failures", "digest"],
+        ["mode", "crash_points", "workload_steps", "failures",
+         "rec_mean_ms", "rec_max_ms", "digest"],
         rows, title=f"fault sweep (seed {args.seed})"))
     print(f"\n[{sum(r[1] for r in rows)} crash points: {elapsed:.1f}s]")
     return 1 if failed else 0
@@ -116,11 +212,31 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list reproducible figures/tables") \
         .set_defaults(handler=_cmd_list)
 
+    experiment_names = sorted(EXPERIMENTS) + sorted(EXPERIMENT_ALIASES)
+
     run_parser = commands.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("experiment", choices=experiment_names)
     run_parser.add_argument("--scale", choices=("quick", "full"),
                             default="quick")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="trace every system in the experiment and "
+                                 "print the checkpoint phase breakdown")
+    run_parser.add_argument("--out", metavar="PATH", default=None,
+                            help="with --trace: write the Chrome "
+                                 "trace_event JSON here (Perfetto-loadable)")
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = commands.add_parser(
+        "trace", help="run one experiment traced and export its timeline")
+    trace_parser.add_argument("experiment", nargs="?", default="fig8a",
+                              choices=experiment_names)
+    trace_parser.add_argument("--scale", choices=("quick", "full"),
+                              default="quick")
+    trace_parser.add_argument("--out", metavar="PATH", default="trace.json")
+    trace_parser.add_argument("--validate", metavar="PATH", default=None,
+                              help="validate an existing trace file instead "
+                                   "of running anything")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     bench_parser = commands.add_parser(
         "bench", help="run one configuration and print its metrics")
@@ -134,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--distribution", default="zipfian",
                               choices=("uniform", "zipfian",
                                        "scrambled_zipfian"))
+    bench_parser.add_argument("--trace", action="store_true",
+                              help="trace the run and print per-component "
+                                   "stage/phase/queue tables")
+    bench_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="with --trace: write the Chrome "
+                                   "trace_event JSON here")
     bench_parser.set_defaults(handler=_cmd_bench)
 
     commands.add_parser("table1", help="print the Table-I configuration") \

@@ -48,16 +48,32 @@ class InStorageCheckpointEngine:
     def execute_cow(self, entries: Tuple[CowEntry, ...]
                     ) -> Generator[Any, Any, Tuple[int, int]]:
         """Run a CoW batch; returns ``(remapped_units, copied_units)``."""
+        tracer = self.sim.tracer
+        span = tracer.begin("isce", "cow", entries=len(entries)) \
+            if tracer.enabled else None
         yield len(entries) * self.DECODE_NS_PER_ENTRY
         result = yield from self.processor.process(entries)
+        if span is not None:
+            tracer.end(span, remapped=result[0], copied=result[1])
         return result
 
     def checkpoint_complete(self) -> Generator[Any, Any, None]:
         """Called after the whole checkpoint: persist mapping metadata."""
+        tracer = self.sim.tracer
+        span = tracer.begin("isce", "mapping_persist") \
+            if tracer.enabled else None
         self.log_manager.checkpoint_created()
         yield from self.ftl.persist_metadata(force=True)
+        if span is not None:
+            tracer.end(span)
 
     def delete_logs(self, lba: int, nsectors: int) -> Generator[Any, Any, int]:
         """Deallocate checkpointed journal logs."""
+        tracer = self.sim.tracer
+        span = tracer.begin("isce", "delete_logs", lba=lba,
+                            nsectors=nsectors) \
+            if tracer.enabled else None
         freed = yield from self.deallocator.delete_logs(lba, nsectors)
+        if span is not None:
+            tracer.end(span, freed_units=freed)
         return freed

@@ -91,24 +91,47 @@ class CheckpointStrategy(abc.ABC):
         """Configuration label (matches the paper's legend)."""
 
     @abc.abstractmethod
-    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
-        """Materialise the frozen epoch into the data area."""
+    def run(self, frozen: FrozenEpoch,
+            trace_parent: Any = None) -> Generator[Any, Any, CheckpointReport]:
+        """Materialise the frozen epoch into the data area.
+
+        ``trace_parent`` is the per-checkpoint root span (or None); the
+        strategy nests its named phase spans under it — the taxonomy the
+        phase-breakdown tables aggregate over.
+        """
 
     # -- shared helpers -----------------------------------------------------
     def _new_report(self, frozen: FrozenEpoch) -> CheckpointReport:
         return CheckpointReport(strategy=self.name, started_at=self.sim.now,
                                 entries_total=len(frozen.jmt))
 
+    def _phase(self, parent: Any, name: str, **attrs: Any) -> Any:
+        """Open one named checkpoint-phase span (None when untraced)."""
+        if parent is None:
+            return None
+        return self.sim.tracer.begin("ckpt", name, parent=parent, **attrs)
+
+    def _phase_end(self, span: Any, **attrs: Any) -> None:
+        """Close a phase span opened by :meth:`_phase`."""
+        if span is not None:
+            self.sim.tracer.end(span, **attrs)
+
     OFFLOAD_PROGRAM_SECTORS = 128
     """Size of the offload execution code image (64 KiB)."""
 
-    def _ensure_offload_program(self) -> Generator[Any, Any, None]:
+    def _ensure_offload_program(self,
+                                trace_parent: Any = None
+                                ) -> Generator[Any, Any, None]:
         """Download the offload code to the device, once (§III-C)."""
         isce = self.ssd.isce
         if isce is None or isce.program_loaded:
             return
+        span = self._phase(trace_parent, "load_program",
+                           bytes=self.OFFLOAD_PROGRAM_SECTORS * 512)
         yield self.ssd.submit(Command(op=Op.LOAD_PROGRAM,
-                                      nsectors=self.OFFLOAD_PROGRAM_SECTORS))
+                                      nsectors=self.OFFLOAD_PROGRAM_SECTORS,
+                                      span=span))
+        self._phase_end(span)
 
     def _pooled(self, jobs: List[Any]) -> Generator[Any, Any, None]:
         """Run generator jobs with bounded concurrency."""
@@ -126,18 +149,25 @@ class CheckpointStrategy(abc.ABC):
             yield all_of(self.sim, workers)
 
     def _write_host_metadata(self, report: CheckpointReport,
-                             entry_count: int) -> Generator[Any, Any, None]:
+                             entry_count: int,
+                             trace_parent: Any = None
+                             ) -> Generator[Any, Any, None]:
         """Baseline/ISC-A/B: the host persists checkpoint metadata itself."""
         meta_bytes = max(512, entry_count * self.policy.metadata_bytes_per_entry)
         nsectors = ceil_div(meta_bytes, 512)
-        yield self.ssd.submit(write_command(
+        span = self._phase(trace_parent, "metadata_persist", bytes=meta_bytes)
+        meta_cmd = write_command(
             self.policy.metadata_lba, nsectors, tags=None, fua=True,
-            stream="meta", cause="ckpt_meta"))
-        yield self.ssd.submit(Command(op=Op.FLUSH))
+            stream="meta", cause="ckpt_meta")
+        meta_cmd.span = span
+        yield self.ssd.submit(meta_cmd)
+        yield self.ssd.submit(Command(op=Op.FLUSH, span=span))
         report.write_commands += 1
+        self._phase_end(span)
 
     def _trim_journal(self, frozen: FrozenEpoch, report: CheckpointReport,
-                      via_isce: bool) -> Generator[Any, Any, None]:
+                      via_isce: bool,
+                      trace_parent: Any = None) -> Generator[Any, Any, None]:
         # The checkpoint is durable: clear the JMT first so no reader is
         # routed to a journal location while (or after) it is deallocated.
         frozen.jmt.clear()
@@ -145,8 +175,11 @@ class CheckpointStrategy(abc.ABC):
         if nsectors == 0:
             return
         op = Op.DELETE_LOGS if via_isce else Op.TRIM
-        yield self.ssd.submit(Command(op=op, lba=lba, nsectors=nsectors))
+        span = self._phase(trace_parent, "dealloc", lba=lba, nsectors=nsectors)
+        yield self.ssd.submit(Command(op=op, lba=lba, nsectors=nsectors,
+                                      span=span))
         report.journal_sectors_freed = nsectors
+        self._phase_end(span)
 
 
 def cow_entry_for(entry: JournalEntry) -> CowEntry:
@@ -170,42 +203,54 @@ class BaselineCheckpointer(CheckpointStrategy):
     def name(self) -> str:
         return "baseline"
 
-    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+    def run(self, frozen: FrozenEpoch,
+            trace_parent: Any = None) -> Generator[Any, Any, CheckpointReport]:
         report = self._new_report(frozen)
         latest = frozen.jmt.latest_entries()
         report.entries_checkpointed = len(latest)
 
         # Phase 1: read every latest journal log into host memory.
         read_results: List[Optional[List[Any]]] = [None] * len(latest)
+        readback = self._phase(trace_parent, "journal_readback",
+                               entries=len(latest))
 
         def read_job(index: int, entry: JournalEntry):
             completion = yield self.ssd.submit(Command(
                 op=Op.READ, lba=entry.journal_lba,
-                nsectors=entry.journal_nsectors))
+                nsectors=entry.journal_nsectors, span=readback))
             read_results[index] = completion.tags
             report.read_commands += 1
 
         yield from self._pooled([read_job(i, e) for i, e in enumerate(latest)])
+        self._phase_end(readback)
 
         # Phase 2: write each latest value to its target location, in
         # ascending target order so neighbouring records coalesce into
         # whole mapping units in the device buffer.
         from repro.checkin.format import extract_from_span
 
+        data_write = self._phase(trace_parent, "data_write",
+                                 entries=len(latest))
+
         def write_job(index: int, entry: JournalEntry):
             tag = extract_from_span(read_results[index], entry.src_offset)
             sector_tags = [tag] * entry.target_nsectors
-            yield self.ssd.submit(write_command(
+            cmd = write_command(
                 entry.target_lba, entry.target_nsectors, tags=sector_tags,
-                stream="data", cause="ckpt"))
+                stream="data", cause="ckpt")
+            cmd.span = data_write
+            yield self.ssd.submit(cmd)
             report.write_commands += 1
 
         ordered = sorted(range(len(latest)), key=lambda i: latest[i].target_lba)
         yield from self._pooled([write_job(i, latest[i]) for i in ordered])
+        self._phase_end(data_write)
 
         # Phase 3: metadata, then retire the journal half.
-        yield from self._write_host_metadata(report, len(latest))
-        yield from self._trim_journal(frozen, report, via_isce=False)
+        yield from self._write_host_metadata(report, len(latest),
+                                             trace_parent=trace_parent)
+        yield from self._trim_journal(frozen, report, via_isce=False,
+                                      trace_parent=trace_parent)
         report.copied_units = len(latest)
         report.finished_at = self.sim.now
         return report
@@ -218,23 +263,30 @@ class IscACheckpointer(CheckpointStrategy):
     def name(self) -> str:
         return "isc_a"
 
-    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+    def run(self, frozen: FrozenEpoch,
+            trace_parent: Any = None) -> Generator[Any, Any, CheckpointReport]:
         report = self._new_report(frozen)
         latest = frozen.jmt.latest_entries()
         report.entries_checkpointed = len(latest)
-        yield from self._ensure_offload_program()
+        yield from self._ensure_offload_program(trace_parent)
+        cow_span = self._phase(trace_parent, "cow_remap",
+                               entries=len(latest))
 
         def cow_job(entry: JournalEntry):
             completion = yield self.ssd.submit(Command(
-                op=Op.COW, entries=(cow_entry_for(entry),)))
+                op=Op.COW, entries=(cow_entry_for(entry),), span=cow_span))
             report.cow_commands += 1
             report.remapped_units += completion.remapped_units
             report.copied_units += completion.copied_units
 
         ordered = sorted(latest, key=lambda e: e.target_lba)
         yield from self._pooled([cow_job(e) for e in ordered])
-        yield from self._write_host_metadata(report, len(latest))
-        yield from self._trim_journal(frozen, report, via_isce=True)
+        self._phase_end(cow_span, remapped=report.remapped_units,
+                        copied=report.copied_units)
+        yield from self._write_host_metadata(report, len(latest),
+                                             trace_parent=trace_parent)
+        yield from self._trim_journal(frozen, report, via_isce=True,
+                                      trace_parent=trace_parent)
         report.finished_at = self.sim.now
         return report
 
@@ -246,33 +298,43 @@ class IscBCheckpointer(CheckpointStrategy):
     def name(self) -> str:
         return "isc_b"
 
-    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+    def run(self, frozen: FrozenEpoch,
+            trace_parent: Any = None) -> Generator[Any, Any, CheckpointReport]:
         report = self._new_report(frozen)
         latest = frozen.jmt.latest_entries()
         report.entries_checkpointed = len(latest)
-        yield from self._ensure_offload_program()
-        yield from self._submit_batches(latest, report, op=Op.COW_MULTI)
-        yield from self._write_host_metadata(report, len(latest))
-        yield from self._trim_journal(frozen, report, via_isce=True)
+        yield from self._ensure_offload_program(trace_parent)
+        yield from self._submit_batches(latest, report, op=Op.COW_MULTI,
+                                        trace_parent=trace_parent)
+        yield from self._write_host_metadata(report, len(latest),
+                                             trace_parent=trace_parent)
+        yield from self._trim_journal(frozen, report, via_isce=True,
+                                      trace_parent=trace_parent)
         report.finished_at = self.sim.now
         return report
 
     def _submit_batches(self, latest: List[JournalEntry],
-                        report: CheckpointReport,
-                        op: Op) -> Generator[Any, Any, None]:
+                        report: CheckpointReport, op: Op,
+                        trace_parent: Any = None
+                        ) -> Generator[Any, Any, None]:
         batch_size = max(1, self.policy.cow_batch)
         ordered = sorted(latest, key=lambda entry: entry.target_lba)
         batches = [ordered[i:i + batch_size]
                    for i in range(0, len(ordered), batch_size)]
+        cow_span = self._phase(trace_parent, "cow_remap",
+                               entries=len(latest), batches=len(batches))
 
         def batch_job(batch: List[JournalEntry]):
             entries = tuple(cow_entry_for(entry) for entry in batch)
-            completion = yield self.ssd.submit(Command(op=op, entries=entries))
+            completion = yield self.ssd.submit(Command(op=op, entries=entries,
+                                                       span=cow_span))
             report.cow_commands += 1
             report.remapped_units += completion.remapped_units
             report.copied_units += completion.copied_units
 
         yield from self._pooled([batch_job(b) for b in batches])
+        self._phase_end(cow_span, remapped=report.remapped_units,
+                        copied=report.copied_units)
 
 
 class IscCCheckpointer(IscBCheckpointer):
@@ -299,13 +361,16 @@ class CheckInCheckpointer(IscBCheckpointer):
     def name(self) -> str:
         return "checkin"
 
-    def run(self, frozen: FrozenEpoch) -> Generator[Any, Any, CheckpointReport]:
+    def run(self, frozen: FrozenEpoch,
+            trace_parent: Any = None) -> Generator[Any, Any, CheckpointReport]:
         report = self._new_report(frozen)
         latest = frozen.jmt.latest_entries()
         report.entries_checkpointed = len(latest)
-        yield from self._ensure_offload_program()
-        yield from self._submit_batches(latest, report, op=Op.CHECKPOINT)
-        yield from self._trim_journal(frozen, report, via_isce=True)
+        yield from self._ensure_offload_program(trace_parent)
+        yield from self._submit_batches(latest, report, op=Op.CHECKPOINT,
+                                        trace_parent=trace_parent)
+        yield from self._trim_journal(frozen, report, via_isce=True,
+                                      trace_parent=trace_parent)
         report.finished_at = self.sim.now
         return report
 

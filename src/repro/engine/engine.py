@@ -240,8 +240,12 @@ class StorageEngine:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def put(self, key: int) -> Generator[Any, Any, int]:
+    def put(self, key: int,
+            trace_parent: Any = None) -> Generator[Any, Any, int]:
         """Update ``key``; returns the committed version."""
+        tracer = self.sim.tracer
+        span = tracer.begin("engine", "put", parent=trace_parent, key=key) \
+            if tracer.enabled else None
         yield from self._pass_gate()
         yield self.config.cpu_query_ns
         record = self.kvmap.get(key)
@@ -254,10 +258,16 @@ class StorageEngine:
         yield commit
         self.mem_cache.insert(key, version)
         self.stats.counter("query.update").add(1, num_bytes=record.size_bytes)
+        if span is not None:
+            tracer.end(span, bytes=record.size_bytes)
         return version
 
-    def get(self, key: int) -> Generator[Any, Any, int]:
+    def get(self, key: int,
+            trace_parent: Any = None) -> Generator[Any, Any, int]:
         """Read ``key``; returns the version observed."""
+        tracer = self.sim.tracer
+        span = tracer.begin("engine", "get", parent=trace_parent, key=key) \
+            if tracer.enabled else None
         yield from self._pass_gate()
         yield self.config.cpu_query_ns
         record = self.kvmap.get(key)
@@ -265,34 +275,45 @@ class StorageEngine:
         if cached is not None:
             yield self.config.mem_hit_ns
             self.stats.counter("query.read_mem").add(1)
+            if span is not None:
+                tracer.end(span, source="mem")
             return cached
 
         entry = self.journal.active_jmt.lookup(key)
         if entry is None and self.journal.frozen is not None:
             entry = self.journal.frozen.jmt.lookup(key)
         if entry is not None and entry.committed:
-            completion = yield self.ssd.submit(Command(
-                op=Op.READ, lba=entry.journal_lba,
-                nsectors=entry.journal_nsectors))
+            command = Command(op=Op.READ, lba=entry.journal_lba,
+                              nsectors=entry.journal_nsectors)
+            command.span = span
+            completion = yield self.ssd.submit(command)
             tag = extract_from_span(completion.tags, entry.src_offset)
             version = entry.version
+            source = "journal"
         else:
-            completion = yield self.ssd.submit(Command(
-                op=Op.READ, lba=record.lba, nsectors=record.nsectors))
+            command = Command(op=Op.READ, lba=record.lba,
+                              nsectors=record.nsectors)
+            command.span = span
+            completion = yield self.ssd.submit(command)
             tag = completion.tags[0] if completion.tags else None
             version = tag[1] if tag else 0
+            source = "data"
         if self.config.verify_reads and tag is not None and tag[0] != key:
             raise EngineError(
                 f"consistency violation: read of key {key} returned {tag}")
         self.mem_cache.insert(key, version)
         self.stats.counter("query.read_storage").add(
             1, num_bytes=record.size_bytes)
+        if span is not None:
+            tracer.end(span, source=source, bytes=record.size_bytes)
         return version
 
-    def read_modify_write(self, key: int) -> Generator[Any, Any, int]:
+    def read_modify_write(self, key: int,
+                          trace_parent: Any = None
+                          ) -> Generator[Any, Any, int]:
         """YCSB workload F's RMW: a read followed by an update."""
-        yield from self.get(key)
-        version = yield from self.put(key)
+        yield from self.get(key, trace_parent=trace_parent)
+        version = yield from self.put(key, trace_parent=trace_parent)
         return version
 
     # ------------------------------------------------------------------
@@ -316,12 +337,32 @@ class StorageEngine:
         self._checkpoint_running = True
         if self.config.lock_queries_during_checkpoint:
             self._gate = self.sim.event()
+        tracer = self.sim.tracer
+        root = tracer.begin("ckpt", "checkpoint",
+                            strategy=self.strategy.name) \
+            if tracer.enabled else None
         try:
+            scan = tracer.begin("ckpt", "journal_scan", parent=root) \
+                if root is not None else None
             frozen = yield from self.journal.freeze_when_quiet()
-            report = yield from self.strategy.run(frozen)
+            if scan is not None:
+                tracer.end(scan, entries=len(frozen.jmt),
+                           journal_sectors=frozen.used_sectors)
+            report = yield from self.strategy.run(frozen, trace_parent=root)
             self.journal.release_frozen()
             self.checkpoint_reports.append(report)
             self.stats.counter("ckpt.count").add(1)
+            if root is not None:
+                # Per-checkpoint-interval device utilisation: the window
+                # runs from the previous checkpoint (or run start).
+                qd_avg, window_ns = \
+                    self.ssd.controller.queue_depth.snapshot_window()
+                tracer.end(root, entries=report.entries_checkpointed,
+                           remapped_units=report.remapped_units,
+                           copied_units=report.copied_units,
+                           qd_avg=round(qd_avg, 3),
+                           qd_window_ms=round(window_ns / 1e6, 3))
+                root = None
             for hook in self.on_checkpoint:
                 hook(self, report)
             return report

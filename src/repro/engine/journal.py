@@ -182,6 +182,12 @@ class JournalManager:
         requests = [request for request, _event in batch]
         layout = self.formatter.layout(requests, first_lba=0)
         nsectors = layout.nsectors
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("aligner", "layout", logs=len(batch),
+                           nsectors=nsectors,
+                           payload_bytes=layout.payload_bytes,
+                           padded_bytes=layout.padded_bytes)
         if nsectors > self.config.half_sectors:
             raise EngineError(
                 f"transaction of {nsectors} sectors exceeds a journal half")
@@ -217,9 +223,18 @@ class JournalManager:
                           nsectors: int) -> Generator[Any, Any, None]:
         for entry in layout.entries:
             entry.journal_lba += lba
-        completion = yield self.ssd.submit(write_command(
+        tracer = self.sim.tracer
+        span = tracer.begin("journal", "txn", lba=lba, nsectors=nsectors,
+                            logs=len(batch),
+                            bytes=nsectors * SECTOR_SIZE) \
+            if tracer.enabled else None
+        command = write_command(
             lba, nsectors, tags=layout.sector_tags, fua=True,
-            stream="journal", cause="journal"))
+            stream="journal", cause="journal")
+        command.span = span
+        completion = yield self.ssd.submit(command)
+        if span is not None:
+            tracer.end(span)
 
         self.stats.counter("journal.transactions").add(
             1, num_bytes=nsectors * SECTOR_SIZE)

@@ -19,6 +19,13 @@ from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13a, run_fig13b
 from repro.experiments.table1 import run_table1
 
+EXPERIMENT_ALIASES: Dict[str, str] = {
+    "fig3": "fig3a",
+    "fig8": "fig8a",
+    "fig13": "fig13a",
+}
+"""Paper-figure shorthands: the bare figure number maps to its (a) panel."""
+
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
     "fig3a": run_fig3a,
     "fig3b": run_fig3b,
@@ -36,9 +43,15 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
 """Every reproducible table/figure, keyed by its paper id."""
 
 
+def resolve_experiment_id(experiment_id: str) -> str:
+    """Map an alias (e.g. ``fig8``) to its canonical id (``fig8a``)."""
+    return EXPERIMENT_ALIASES.get(experiment_id, experiment_id)
+
+
 def run_experiment(experiment_id: str,
                    scale: ExperimentScale = QUICK) -> Any:
-    """Run one registered experiment."""
+    """Run one registered experiment (aliases accepted)."""
+    experiment_id = resolve_experiment_id(experiment_id)
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:

@@ -31,6 +31,7 @@ from repro.fault.invariants import check_ftl_invariants
 from repro.sim.process import spawn
 from repro.system.config import SystemConfig, tiny_config
 from repro.system.system import KvSystem
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -47,6 +48,10 @@ class CrashPointResult:
     invariant_violations: List[str] = field(default_factory=list)
     durability_error: str = ""
     recovered_digest: str = ""
+    recovery_wall_ns: int = 0
+    """Host wall-clock time of the SPOR recovery scan (simulated time is
+    frozen after a power cut, so recovery cost is measured on the host's
+    monotonic clock via :meth:`repro.trace.tracer.Tracer.wallclock`)."""
 
     @property
     def ok(self) -> bool:
@@ -82,6 +87,17 @@ class SweepResult:
             digest.update(
                 f"{result.crash_step}:{result.recovered_digest}".encode())
         return digest.hexdigest()[:16]
+
+    def mean_recovery_wall_ns(self) -> float:
+        """Average SPOR recovery wall time per crash point."""
+        if not self.results:
+            return 0.0
+        return sum(r.recovery_wall_ns for r in self.results) / \
+            len(self.results)
+
+    def max_recovery_wall_ns(self) -> int:
+        """Slowest SPOR recovery across the sweep."""
+        return max((r.recovery_wall_ns for r in self.results), default=0)
 
 
 def _sweep_config(mode: str, seed: int, num_keys: int) -> SystemConfig:
@@ -148,6 +164,7 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
             f"invariants already broken in reference run: {ckpt_violations[:3]}")
 
     sweep = SweepResult(mode=mode, seed=seed, total_steps=total_steps)
+    wall = Tracer.wallclock()  # recovery runs outside simulated time
     rng = SeededRng(seed).fork(f"fault/{mode}")
     for index in range(crash_points):
         point_rng = rng.fork(f"point{index}")
@@ -165,12 +182,16 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
         pre_crash_mapping = system.ssd.ftl.mapping.snapshot()
 
         report = power_cut(system, point_rng.fork("tear"))
+        recovery_span = wall.begin("recovery", "spor_scan",
+                                   crash_step=crash_step)
         rebuilt = recover_device(system)
+        wall.end(recovery_span)
 
         result = CrashPointResult(
             index=index, crash_step=crash_step, sim_time_ns=system.sim.now,
             acked_keys=len(acked_at_crash), report=report,
-            checkpoint_violations=list(ckpt_violations))
+            checkpoint_violations=list(ckpt_violations),
+            recovery_wall_ns=recovery_span.duration_ns)
         result.mapping_mismatches = sum(
             1 for lpn in set(pre_crash_mapping) | set(rebuilt)
             if pre_crash_mapping.get(lpn) != rebuilt.get(lpn))

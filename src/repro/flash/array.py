@@ -84,9 +84,14 @@ class FlashArray:
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
         page_index = geometry.page_in_block(ppa)
-        lun = self._luns[geometry.lun_of_page(ppa)]
+        lun_index = geometry.lun_of_page(ppa)
+        lun = self._luns[lun_index]
         channel = self._channels[geometry.channel_of_page(ppa)]
 
+        tracer = self.sim.tracer
+        span = tracer.begin("flash", "read_page", track=lun_index, ppa=ppa,
+                            bytes=geometry.page_size) \
+            if tracer.enabled else None
         yield lun.acquire()
         try:
             yield self.timing.read_ns
@@ -97,6 +102,8 @@ class FlashArray:
                 channel.release()
         finally:
             lun.release()
+        if span is not None:
+            tracer.end(span)
         self.stats.counter("flash.read").add(1, num_bytes=geometry.page_size)
         # Content is sampled after the timed phases so a concurrent GC
         # migration that finished earlier is observed consistently.
@@ -110,9 +117,14 @@ class FlashArray:
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
         page_index = geometry.page_in_block(ppa)
-        lun = self._luns[geometry.lun_of_page(ppa)]
+        lun_index = geometry.lun_of_page(ppa)
+        lun = self._luns[lun_index]
         channel = self._channels[geometry.channel_of_page(ppa)]
 
+        tracer = self.sim.tracer
+        span = tracer.begin("flash", "program_page", track=lun_index,
+                            ppa=ppa, bytes=geometry.page_size) \
+            if tracer.enabled else None
         yield lun.acquire()
         try:
             yield channel.acquire()
@@ -128,6 +140,8 @@ class FlashArray:
             self._inflight_programs.pop(ppa, None)
         finally:
             lun.release()
+        if span is not None:
+            tracer.end(span)
         self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
 
     def mapping_read(self, lun: int) -> Generator[Any, Any, None]:
@@ -157,13 +171,20 @@ class FlashArray:
         """Timed block erase."""
         geometry = self.geometry
         block = self.block(block_id)
-        lun = self._luns[geometry.lun_of_block(block_id)]
+        lun_index = geometry.lun_of_block(block_id)
+        lun = self._luns[lun_index]
+        tracer = self.sim.tracer
+        span = tracer.begin("flash", "erase_block", track=lun_index,
+                            block=block_id) \
+            if tracer.enabled else None
         yield lun.acquire()
         try:
             block.erase(self.max_pe_cycles)
             yield self.timing.erase_ns
         finally:
             lun.release()
+        if span is not None:
+            tracer.end(span)
         self.stats.counter("flash.erase").add(1)
 
     # -- power-loss modelling ------------------------------------------------

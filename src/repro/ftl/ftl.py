@@ -236,12 +236,19 @@ class Ftl:
         """
         if tags is not None and len(tags) != nsectors:
             raise FtlError(f"expected {nsectors} sector tags, got {len(tags)}")
+        tracer = self.sim.tracer
+        span = tracer.begin("ftl", "write", lba=lba, nsectors=nsectors,
+                            bytes=nsectors * 512, stream=stream,
+                            cause=cause) \
+            if tracer.enabled else None
         locked = sorted(self.lpn_span(lba, nsectors))
         yield from self._acquire_lpns(locked)
         try:
             yield from self._locked_write(lba, nsectors, tags, stream, cause)
         finally:
             self._release_lpns(locked)
+            if span is not None:
+                tracer.end(span)
 
     def _locked_write(self, lba: int, nsectors: int,
                       tags: Optional[Sequence[SectorTag]],
@@ -433,6 +440,10 @@ class Ftl:
         Unmapped sectors read back as None without touching flash (the
         device returns zeroes from the deallocated-range fast path).
         """
+        tracer = self.sim.tracer
+        span = tracer.begin("ftl", "read", lba=lba, nsectors=nsectors,
+                            bytes=nsectors * 512) \
+            if tracer.enabled else None
         yield from self.touch_map(self.lpn_span(lba, nsectors))
         lpn_to_upa: Dict[int, Optional[int]] = {
             lpn: self.mapping.lookup(lpn) for lpn in self.lpn_span(lba, nsectors)}
@@ -468,6 +479,8 @@ class Ftl:
                 unit_tags = data.get(self.mapping.unit_index(upa)) if data else None
             offset = sector - lpn * self.sectors_per_unit
             result.append(unit_tags[offset] if unit_tags else None)
+        if span is not None:
+            tracer.end(span, flash_pages=len(flash_pages))
         return result
 
     def _read_pages_parallel(self, ppas: Iterable[int],
@@ -488,6 +501,9 @@ class Ftl:
     # ------------------------------------------------------------------
     def trim(self, lba: int, nsectors: int) -> Generator[Any, Any, int]:
         """Deallocate every unit fully inside the range; returns unit count."""
+        tracer = self.sim.tracer
+        span = tracer.begin("ftl", "trim", lba=lba, nsectors=nsectors) \
+            if tracer.enabled else None
         invalidated = 0
         for lpn in self.lpn_span(lba, nsectors):
             unit_first = lpn * self.sectors_per_unit
@@ -502,6 +518,8 @@ class Ftl:
         if invalidated:
             yield invalidated * self.config.map_update_ns
             self.stats.counter("ftl.trim.units").add(invalidated)
+        if span is not None:
+            tracer.end(span, units=invalidated)
         return invalidated
 
     # ------------------------------------------------------------------
@@ -514,6 +532,9 @@ class Ftl:
         This is the pure in-place checkpoint: no flash read or program —
         only mapping-table updates, later persisted in bulk.
         """
+        tracer = self.sim.tracer
+        span = tracer.begin("ftl", "remap", pairs=len(pairs), cause=cause) \
+            if tracer.enabled else None
         touched: List[int] = []
         for src_lpn, dst_lpn in pairs:
             touched.append(src_lpn)
@@ -528,6 +549,8 @@ class Ftl:
         if pairs:
             yield len(pairs) * self.config.remap_entry_ns
             self.stats.counter(f"ftl.remap.{cause}").add(len(pairs))
+        if span is not None:
+            tracer.end(span)
         yield from self._maybe_persist_metadata()
 
     def copy_range(self, src_lba: int, dst_lba: int, nsectors: int,
@@ -590,6 +613,10 @@ class Ftl:
             units = max(units, ceil_div(dirty_bytes, self.config.mapping_unit))
         if units == 0:
             return
+        tracer = self.sim.tracer
+        span = tracer.begin("ftl", "persist_meta", units=units,
+                            bytes=units * self.config.mapping_unit) \
+            if tracer.enabled else None
         self._dirty_map_entries = 0
         if self.gc.needs_urgent_collection():
             yield from self.gc.ensure_free_blocks()
@@ -606,6 +633,8 @@ class Ftl:
             units, num_bytes=units * self.config.mapping_unit)
         if self.config.snapshot_metadata:
             self._persisted_snapshot = self.mapping.snapshot()
+        if span is not None:
+            tracer.end(span)
 
     def persisted_mapping(self) -> Dict[int, int]:
         """The mapping as of the last metadata persistence."""

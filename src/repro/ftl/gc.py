@@ -92,7 +92,12 @@ class GarbageCollector:
             victim = self.select_victim()
             if victim is None:
                 return False
+            tracer = self.ftl.sim.tracer
+            span = tracer.begin("gc", "collect", block=victim) \
+                if tracer.enabled else None
             yield from self._migrate_and_erase(victim)
+            if span is not None:
+                tracer.end(span)
             return True
         finally:
             self._lock.release()

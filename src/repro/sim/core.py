@@ -15,6 +15,7 @@ import heapq
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+from repro.trace.tracer import NULL_TRACER
 
 
 class Simulator:
@@ -39,6 +40,9 @@ class Simulator:
         self._unconsumed_failures: Dict[int, "Event"] = {}
         self._crashed = False
         self._live_processes: Dict[int, Any] = {}  # id -> Process, in spawn order
+        self.tracer: Any = NULL_TRACER
+        """Span recorder every component reads; :data:`NULL_TRACER` until a
+        real :class:`repro.trace.Tracer` is installed (``--trace``)."""
 
     @property
     def now(self) -> int:

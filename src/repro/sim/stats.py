@@ -8,7 +8,7 @@ call sites.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.core import Simulator
 
@@ -59,13 +59,34 @@ class TimeWeightedGauge:
         self.set(self._level + delta)
 
     def time_average(self) -> float:
-        """Time-weighted average level since construction."""
+        """Time-weighted average level over the current window.
+
+        The window starts at construction (or the last :meth:`reset`).
+        """
         now = self._sim.now
         elapsed = now - self._start
         if elapsed <= 0:
             return self._level
         total = self._weighted_sum + self._level * (now - self._last_change)
         return total / elapsed
+
+    def reset(self) -> None:
+        """Start a new averaging window now (the level carries over)."""
+        now = self._sim.now
+        self._weighted_sum = 0.0
+        self._last_change = now
+        self._start = now
+
+    def snapshot_window(self) -> Tuple[float, int]:
+        """Close the current window: ``(time average, window ns)``.
+
+        Resets afterwards, so calling this at every checkpoint boundary
+        yields per-checkpoint-interval utilisation figures.
+        """
+        average = self.time_average()
+        elapsed = self._sim.now - self._start
+        self.reset()
+        return average, elapsed
 
 
 class LatencySample:
@@ -113,15 +134,10 @@ class LatencySample:
         """Largest sample; 0 when empty."""
         return max(self._samples) if self._samples else 0
 
-    def percentile(self, pct: float) -> float:
-        """The ``pct``-th percentile (0..100), linearly interpolated."""
+    @staticmethod
+    def _interpolate(data: List[int], pct: float) -> float:
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        if not self._samples:
-            return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        data = self._sorted
         if len(data) == 1:
             return float(data[0])
         rank = (pct / 100.0) * (len(data) - 1)
@@ -131,6 +147,31 @@ class LatencySample:
             return float(data[low])
         frac = rank - low
         return data[low] * (1.0 - frac) + data[high] * frac
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile (0..100), linearly interpolated."""
+        if not self._samples:
+            self._interpolate([0], pct)  # still validate the argument
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._interpolate(self._sorted, pct)
+
+    def p(self, *pcts: float) -> Dict[float, float]:
+        """Bulk percentile query: one sort for any number of tail points.
+
+        Report generation asks for p50/p99/p999/p9999 back to back; going
+        through :meth:`percentile` after a fresh ``record`` would re-sort
+        for the first query of each batch.  ``p(50, 99, 99.9)`` sorts at
+        most once and returns ``{pct: value}``.
+        """
+        if not self._samples:
+            for pct in pcts:
+                self._interpolate([0], pct)  # still validate the arguments
+            return {pct: 0.0 for pct in pcts}
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return {pct: self._interpolate(self._sorted, pct) for pct in pcts}
 
     def p50(self) -> float:
         """Median."""

@@ -79,6 +79,10 @@ class Command:
     stream: str = "data"
     cause: str = "host"
     entries: Tuple[CowEntry, ...] = field(default_factory=tuple)
+    span: Any = None
+    """Submitter's trace span (or None): the controller parents its own
+    device-side span under it, threading the trace context across the
+    host interface without changing any timing."""
 
     def __post_init__(self) -> None:
         if self.op in (Op.READ, Op.WRITE, Op.TRIM):

@@ -22,6 +22,7 @@ from repro.ftl.ftl import Ftl
 from repro.sim.core import Event, Simulator
 from repro.sim.process import spawn
 from repro.sim.resources import Resource
+from repro.sim.stats import TimeWeightedGauge
 from repro.ssd.cache import DramReadCache
 from repro.ssd.coalescer import CoalescedUnit, WriteCoalescer
 from repro.ssd.commands import Command, Completion, Op
@@ -81,6 +82,9 @@ class SsdController:
         self._cpu = Resource(sim, self.config.cpu_cores, name="ssd-cpu")
         self._outstanding = 0
         self._outstanding_user = 0
+        self.queue_depth = TimeWeightedGauge(sim)
+        """Admitted-command depth over time; window it per checkpoint
+        interval with :meth:`TimeWeightedGauge.snapshot_window`."""
         self._gc_daemon = None
         self._in_transit: Dict[int, CoalescedUnit] = {}
         """Units popped from the durable coalescer whose FTL staging write
@@ -117,8 +121,17 @@ class SsdController:
                 done: Event) -> Generator[Any, Any, None]:
         submitted_at = self.sim.now
         is_user = command.op in (Op.READ, Op.WRITE, Op.FLUSH, Op.TRIM)
+        tracer = self.sim.tracer
+        span = tracer.begin("ssd", command.op.value, parent=command.span,
+                            lba=command.lba, nsectors=command.nsectors,
+                            bytes=command.data_bytes,
+                            qd=self._outstanding) \
+            if tracer.enabled else None
         yield self.interface.acquire_slot()
+        if span is not None:
+            span.attrs["queue_ns"] = self.sim.now - submitted_at
         self._outstanding += 1
+        self.queue_depth.adjust(1)
         if is_user:
             self._outstanding_user += 1
         try:
@@ -148,9 +161,12 @@ class SsdController:
                 raise
         finally:
             self._outstanding -= 1
+            self.queue_depth.adjust(-1)
             if is_user:
                 self._outstanding_user -= 1
             self.interface.release_slot()
+            if span is not None and span.end_ns is None:
+                tracer.end(span)
 
     # ------------------------------------------------------------------
     # dispatch per opcode
@@ -256,19 +272,30 @@ class SsdController:
                                       stream=stream, cause=cause)
             return
         self._invalidate_cache_range(lba, nsectors)
+        tracer = self.sim.tracer
         ready = self.write_buffer.merge(lba, nsectors, tags, cause, stream)
         for unit in ready:
             self._in_transit[unit.lpn] = unit
         yield self.ftl.config.map_update_ns * max(1, len(ready))
         spu = self.ftl.sectors_per_unit
+        span = tracer.begin("coalescer", "flush_full", units=len(ready),
+                            bytes=len(ready) * self.ftl.config.mapping_unit) \
+            if ready and tracer.enabled else None
         for unit in ready:
             yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
                                       stream=unit.stream, cause=unit.cause)
             self._release_transit(unit)
-        for unit in self.write_buffer.evict_pressure():
+        if span is not None:
+            tracer.end(span)
+        evicted = self.write_buffer.evict_pressure()
+        span = tracer.begin("coalescer", "evict", units=len(evicted)) \
+            if evicted and tracer.enabled else None
+        for unit in evicted:
             self._in_transit[unit.lpn] = unit
             yield from self._write_partial_unit(unit)
             self._release_transit(unit)
+        if span is not None:
+            tracer.end(span)
 
     def _write_partial_unit(self, unit: CoalescedUnit) -> Generator[Any, Any, None]:
         """Flush a partially covered coalesced unit (RMW if it was mapped)."""
@@ -281,6 +308,9 @@ class SsdController:
 
     def _drain_buffered(self, units: List[CoalescedUnit]
                         ) -> Generator[Any, Any, None]:
+        tracer = self.sim.tracer
+        span = tracer.begin("coalescer", "drain", units=len(units)) \
+            if units and tracer.enabled else None
         for unit in units:
             self._in_transit[unit.lpn] = unit
         for unit in units:
@@ -291,6 +321,8 @@ class SsdController:
             else:
                 yield from self._write_partial_unit(unit)
             self._release_transit(unit)
+        if span is not None:
+            tracer.end(span)
 
     def _release_transit(self, unit: CoalescedUnit) -> None:
         """The unit is staged in the FTL (durable again): drop its

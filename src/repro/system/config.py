@@ -120,6 +120,11 @@ class SystemConfig:
     track_op_log: bool = False
     """Durable remap/trim op log for SPOR verification (recovery runs)."""
 
+    trace: bool = False
+    """Install a span tracer on this run's simulator (see ``repro.trace``).
+    Off by default: a traced and an untraced run execute the identical
+    event sequence, so leaving this off costs nothing."""
+
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")

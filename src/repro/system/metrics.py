@@ -208,14 +208,15 @@ class RunMetrics:
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for reports/benches)."""
+        tails = self.latency_all.p(99.0, 99.9, 99.99)  # one sort, all tails
         return {
             "operations": float(self.operations),
             "duration_ms": self.duration_ns / 1e6,
             "throughput_qps": self.throughput_qps(),
             "latency_mean_us": self.latency_all.mean() / 1e3,
-            "latency_p99_us": self.latency_all.p99() / 1e3,
-            "latency_p999_us": self.latency_all.p999() / 1e3,
-            "latency_p9999_us": self.latency_all.p9999() / 1e3,
+            "latency_p99_us": tails[99.0] / 1e3,
+            "latency_p999_us": tails[99.9] / 1e3,
+            "latency_p9999_us": tails[99.99] / 1e3,
             "io_amplification": self.io_amplification(),
             "flash_amplification": self.flash_amplification(),
             "redundant_units": float(self.redundant_write_units()),

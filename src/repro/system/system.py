@@ -27,6 +27,8 @@ from repro.sim.process import Interrupt, Process, spawn
 from repro.ssd.ssd import Ssd
 from repro.system.config import SystemConfig
 from repro.system.metrics import RunMetrics
+from repro.trace import install_tracer, summarize, tracing_enabled
+from repro.trace.metrics import TraceSummary
 from repro.workload.client import ClientPool
 from repro.workload.distributions import make_distribution
 from repro.workload.ycsb import OperationGenerator, workload_by_name
@@ -39,6 +41,9 @@ class RunResult:
     config: SystemConfig
     metrics: RunMetrics
     checkpoint_reports: List[CheckpointReport] = field(default_factory=list)
+    trace_summary: Optional[TraceSummary] = None
+    """Per-component stage and checkpoint-phase breakdown; None when the
+    run was untraced."""
 
     @property
     def checkpoint_count(self) -> int:
@@ -60,6 +65,8 @@ class KvSystem:
         config.check_capacity()
         self.config = config
         self.sim = Simulator()
+        if config.trace or tracing_enabled():
+            install_tracer(self.sim, label=config.mode)
         self.ssd = Ssd(self.sim, config.ssd_spec())
         self.engine = StorageEngine(self.sim, self.ssd, config.engine_config())
         self.metrics = RunMetrics(self.sim, self.ssd.stats)
@@ -119,8 +126,11 @@ class KvSystem:
         self.metrics.finish_measurement()
         self._stop_services()
         self.sim.run()  # drain whatever remains (completions, programs)
+        tracer = self.sim.tracer
         return RunResult(config=self.config, metrics=self.metrics,
-                         checkpoint_reports=list(self.engine.checkpoint_reports))
+                         checkpoint_reports=list(self.engine.checkpoint_reports),
+                         trace_summary=summarize(tracer)
+                         if tracer.enabled else None)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:
         """Synchronously run one checkpoint (helper for experiments)."""

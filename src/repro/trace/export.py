@@ -1,0 +1,168 @@
+"""Chrome ``trace_event`` JSON export and schema validation.
+
+The exported file loads in Perfetto / ``chrome://tracing``: every simulated
+component gets its own process track (one per run, so multi-run experiment
+sweeps show side by side), spans render as complete ("X") slices with
+their attributes in ``args``, and instants as "i" marks.
+
+Timestamps: the tracer clock is integer nanoseconds; trace_event wants
+microseconds, so ``ts``/``dur`` are emitted as ``ns / 1000`` floats — the
+viewer keeps sub-µs precision and ordering is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.trace.tracer import INSTANT_KIND, Tracer
+
+COMPONENT_ORDER = ("client", "engine", "aligner", "journal", "ckpt", "ssd",
+                   "coalescer", "isce", "ftl", "gc", "flash", "recovery")
+"""Stable track ordering, host side down to the flash array."""
+
+_PIDS_PER_RUN = 64
+"""Pid namespace stride between runs in one exported file."""
+
+
+def _component_sort_key(component: str) -> Tuple[int, str]:
+    try:
+        return (COMPONENT_ORDER.index(component), component)
+    except ValueError:
+        return (len(COMPONENT_ORDER), component)
+
+
+def _clean(value: Any) -> Any:
+    """Coerce one attribute value to something JSON-serialisable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_clean(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _clean(item) for key, item in value.items()}
+    return repr(value)
+
+
+def trace_events(runs: Sequence[Tuple[str, Tracer]]) -> List[Dict[str, Any]]:
+    """Flatten traced runs into a ``trace_event`` list.
+
+    ``runs`` is ``[(label, tracer), ...]``; each run's components become
+    processes named ``label/component`` with their own pid, so several
+    experiment configurations coexist in one timeline.
+    """
+    metadata: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    for run_index, (label, tracer) in enumerate(runs):
+        base_pid = 1 + run_index * _PIDS_PER_RUN
+        components = sorted(tracer.components(), key=_component_sort_key)
+        pids = {component: base_pid + offset
+                for offset, component in enumerate(components)}
+        for component, pid in pids.items():
+            name = f"{label}/{component}" if label else component
+            metadata.append({"ph": "M", "name": "process_name", "pid": pid,
+                             "tid": 0, "ts": 0,
+                             "args": {"name": name}})
+            metadata.append({"ph": "M", "name": "process_sort_index",
+                             "pid": pid, "tid": 0, "ts": 0,
+                             "args": {"sort_index": pid}})
+        for span in tracer.spans():
+            if span.end_ns is None:
+                continue
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.component,
+                "pid": pids[span.component],
+                "tid": span.track,
+                "ts": span.start_ns / 1000.0,
+            }
+            if span.attrs:
+                event["args"] = {key: _clean(value)
+                                 for key, value in span.attrs.items()}
+            if span.kind == INSTANT_KIND:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = span.duration_ns / 1000.0
+            events.append(event)
+    events.sort(key=lambda event: event["ts"])
+    return metadata + events
+
+
+def trace_document(runs: Sequence[Tuple[str, Tracer]]) -> Dict[str, Any]:
+    """The full exportable JSON object."""
+    return {
+        "traceEvents": trace_events(runs),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.trace",
+            "runs": [label for label, _tracer in runs],
+        },
+    }
+
+
+def write_chrome_trace(path: str,
+                       runs: Sequence[Tuple[str, Tracer]]) -> int:
+    """Write the Chrome trace JSON; returns the number of events."""
+    document = trace_document(runs)
+    with open(path, "w") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# validation (CI smoke + tests)
+# ----------------------------------------------------------------------
+def validate_trace(document: Any) -> List[str]:
+    """Schema-check a parsed trace document; returns problems (empty = ok).
+
+    Checks the subset of the trace_event format the reproduction relies
+    on: a ``traceEvents`` list whose "X" entries carry numeric, monotone
+    ``ts`` with non-negative ``dur``, and integer ``pid``/``tid``.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    last_ts = None
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be numeric")
+            continue
+        if ph == "M":
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: timestamps not monotone "
+                            f"({ts} after {last_ts})")
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+    return problems
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Parse and validate a trace JSON file."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_trace(document)

@@ -1,0 +1,142 @@
+"""Derived observability metrics over one tracer.
+
+These replace ad-hoc bookkeeping at call sites: everything here is
+computed from the exact per-stage aggregates the tracer maintains
+(ring-buffer eviction never loses them).
+
+* :func:`summarize` — the :class:`TraceSummary` attached to a
+  :class:`~repro.system.system.RunResult`;
+* component time-in-stage table (count / total / mean / max, log2
+  histogram peak);
+* checkpoint phase breakdown (the paper's Figs. 8–13 cost decomposition:
+  journal scan, CoW/remap, data write, metadata, deallocation);
+* queue-wait vs service-time split for the tail-latency analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.trace.tracer import Tracer
+
+
+@dataclass
+class TraceSummary:
+    """Flattened derived metrics of one traced run."""
+
+    stage_rows: List[Dict[str, Any]] = field(default_factory=list)
+    """Per (component, stage): count, total/mean/max duration, bytes."""
+
+    checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+    """Per checkpoint: strategy, start, duration, phase durations."""
+
+    phase_totals: Dict[str, int] = field(default_factory=dict)
+    """Total ns per checkpoint phase name, across all checkpoints."""
+
+    queue_split: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    """Per component: total queue-wait ns vs service ns."""
+
+    open_spans: int = 0
+    dropped_spans: int = 0
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Checkpoints captured by the tracer."""
+        return len(self.checkpoints)
+
+    def phase_fraction(self, phase: str) -> float:
+        """Share of total checkpoint time spent in ``phase``."""
+        total = sum(self.phase_totals.values())
+        return self.phase_totals.get(phase, 0) / total if total else 0.0
+
+
+def summarize(tracer: Tracer) -> TraceSummary:
+    """Build the run-level summary from a tracer's aggregates."""
+    summary = TraceSummary(open_spans=tracer.open_spans,
+                           dropped_spans=tracer.dropped)
+    for (component, name), stat in sorted(tracer.stage_stats.items()):
+        summary.stage_rows.append({
+            "component": component,
+            "stage": name,
+            "count": stat.count,
+            "total_ms": stat.total_ns / 1e6,
+            "mean_us": stat.mean_ns / 1e3,
+            "max_us": stat.max_ns / 1e3,
+            "bytes": stat.bytes,
+        })
+        split = summary.queue_split.setdefault(
+            component, {"queue_ns": 0, "service_ns": 0})
+        split["queue_ns"] += stat.queue_ns
+        split["service_ns"] += stat.service_ns
+    for ckpt in tracer.checkpoint_summaries:
+        summary.checkpoints.append(dict(ckpt))
+        for phase, duration in ckpt.get("phases", {}).items():
+            summary.phase_totals[phase] = \
+                summary.phase_totals.get(phase, 0) + duration
+    return summary
+
+
+# ----------------------------------------------------------------------
+# renderers (ASCII tables in the repo's house style)
+# ----------------------------------------------------------------------
+def component_table(summary: TraceSummary, title: str = "") -> str:
+    """Per-component time-in-stage table."""
+    from repro.analysis.tables import format_table
+    rows = [[row["component"], row["stage"], row["count"],
+             row["total_ms"], row["mean_us"], row["max_us"]]
+            for row in summary.stage_rows]
+    return format_table(
+        ["component", "stage", "count", "total_ms", "mean_us", "max_us"],
+        rows, title=title or "trace: time in stage per component")
+
+
+def phase_table(summary: TraceSummary, title: str = "") -> str:
+    """Checkpoint phase breakdown table (one row per checkpoint)."""
+    from repro.analysis.tables import format_table
+    phases = sorted({phase for ckpt in summary.checkpoints
+                     for phase in ckpt.get("phases", {})})
+    headers = ["ckpt", "strategy", "total_ms"] + [f"{p}_ms" for p in phases]
+    rows: List[List[Any]] = []
+    for index, ckpt in enumerate(summary.checkpoints):
+        row: List[Any] = [index, ckpt.get("strategy", "?"),
+                          ckpt["duration_ns"] / 1e6]
+        for phase in phases:
+            row.append(ckpt.get("phases", {}).get(phase, 0) / 1e6)
+        rows.append(row)
+    if summary.checkpoints:
+        total_row: List[Any] = ["all", "-", sum(
+            c["duration_ns"] for c in summary.checkpoints) / 1e6]
+        for phase in phases:
+            total_row.append(summary.phase_totals.get(phase, 0) / 1e6)
+        rows.append(total_row)
+    return format_table(headers, rows,
+                        title=title or "trace: checkpoint phase breakdown")
+
+
+def queue_split_table(summary: TraceSummary, title: str = "") -> str:
+    """Queue-wait vs service-time split per component."""
+    from repro.analysis.tables import format_table
+    rows: List[List[Any]] = []
+    for component, split in sorted(summary.queue_split.items()):
+        total = split["queue_ns"] + split["service_ns"]
+        queue_pct = 100.0 * split["queue_ns"] / total if total else 0.0
+        rows.append([component, split["queue_ns"] / 1e6,
+                     split["service_ns"] / 1e6, queue_pct])
+    return format_table(
+        ["component", "queue_ms", "service_ms", "queue_pct"],
+        rows, title=title or "trace: queue-wait vs service-time")
+
+
+def histogram_rows(tracer: Tracer, component: str,
+                   stage: str) -> List[Tuple[str, int]]:
+    """Log2 duration histogram of one stage as (bucket label, count)."""
+    stat = tracer.stage_stats.get((component, stage))
+    if stat is None:
+        return []
+    rows: List[Tuple[str, int]] = []
+    for bucket in sorted(stat.hist):
+        low = 0 if bucket == 0 else 1 << (bucket - 1)
+        high = (1 << bucket) - 1
+        rows.append((f"{low}..{high} ns", stat.hist[bucket]))
+    return rows

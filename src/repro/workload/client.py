@@ -63,7 +63,7 @@ class ClientPool:
     def start(self) -> Process:
         """Spawn every thread; returns a process to join for completion."""
         started_at = self.sim.now
-        workers = [spawn(self.sim, self._thread_loop(generator),
+        workers = [spawn(self.sim, self._thread_loop(generator, i),
                          name=f"client{i}")
                    for i, generator in enumerate(self.generators)]
 
@@ -75,23 +75,32 @@ class ClientPool:
 
         return spawn(self.sim, waiter(), name="client-pool")
 
-    def _thread_loop(self, generator: OperationGenerator
-                     ) -> Generator[Any, Any, None]:
+    def _thread_loop(self, generator: OperationGenerator,
+                     thread: int) -> Generator[Any, Any, None]:
+        tracer = self.sim.tracer
         while self._remaining > 0:
             self._remaining -= 1
             operation = generator.next_operation()
             ckpt_at_start = self.engine.checkpoint_running
             started = self.sim.now
-            yield from self._execute(operation)
+            span = tracer.begin("client", operation.kind.value, track=thread,
+                                key=operation.key,
+                                during_ckpt=ckpt_at_start) \
+                if tracer.enabled else None
+            yield from self._execute(operation, span)
+            if span is not None:
+                tracer.end(span)
             self._issued += 1
             if self.on_complete is not None:
                 self.on_complete(operation, self.sim.now - started,
                                  ckpt_at_start)
 
-    def _execute(self, operation: Operation) -> Generator[Any, Any, None]:
+    def _execute(self, operation: Operation,
+                 span: Any = None) -> Generator[Any, Any, None]:
         if operation.kind is OpKind.READ:
-            yield from self.engine.get(operation.key)
+            yield from self.engine.get(operation.key, trace_parent=span)
         elif operation.kind is OpKind.UPDATE:
-            yield from self.engine.put(operation.key)
+            yield from self.engine.put(operation.key, trace_parent=span)
         else:
-            yield from self.engine.read_modify_write(operation.key)
+            yield from self.engine.read_modify_write(operation.key,
+                                                     trace_parent=span)

@@ -23,6 +23,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_accepts_figure_alias_and_trace(self):
+        args = build_parser().parse_args(["run", "fig8", "--trace"])
+        assert args.experiment == "fig8"
+        assert args.trace and args.out is None
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.experiment == "fig8a"
+        assert args.out == "trace.json"
+        assert args.validate is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -40,3 +51,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "throughput_qps" in out
         assert "checkpoints" in out
+
+    def test_bench_traced_exports_valid_trace(self, tmp_path, capsys):
+        from repro.trace import validate_trace_file
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--mode", "checkin", "--threads", "4",
+                     "--queries", "1500", "--trace",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint phase breakdown" in out
+        assert "queue-wait vs service-time" in out
+        assert validate_trace_file(str(out_path)) == []
+
+    def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert main(["trace", "--validate", str(tmp_path / "missing")]) == 1

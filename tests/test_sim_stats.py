@@ -50,6 +50,33 @@ class TestTimeWeightedGauge:
         gauge = TimeWeightedGauge(sim, initial=7.0)
         assert gauge.time_average() == pytest.approx(7.0)
 
+    def test_reset_starts_a_fresh_window(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim, initial=2.0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        gauge.reset()
+        gauge.set(6.0)  # level carried over, then changed at t=100
+        sim.schedule(50, lambda: None)
+        sim.run()
+        # Only [100, 150) counts: constant 6.0.
+        assert gauge.time_average() == pytest.approx(6.0)
+
+    def test_snapshot_window_returns_average_and_resets(self):
+        sim = Simulator()
+        gauge = TimeWeightedGauge(sim, initial=4.0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        average, window = gauge.snapshot_window()
+        assert average == pytest.approx(4.0)
+        assert window == 100
+        gauge.set(10.0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        average, window = gauge.snapshot_window()
+        assert average == pytest.approx(10.0)
+        assert window == 100
+
 
 class TestLatencySample:
     def test_empty_sample(self):
@@ -114,6 +141,19 @@ class TestLatencySample:
         results = [sample.percentile(p) for p in pcts]
         assert results == sorted(results)
 
+    def test_bulk_p_empty_still_validates(self):
+        sample = LatencySample()
+        assert sample.p(50, 99.9) == {50: 0.0, 99.9: 0.0}
+        with pytest.raises(ValueError):
+            sample.p(50, 101)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+    def test_bulk_p_matches_percentile_loop(self, values):
+        sample = LatencySample()
+        sample.extend(values)
+        pcts = (0, 25, 50, 90, 99, 99.9, 100)
+        assert sample.p(*pcts) == {p: sample.percentile(p) for p in pcts}
+
 
 class TestStatRegistry:
     def test_counter_get_or_create(self):
@@ -133,3 +173,21 @@ class TestStatRegistry:
         registry.counter("a").add(1, num_bytes=5)
         assert registry.snapshot() == {"a": 1, "b": 2}
         assert registry.snapshot_bytes() == {"a": 5, "b": 10}
+
+    def test_byte_accounting_accumulates_independently(self):
+        registry = StatRegistry()
+        registry.counter("host.write_cmds").add(3, num_bytes=1536)
+        registry.counter("host.write_cmds").add(num_bytes=512)  # count +1
+        registry.counter("host.read_cmds").add(2)  # counts without bytes
+        assert registry.value("host.write_cmds") == 4
+        assert registry.bytes("host.write_cmds") == 2048
+        assert registry.value("host.read_cmds") == 2
+        assert registry.bytes("host.read_cmds") == 0
+
+    def test_snapshots_are_point_in_time_copies(self):
+        registry = StatRegistry()
+        registry.counter("flash.program").add(num_bytes=4096)
+        before = registry.snapshot_bytes()
+        registry.counter("flash.program").add(num_bytes=4096)
+        assert before["flash.program"] == 4096
+        assert registry.snapshot_bytes()["flash.program"] == 8192
