@@ -19,13 +19,14 @@ import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
+from repro.common.units import MIB
 from repro.experiments.base import FULL, QUICK
 from repro.experiments.registry import (
     EXPERIMENT_ALIASES,
     EXPERIMENTS,
     run_experiment,
 )
-from repro.system import SystemConfig, run_config
+from repro.system import SystemConfig, TenantSpec, run_config
 from repro.trace import (
     Tracer,
     clear_runs,
@@ -81,6 +82,16 @@ def _emit_trace(out: Optional[str]) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.tenants is not None:
+        if args.experiment is not None:
+            print("run: give either an experiment id or --tenants, not both",
+                  file=sys.stderr)
+            return 2
+        return _run_tenants(args)
+    if args.experiment is None:
+        print("run: an experiment id (or --tenants N) is required",
+              file=sys.stderr)
+        return 2
     scale = FULL if args.scale == "full" else QUICK
     if args.trace:
         clear_runs()
@@ -101,6 +112,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _emit_trace(args.out)
     print(f"\n[{args.experiment} at {scale.name} scale: {elapsed:.1f}s]")
     return 0
+
+
+def _run_tenants(args: argparse.Namespace) -> int:
+    """``repro run --tenants N``: N identical tenants on one device."""
+    if args.tenants < 1:
+        print("run: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    config = SystemConfig(
+        mode=args.mode,
+        tenants=tuple(TenantSpec() for _ in range(args.tenants)),
+        threads=8,
+        num_keys=1_024,
+        total_queries=4_000,
+        journal_area_bytes=8 * MIB,
+        verify_reads=False,
+    )
+    started = time.time()
+    result = run_config(config)
+    elapsed = time.time() - started
+    rows = []
+    for tenant in result.tenants:
+        tails = tenant.metrics.latency_all.p(99.0)
+        rows.append([tenant.name, tenant.operations,
+                     tenant.metrics.throughput_qps(),
+                     tails[99.0] / 1e3,
+                     len(tenant.checkpoint_reports)])
+    tenant_ops = sum(t.operations for t in result.tenants)
+    rows.append(["aggregate", result.metrics.operations,
+                 result.metrics.throughput_qps(),
+                 result.metrics.latency_all.p(99.0)[99.0] / 1e3,
+                 result.checkpoint_count])
+    print(format_table(
+        ["tenant", "operations", "qps", "p99_us", "checkpoints"],
+        rows, title=f"{args.tenants} tenants / mode {args.mode}"))
+    consistent = tenant_ops == result.metrics.operations
+    print(f"\n[per-tenant ops {'sum to' if consistent else 'DO NOT sum to'} "
+          f"the aggregate: {tenant_ops} vs {result.metrics.operations}; "
+          f"wall {elapsed:.1f}s]")
+    return 0 if consistent else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -176,7 +226,8 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     started = time.time()
     for mode in modes:
         sweep = fault_sweep(mode=mode, crash_points=args.crash_points,
-                            seed=args.seed, ops=args.ops)
+                            seed=args.seed, ops=args.ops,
+                            tenants=args.tenants)
         failures = sweep.failures()
         failed += len(failures)
         rows.append([mode, len(sweep.results), sweep.total_steps,
@@ -214,8 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment_names = sorted(EXPERIMENTS) + sorted(EXPERIMENT_ALIASES)
 
-    run_parser = commands.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=experiment_names)
+    run_parser = commands.add_parser(
+        "run", help="run one experiment, or N tenants with --tenants")
+    run_parser.add_argument("experiment", nargs="?", default=None,
+                            choices=experiment_names)
+    run_parser.add_argument("--tenants", type=int, default=None,
+                            metavar="N",
+                            help="instead of an experiment: run N identical "
+                                 "tenants sharing one namespaced device")
+    run_parser.add_argument("--mode", default="checkin",
+                            choices=("baseline", "isc_a", "isc_b",
+                                     "isc_c", "checkin"),
+                            help="configuration for --tenants runs")
     run_parser.add_argument("--scale", choices=("quick", "full"),
                             default="quick")
     run_parser.add_argument("--trace", action="store_true",
@@ -269,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     fault_parser.add_argument("--crash-points", type=int, default=20)
     fault_parser.add_argument("--seed", type=int, default=7)
     fault_parser.add_argument("--ops", type=int, default=120)
+    fault_parser.add_argument("--tenants", type=int, default=1,
+                              help="crash a multi-tenant (namespaced) "
+                                   "system instead of the classic one")
     fault_parser.set_defaults(handler=_cmd_fault_sweep)
     return parser
 

@@ -39,6 +39,10 @@ class CommandError(ReproError):
     """A malformed or unsupported device command."""
 
 
+class NamespaceError(CommandError):
+    """A command crossed or escaped its NVMe-style namespace range."""
+
+
 class EngineError(ReproError):
     """Storage-engine level failure (journal, checkpoint, key mapping)."""
 

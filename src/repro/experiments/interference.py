@@ -1,0 +1,161 @@
+"""Multi-tenant checkpoint interference — the shared-device QoS question.
+
+Two tenants share one SSD through NVMe-style namespaces: a *storm*
+tenant that writes continuously under an aggressive checkpoint policy,
+and a *reader* tenant running a read-only workload.  The experiment
+measures how much the storm's *checkpoints* degrade the reader's p99
+read latency, comparing host-level checkpointing (baseline: journal
+travels device→host→device) against in-storage remap checkpointing
+(checkin).
+
+Raw write traffic from the storm also queues against the reader, and
+the two modes sustain very different foreground write rates — so the
+reader runs in three placements per mode:
+
+* ``solo``   — reader alone on the device (uncontended floor);
+* ``quiet``  — storm co-located but with mid-run checkpoints
+  suppressed (write contention only);
+* ``shared`` — storm co-located and checkpointing aggressively.
+
+Checkpoint-attributable degradation is ``shared / quiet``: the same
+foreground write pressure, with and without checkpoints.  The paper's
+§V claim — remapping steals no bandwidth from foreground I/O — predicts
+the checkin factor is strictly smaller than the baseline one.  The
+reader keeps one seed lineage across placements, so every placement
+issues the identical operation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.common.units import KIB, MIB, MS, SEC
+from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.config import SystemConfig, TenantSpec
+from repro.system.system import run_config
+
+INTERFERENCE_MODES = ("baseline", "checkin")
+
+PLACEMENTS = ("solo", "quiet", "shared")
+
+READER_SEED_OFFSET = 1
+"""The reader keeps this RNG offset in every placement, so all runs
+issue the identical operation sequence."""
+
+
+@dataclass
+class InterferenceResult:
+    """Reader-tail degradation per checkpointing strategy."""
+
+    p99_read_us: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    """(mode, placement) -> reader p99 read latency, microseconds;
+    placement is "solo", "quiet" or "shared"."""
+
+    aggregate_qps: Dict[str, float] = field(default_factory=dict)
+    """Shared-run aggregate throughput per mode."""
+
+    storm_checkpoints: Dict[str, int] = field(default_factory=dict)
+    """Checkpoints the storm tenant completed in the shared run."""
+
+    def contention(self, mode: str) -> float:
+        """Quiet/solo p99 ratio: raw write contention, no checkpoints."""
+        solo = self.p99_read_us[(mode, "solo")]
+        quiet = self.p99_read_us[(mode, "quiet")]
+        return quiet / solo if solo else float("inf")
+
+    def degradation(self, mode: str) -> float:
+        """Shared/quiet p99 ratio: tail inflation attributable to the
+        storm's checkpoints alone (1.0 = checkpointing is free)."""
+        quiet = self.p99_read_us[(mode, "quiet")]
+        shared = self.p99_read_us[(mode, "shared")]
+        return shared / quiet if quiet else float("inf")
+
+    def remap_beats_host_checkpointing(self) -> bool:
+        """The paper's prediction: remap degrades the co-tenant less."""
+        return self.degradation("checkin") < self.degradation("baseline")
+
+    def table(self) -> str:
+        """Render the experiment's rows as an ASCII table."""
+        rows: List[List] = []
+        for mode in INTERFERENCE_MODES:
+            if (mode, "solo") not in self.p99_read_us:
+                continue
+            rows.append([
+                mode,
+                self.p99_read_us[(mode, "solo")],
+                self.p99_read_us[(mode, "quiet")],
+                self.p99_read_us[(mode, "shared")],
+                self.degradation(mode),
+                self.storm_checkpoints.get(mode, 0),
+                self.aggregate_qps.get(mode, 0.0),
+            ])
+        return format_table(
+            ["config", "reader_p99_solo_us", "reader_p99_quiet_us",
+             "reader_p99_shared_us", "ckpt_degradation_x", "storm_ckpts",
+             "aggregate_qps"],
+            rows, title="Interference: checkpoint storm vs co-tenant reads")
+
+
+def interference_config(mode: str, scale: ExperimentScale = QUICK,
+                        placement: str = "shared") -> SystemConfig:
+    """The two-tenant (or reader-only control) configuration.
+
+    ``placement`` picks the reader's co-tenant: ``"solo"`` none,
+    ``"quiet"`` a storm whose mid-run checkpoints are suppressed,
+    ``"shared"`` the full checkpoint storm.
+    """
+    threads = max(2, scale.threads // 4)
+    queries = scale.scaled_queries(0.25)
+    storm = TenantSpec(
+        name="storm",
+        workload="WO",
+        threads=threads,
+        total_queries=queries,
+        checkpoint_interval_ns=5 * MS,
+        checkpoint_journal_quota=256 * KIB,
+        # Generous journal: the quiet placement never rotates halves
+        # mid-run, and the stormy one must differ only in its
+        # checkpoint policy.
+        journal_area_bytes=16 * MIB,
+    )
+    if placement == "quiet":
+        # Same write pressure, no mid-run checkpoints: interval beyond
+        # the run, quota beyond the journal.
+        storm = TenantSpec(
+            name="storm", workload="WO", threads=threads,
+            total_queries=queries, checkpoint_interval_ns=10 * SEC,
+            checkpoint_journal_quota=10 ** 12,
+            journal_area_bytes=16 * MIB,
+        )
+    reader = TenantSpec(
+        name="reader",
+        workload="C",
+        threads=threads,
+        total_queries=queries,
+        seed_offset=READER_SEED_OFFSET,
+        # A read-only tenant journals nothing; the huge interval just
+        # keeps its trigger from ever polling a checkpoint into being.
+        checkpoint_interval_ns=10 * SEC,
+        journal_area_bytes=1 * MIB,
+    )
+    tenants = (reader,) if placement == "solo" else (storm, reader)
+    return paper_config(mode, scale, tenants=tenants,
+                        journal_area_bytes=4 * MIB)
+
+
+def run_interference(scale: ExperimentScale = QUICK) -> InterferenceResult:
+    """Reader tails across placements under both checkpointing modes."""
+    result = InterferenceResult()
+    for mode in INTERFERENCE_MODES:
+        for placement in PLACEMENTS:
+            run = run_config(interference_config(mode, scale, placement))
+            reader = run.tenant("reader")
+            result.p99_read_us[(mode, placement)] = \
+                reader.metrics.latency_read.p(99.0)[99.0] / 1e3
+            if placement == "shared":
+                result.aggregate_qps[mode] = run.metrics.throughput_qps()
+                result.storm_checkpoints[mode] = \
+                    len(run.tenant("storm").checkpoint_reports)
+    return result

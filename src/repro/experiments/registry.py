@@ -17,6 +17,7 @@ from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13a, run_fig13b
+from repro.experiments.interference import run_interference
 from repro.experiments.table1 import run_table1
 
 EXPERIMENT_ALIASES: Dict[str, str] = {
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
     "fig13a": run_fig13a,
     "fig13b": run_fig13b,
     "table1": run_table1,
+    "interference": run_interference,
 }
 """Every reproducible table/figure, keyed by its paper id."""
 

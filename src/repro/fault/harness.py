@@ -25,11 +25,16 @@ from typing import Any, Dict, Generator, List, Tuple
 
 from repro.common.errors import RecoveryError, SimulationError
 from repro.common.rng import SeededRng
+from repro.common.units import MIB
+from repro.engine.engine import StorageEngine
 from repro.engine.recovery import check_durability
 from repro.fault.crash import CrashReport, power_cut, recover_device
-from repro.fault.invariants import check_ftl_invariants
+from repro.fault.invariants import (
+    check_ftl_invariants,
+    check_namespace_isolation,
+)
 from repro.sim.process import spawn
-from repro.system.config import SystemConfig, tiny_config
+from repro.system.config import SystemConfig, TenantSpec, tiny_config
 from repro.system.system import KvSystem
 from repro.trace.tracer import Tracer
 
@@ -100,15 +105,23 @@ class SweepResult:
         return max((r.recovery_wall_ns for r in self.results), default=0)
 
 
-def _sweep_config(mode: str, seed: int, num_keys: int) -> SystemConfig:
+def _sweep_config(mode: str, seed: int, num_keys: int,
+                  tenants: int = 1) -> SystemConfig:
+    if tenants <= 1:
+        return tiny_config(mode=mode, seed=seed, num_keys=num_keys,
+                           track_op_log=True, snapshot_metadata=True)
+    # Shrink the per-tenant journal so several namespaces fit the tiny
+    # test device while still wrapping (and checkpointing) under load.
     return tiny_config(mode=mode, seed=seed, num_keys=num_keys,
-                       track_op_log=True, snapshot_metadata=True)
+                       track_op_log=True, snapshot_metadata=True,
+                       journal_area_bytes=1 * MIB,
+                       tenants=tuple(TenantSpec()
+                                     for _ in range(tenants)))
 
 
-def _scripted_client(system: KvSystem, acked: Dict[int, int], ops: int,
+def _scripted_client(engine: StorageEngine, num_keys: int,
+                     acked: Dict[int, int], ops: int,
                      ckpt_every: int) -> Generator[Any, Any, None]:
-    engine = system.engine
-    num_keys = system.config.num_keys
     for i in range(ops):
         key = (i * 7) % num_keys
         version = yield from engine.put(key)
@@ -118,19 +131,32 @@ def _scripted_client(system: KvSystem, acked: Dict[int, int], ops: int,
 
 
 def _start(config: SystemConfig, ops: int, ckpt_every: int
-           ) -> Tuple[KvSystem, Dict[int, int], Any, List[str]]:
-    """Build a loaded, started system running the scripted workload."""
+           ) -> Tuple[KvSystem, List[Dict[int, int]], List[Any], List[str]]:
+    """Build a loaded, started system running the scripted workload.
+
+    Returns one acked-versions dict and one client process per tenant (a
+    single pair on the classic single-tenant path).
+    """
     system = KvSystem(config)
     system.load()
-    system.engine.start()
-    acked: Dict[int, int] = {}
     ckpt_violations: List[str] = []
-    system.engine.on_checkpoint.append(
-        lambda engine, _report: ckpt_violations.extend(
-            check_ftl_invariants(engine.ssd.ftl)))
-    proc = spawn(system.sim, _scripted_client(system, acked, ops, ckpt_every),
-                 name="fault-client")
-    return system, acked, proc, ckpt_violations
+    ackeds: List[Dict[int, int]] = []
+    procs: List[Any] = []
+    for tenant in system.tenants:
+        tenant.engine.start()
+        tenant.engine.on_checkpoint.append(
+            lambda engine, _report: ckpt_violations.extend(
+                check_ftl_invariants(engine.ssd.ftl)))
+        acked: Dict[int, int] = {}
+        ackeds.append(acked)
+        name = "fault-client" if config.tenants is None \
+            else f"fault-client{tenant.index}"
+        procs.append(spawn(
+            system.sim,
+            _scripted_client(tenant.engine, tenant.view.num_keys, acked,
+                             ops, ckpt_every),
+            name=name))
+    return system, ackeds, procs, ckpt_violations
 
 
 def _state_digest(versions: Dict[int, int]) -> str:
@@ -141,24 +167,29 @@ def _state_digest(versions: Dict[int, int]) -> str:
 
 def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
                 ops: int = 120, num_keys: int = 64,
-                ckpt_every: int = 40) -> SweepResult:
+                ckpt_every: int = 40, tenants: int = 1) -> SweepResult:
     """Sweep ``crash_points`` seeded crash instants over one configuration.
 
     ``mode`` is one of the engine modes ('baseline' is the conventional
-    system; 'isc_c' and 'checkin' exercise the remapping FTL).  Returns a
-    :class:`SweepResult`; inspect ``.ok`` / ``.failures()``.
+    system; 'isc_c' and 'checkin' exercise the remapping FTL).  With
+    ``tenants > 1`` the workload runs against a namespaced device — every
+    tenant executes the scripted workload concurrently, and SPOR recovery
+    must restore each tenant's durable state independently while keeping
+    the namespaces physically disjoint.  Returns a :class:`SweepResult`;
+    inspect ``.ok`` / ``.failures()``.
     """
-    config = _sweep_config(mode, seed, num_keys)
+    config = _sweep_config(mode, seed, num_keys, tenants)
 
     # Reference run: learn the workload's event-step count T.
-    system, acked, proc, ckpt_violations = _start(config, ops, ckpt_every)
+    system, ackeds, procs, ckpt_violations = _start(config, ops, ckpt_every)
     total_steps = 0
-    while not proc.triggered:
+    while not all(proc.triggered for proc in procs):
         if not system.sim.step():
             raise SimulationError("fault sweep reference run drained early")
         total_steps += 1
-    if not proc.ok:
-        raise proc.exception
+    for proc in procs:
+        if not proc.ok:
+            raise proc.exception
     if ckpt_violations:
         raise SimulationError(
             f"invariants already broken in reference run: {ckpt_violations[:3]}")
@@ -169,16 +200,18 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
     for index in range(crash_points):
         point_rng = rng.fork(f"point{index}")
         crash_step = point_rng.randint(1, total_steps)
-        system, acked, proc, ckpt_violations = _start(config, ops, ckpt_every)
+        system, ackeds, procs, ckpt_violations = _start(config, ops,
+                                                        ckpt_every)
         for _ in range(crash_step):
-            if proc.triggered:
+            if all(proc.triggered for proc in procs):
                 break
             if not system.sim.step():
                 raise SimulationError("fault sweep crash run drained early")
 
-        acked_at_crash = dict(acked)
-        current = {record.key: record.version
-                   for record in system.engine.kvmap.records()}
+        acked_at_crash = [dict(acked) for acked in ackeds]
+        currents = [{record.key: record.version
+                     for record in tenant.engine.kvmap.records()}
+                    for tenant in system.tenants]
         pre_crash_mapping = system.ssd.ftl.mapping.snapshot()
 
         report = power_cut(system, point_rng.fork("tear"))
@@ -189,17 +222,29 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
 
         result = CrashPointResult(
             index=index, crash_step=crash_step, sim_time_ns=system.sim.now,
-            acked_keys=len(acked_at_crash), report=report,
+            acked_keys=sum(len(acked) for acked in acked_at_crash),
+            report=report,
             checkpoint_violations=list(ckpt_violations),
             recovery_wall_ns=recovery_span.duration_ns)
         result.mapping_mismatches = sum(
             1 for lpn in set(pre_crash_mapping) | set(rebuilt)
             if pre_crash_mapping.get(lpn) != rebuilt.get(lpn))
         result.invariant_violations = check_ftl_invariants(system.ssd.ftl)
-        try:
-            recovered = check_durability(system.engine, acked_at_crash, current)
-            result.recovered_digest = _state_digest(recovered.versions)
-        except RecoveryError as exc:
-            result.durability_error = str(exc)
+        if config.tenants is not None:
+            result.invariant_violations.extend(
+                check_namespace_isolation(system.ssd.ftl))
+        digests: List[str] = []
+        for tenant, acked, current in zip(system.tenants, acked_at_crash,
+                                          currents):
+            try:
+                recovered = check_durability(tenant.engine, acked, current)
+                digests.append(_state_digest(recovered.versions))
+            except RecoveryError as exc:
+                result.durability_error = \
+                    f"{tenant.name}: {exc}" if config.tenants is not None \
+                    else str(exc)
+                break
+        else:
+            result.recovered_digest = "+".join(digests)
         sweep.results.append(result)
     return sweep

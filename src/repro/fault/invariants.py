@@ -74,6 +74,45 @@ def check_ftl_invariants(ftl: Ftl) -> List[str]:
     return violations
 
 
+def check_namespace_isolation(ftl: Ftl) -> List[str]:
+    """Namespace-purity invariants of a sharded device (empty = healthy).
+
+    Checked invariants:
+
+    1. no physical unit is mapped (shared) by LPNs of two namespaces —
+       remap/GC relocation never created cross-tenant aliasing;
+    2. every mapped LPN lies inside some namespace range;
+    3. every durable remap in the op log stayed within one namespace.
+    """
+    violations: List[str] = []
+    if not ftl.namespaced:
+        return ["device has no namespaces configured"]
+    owners: Dict[int, Set[int]] = defaultdict(set)
+    for lpn, upa in ftl.mapping.items():
+        nsid = ftl.nsid_of_lpn(lpn)
+        if nsid is None:
+            violations.append(
+                f"lpn {lpn} is mapped but belongs to no namespace")
+            continue
+        owners[upa].add(nsid)
+    for upa, nsids in owners.items():
+        if len(nsids) > 1:
+            violations.append(
+                f"physical unit {upa} is shared across namespaces "
+                f"{sorted(nsids)}")
+    if ftl.op_log:
+        for seq, op, src, dst in ftl.op_log:
+            if op != "remap":
+                continue
+            src_ns = ftl.nsid_of_lpn(src)
+            dst_ns = ftl.nsid_of_lpn(dst)
+            if src_ns is None or src_ns != dst_ns:
+                violations.append(
+                    f"remap #{seq} crossed namespaces: lpn {src} "
+                    f"(ns {src_ns}) -> lpn {dst} (ns {dst_ns})")
+    return violations
+
+
 def assert_ftl_invariants(ftl: Ftl) -> None:
     """Raise :class:`FtlError` when any structural invariant is violated."""
     violations = check_ftl_invariants(ftl)

@@ -104,6 +104,18 @@ class BlockAllocator:
                     active.add(lane.block_id)
         return active
 
+    def limit_stripe_width(self, width: int) -> None:
+        """Clamp the lane count used by streams opened from now on.
+
+        Multi-tenant configurations divide the stripe between namespaces:
+        every tenant's qualified streams ("ns0.data", "ns1.journal", ...)
+        would otherwise each hold ``stripe_width`` blocks open and starve
+        the free pool on small devices.  Existing streams keep their lanes.
+        """
+        if width < 1:
+            raise FtlError(f"stripe width must be >= 1, got {width}")
+        self.stripe_width = min(self.stripe_width, width)
+
     def register_free(self, block: int) -> None:
         """Return an erased block to the pool."""
         self.geometry.check_block(block)

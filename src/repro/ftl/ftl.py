@@ -22,6 +22,7 @@ simulation process.
 
 from __future__ import annotations
 
+import bisect
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
@@ -148,6 +149,57 @@ class Ftl:
             [] if self.config.track_op_log else None
         """Durable mapping operations as ``(seq, op, a, b)``; 'remap' carries
         (src_lpn, dst_lpn), 'trim' carries (lpn, 0)."""
+        self._ns_ranges: List[Tuple[int, int, int]] = []
+        """Namespace unit ranges as ``(nsid, first_lpn, end_lpn)`` sorted by
+        first LPN; empty = single-tenant device."""
+        self._ns_starts: List[int] = []
+
+    # ------------------------------------------------------------------
+    # namespaces
+    # ------------------------------------------------------------------
+    def set_namespaces(self,
+                       unit_ranges: Sequence[Tuple[int, int, int]]) -> None:
+        """Partition the LPN space as ``(nsid, first_lpn, num_lpns)`` tuples.
+
+        Write streams become namespace-qualified (``"ns0.data"``, ...), so
+        every flash page holds units of exactly one tenant: GC victims,
+        padding and remap targets never mix namespaces.  The shared "meta"
+        stream stays device-wide (the mapping table is one structure).
+        """
+        ordered = sorted(unit_ranges, key=lambda r: r[1])
+        ranges: List[Tuple[int, int, int]] = []
+        for nsid, first, count in ordered:
+            if count < 1 or first < 0:
+                raise FtlError(
+                    f"namespace {nsid} needs first_lpn >= 0, num_lpns >= 1")
+            if ranges and first < ranges[-1][2]:
+                raise FtlError(
+                    f"namespace {nsid} overlaps namespace {ranges[-1][0]}")
+            ranges.append((nsid, first, first + count))
+        self._ns_ranges = ranges
+        self._ns_starts = [first for _nsid, first, _end in ranges]
+
+    @property
+    def namespaced(self) -> bool:
+        """True when the LPN space is partitioned into namespaces."""
+        return bool(self._ns_ranges)
+
+    def nsid_of_lpn(self, lpn: int) -> Optional[int]:
+        """Namespace owning ``lpn`` (None when unowned / single-tenant)."""
+        if not self._ns_ranges:
+            return None
+        index = bisect.bisect_right(self._ns_starts, lpn) - 1
+        if index < 0:
+            return None
+        nsid, _first, end = self._ns_ranges[index]
+        return nsid if lpn < end else None
+
+    def _qualify(self, stream: str, lpn: int) -> str:
+        """The allocation stream for ``stream`` traffic against ``lpn``."""
+        if not self._ns_ranges or stream == "meta":
+            return stream
+        nsid = self.nsid_of_lpn(lpn)
+        return stream if nsid is None else f"ns{nsid}.{stream}"
 
     # ------------------------------------------------------------------
     # address helpers
@@ -326,7 +378,8 @@ class Ftl:
             if self.gc.needs_urgent_collection():
                 yield from self.gc.ensure_free_blocks()
             yield self._write_buffer.acquire()
-            upas, programs = self.allocator.allocate(stream, 1)
+            upas, programs = self.allocator.allocate(
+                self._qualify(stream, lpn), 1)
             upa = upas[0]
             self._buffer_held.add(upa)
             self._staged_tags[upa] = unit_tags[index]
@@ -372,12 +425,21 @@ class Ftl:
         yield from self._maybe_persist_metadata()
 
     def flush_stream(self, stream: str) -> Generator[Any, Any, None]:
-        """Force the open partial pages of ``stream`` to flash (pads tails)."""
-        for program in self.allocator.flush(stream):
-            block = self.geometry.block_of_page(program.ppa)
-            self._inflight_per_block[block] = \
-                self._inflight_per_block.get(block, 0) + 1
-            yield from self._program_page_proc(program)
+        """Force the open partial pages of ``stream`` to flash (pads tails).
+
+        On a namespaced device this covers every per-namespace variant of
+        the stream as well, so a device-wide FLUSH drains all tenants.
+        """
+        names = [stream]
+        if self._ns_ranges and stream != "meta":
+            names.extend(f"ns{nsid}.{stream}"
+                         for nsid, _first, _end in self._ns_ranges)
+        for name in names:
+            for program in self.allocator.flush(name):
+                block = self.geometry.block_of_page(program.ppa)
+                self._inflight_per_block[block] = \
+                    self._inflight_per_block.get(block, 0) + 1
+                yield from self._program_page_proc(program)
 
     def preload(self, lba: int, nsectors: int,
                 tags: Optional[Sequence[SectorTag]] = None,
@@ -412,7 +474,8 @@ class Ftl:
                 if tags is not None:
                     merged[sector - unit_first] = tags[sector - lba]
             self._write_seq += 1
-            upas, programs = self.allocator.allocate(stream, 1)
+            upas, programs = self.allocator.allocate(
+                self._qualify(stream, lpn), 1)
             upa = upas[0]
             self._staged_tags[upa] = tuple(merged)
             self._staged_oob[upa] = ((lpn, self._write_seq),)
@@ -571,7 +634,8 @@ class Ftl:
         """
         referrers = tuple(referrers)
         yield self._write_buffer.acquire()
-        upas, programs = self.allocator.allocate("gc", 1)
+        gc_stream = self._qualify("gc", referrers[0]) if referrers else "gc"
+        upas, programs = self.allocator.allocate(gc_stream, 1)
         upa = upas[0]
         self._buffer_held.add(upa)
         self._write_seq += 1

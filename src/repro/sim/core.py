@@ -85,7 +85,6 @@ class Simulator:
         for process in victims:
             process.kill()
         self._live_processes.clear()
-        self._heap.clear()
         self._unconsumed_failures.clear()
         return len(victims)
 

@@ -79,12 +79,21 @@ class Command:
     stream: str = "data"
     cause: str = "host"
     entries: Tuple[CowEntry, ...] = field(default_factory=tuple)
+    nsid: Optional[int] = None
+    """NVMe-style namespace id.  ``None`` means unspecified: on a device
+    with namespaces configured the controller derives it from the LBA
+    range (and rejects ranges that straddle namespaces); when set, the
+    controller additionally verifies the addressed range belongs to
+    exactly this namespace."""
+
     span: Any = None
     """Submitter's trace span (or None): the controller parents its own
     device-side span under it, threading the trace context across the
     host interface without changing any timing."""
 
     def __post_init__(self) -> None:
+        if self.nsid is not None and self.nsid < 0:
+            raise CommandError(f"negative namespace id {self.nsid}")
         if self.op in (Op.READ, Op.WRITE, Op.TRIM):
             if self.nsectors < 1:
                 raise CommandError(f"{self.op.value} needs nsectors >= 1")

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from repro.common.errors import CommandError, ConfigError
+from repro.common.errors import CommandError, ConfigError, NamespaceError
 from repro.common.units import US
 from repro.ftl.ftl import Ftl
 from repro.sim.core import Event, Simulator
@@ -26,7 +26,7 @@ from repro.sim.stats import TimeWeightedGauge
 from repro.ssd.cache import DramReadCache
 from repro.ssd.coalescer import CoalescedUnit, WriteCoalescer
 from repro.ssd.commands import Command, Completion, Op
-from repro.ssd.interface import HostInterface
+from repro.ssd.interface import HostInterface, NamespaceLayout
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.checkin
     from repro.checkin.isce import InStorageCheckpointEngine
@@ -86,6 +86,8 @@ class SsdController:
         """Admitted-command depth over time; window it per checkpoint
         interval with :meth:`TimeWeightedGauge.snapshot_window`."""
         self._gc_daemon = None
+        self.namespaces: Optional[NamespaceLayout] = None
+        self._ns_queue_depth: Dict[int, TimeWeightedGauge] = {}
         self._in_transit: Dict[int, CoalescedUnit] = {}
         """Units popped from the durable coalescer whose FTL staging write
         has not completed yet, keyed by LPN.  Still capacitor-covered:
@@ -110,8 +112,64 @@ class SsdController:
         """True when no command is admitted or waiting."""
         return self._outstanding == 0 and self.interface.queued == 0
 
+    def configure_namespaces(self, layout: NamespaceLayout) -> None:
+        """Partition the LBA space; every later command is range-checked.
+
+        Must be called before any traffic; each namespace gets its own
+        admitted-depth gauge so tenant interference is observable.
+        """
+        if self._outstanding or self.interface.queued:
+            raise ConfigError("cannot reconfigure namespaces under traffic")
+        self.namespaces = layout
+        self._ns_queue_depth = {
+            entry.nsid: TimeWeightedGauge(self.sim) for entry in layout}
+
+    def namespace_queue_depth(self, nsid: int) -> TimeWeightedGauge:
+        """Admitted-command depth gauge of one namespace."""
+        return self._ns_queue_depth[nsid]
+
+    def _check_namespace(self, command: Command) -> Optional[int]:
+        """Resolve and enforce the namespace of ``command``.
+
+        Returns the owning nsid (None for device-wide commands or when no
+        namespaces are configured).  Raises :class:`NamespaceError` when a
+        sector range escapes its namespace, when a CoW batch would move or
+        remap data across namespaces, or when the stamped ``command.nsid``
+        does not own the addressed range.
+        """
+        layout = self.namespaces
+        if layout is None:
+            return command.nsid
+        resolved: Optional[int] = None
+        if command.op in (Op.READ, Op.WRITE, Op.TRIM, Op.DELETE_LOGS):
+            resolved = layout.resolve(command.lba, command.nsectors)
+        elif command.op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT):
+            owners = set()
+            for entry in command.entries:
+                owners.add(layout.resolve(entry.src_lba, entry.read_span))
+                owners.add(layout.resolve(entry.dst_lba, entry.nsectors))
+            if len(owners) != 1:
+                raise NamespaceError(
+                    f"{command.op.value} crosses namespaces {sorted(owners)}")
+            resolved = owners.pop()
+        else:
+            # FLUSH / LOAD_PROGRAM are device-wide by definition.
+            return None
+        if command.nsid is not None and command.nsid != resolved:
+            raise NamespaceError(
+                f"{command.op.value} stamped nsid {command.nsid} but range "
+                f"belongs to namespace {resolved}")
+        command.nsid = resolved
+        return resolved
+
     def submit(self, command: Command) -> Event:
-        """Submit a command; the returned event carries a Completion."""
+        """Submit a command; the returned event carries a Completion.
+
+        Namespace containment is enforced here, synchronously, before the
+        command costs any simulated time: a tenant can never even enqueue
+        I/O against another tenant's range.
+        """
+        self._check_namespace(command)
         done = self.sim.event()
         spawn(self.sim, self._handle(command, done),
               name=f"cmd-{command.op.value}")
@@ -132,6 +190,11 @@ class SsdController:
             span.attrs["queue_ns"] = self.sim.now - submitted_at
         self._outstanding += 1
         self.queue_depth.adjust(1)
+        ns_gauge = (self._ns_queue_depth.get(command.nsid)
+                    if command.nsid is not None else None)
+        if ns_gauge is not None:
+            ns_gauge.adjust(1)
+            self.interface.note_admitted(command.nsid)
         if is_user:
             self._outstanding_user += 1
         try:
@@ -162,6 +225,9 @@ class SsdController:
         finally:
             self._outstanding -= 1
             self.queue_depth.adjust(-1)
+            if ns_gauge is not None:
+                ns_gauge.adjust(-1)
+                self.interface.note_completed(command.nsid)
             if is_user:
                 self._outstanding_user -= 1
             self.interface.release_slot()

@@ -12,13 +12,106 @@ Two contention points matter for the paper's results:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Dict, Generator, Iterator, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, NamespaceError
 from repro.common.units import transfer_time_ns
 from repro.sim.core import Simulator
 from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class NamespaceRange:
+    """One NVMe-style namespace: a contiguous slice of the LBA space.
+
+    Tenants address the device in absolute LBAs; isolation comes from the
+    controller refusing any command whose sector (or CoW source/target)
+    range leaves the namespace it belongs to.
+    """
+
+    nsid: int
+    lba_start: int
+    nsectors: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nsid < 0:
+            raise ConfigError(f"negative namespace id {self.nsid}")
+        if self.lba_start < 0 or self.nsectors < 1:
+            raise ConfigError(
+                f"namespace {self.nsid} needs lba_start >= 0 and nsectors >= 1")
+
+    @property
+    def lba_end(self) -> int:
+        """One past the last sector of the namespace."""
+        return self.lba_start + self.nsectors
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for reports."""
+        return self.name or f"ns{self.nsid}"
+
+
+class NamespaceLayout:
+    """The full partition of a device's LBA space into namespaces."""
+
+    def __init__(self, ranges: Sequence[NamespaceRange]) -> None:
+        if not ranges:
+            raise ConfigError("namespace layout needs at least one range")
+        ordered = sorted(ranges, key=lambda r: r.lba_start)
+        seen: Dict[int, NamespaceRange] = {}
+        for earlier, later in zip(ordered, ordered[1:]):
+            if earlier.lba_end > later.lba_start:
+                raise ConfigError(
+                    f"namespaces {earlier.nsid} and {later.nsid} overlap")
+        for entry in ordered:
+            if entry.nsid in seen:
+                raise ConfigError(f"duplicate namespace id {entry.nsid}")
+            seen[entry.nsid] = entry
+        self.ranges: Tuple[NamespaceRange, ...] = tuple(ordered)
+        self._by_nsid = seen
+        self._starts = [entry.lba_start for entry in ordered]
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def __iter__(self) -> Iterator[NamespaceRange]:
+        return iter(self.ranges)
+
+    def get(self, nsid: int) -> NamespaceRange:
+        """The range registered under ``nsid``."""
+        try:
+            return self._by_nsid[nsid]
+        except KeyError:
+            raise NamespaceError(f"unknown namespace id {nsid}") from None
+
+    def nsid_of(self, lba: int) -> Optional[int]:
+        """Namespace containing sector ``lba`` (None when unowned)."""
+        index = bisect.bisect_right(self._starts, lba) - 1
+        if index < 0:
+            return None
+        entry = self.ranges[index]
+        return entry.nsid if lba < entry.lba_end else None
+
+    def resolve(self, lba: int, nsectors: int) -> int:
+        """The single namespace owning ``[lba, lba + nsectors)``.
+
+        Raises :class:`NamespaceError` when the range is outside every
+        namespace or straddles a boundary — the controller-side
+        enforcement of tenant isolation.
+        """
+        nsid = self.nsid_of(lba)
+        if nsid is None:
+            raise NamespaceError(
+                f"lba {lba} belongs to no configured namespace")
+        entry = self._by_nsid[nsid]
+        if lba + nsectors > entry.lba_end:
+            raise NamespaceError(
+                f"range [{lba}, {lba + nsectors}) escapes namespace "
+                f"{entry.label} (ends at {entry.lba_end})")
+        return nsid
 
 
 @dataclass(frozen=True)
@@ -51,6 +144,7 @@ class HostInterface:
         self.config = config
         self.queue = Resource(sim, config.queue_depth, name="sq")
         self._link = Resource(sim, 1, name="pcie")
+        self._outstanding_ns: Dict[int, int] = {}
 
     @property
     def outstanding(self) -> int:
@@ -61,6 +155,25 @@ class HostInterface:
     def queued(self) -> int:
         """Commands waiting for a slot."""
         return self.queue.queue_length
+
+    # -- per-namespace accounting ---------------------------------------
+    def note_admitted(self, nsid: Optional[int]) -> None:
+        """Record one admitted command for ``nsid`` (None = unowned)."""
+        if nsid is not None:
+            self._outstanding_ns[nsid] = self._outstanding_ns.get(nsid, 0) + 1
+
+    def note_completed(self, nsid: Optional[int]) -> None:
+        """Record one completed command for ``nsid``."""
+        if nsid is not None:
+            remaining = self._outstanding_ns.get(nsid, 0) - 1
+            if remaining <= 0:
+                self._outstanding_ns.pop(nsid, None)
+            else:
+                self._outstanding_ns[nsid] = remaining
+
+    def outstanding_in(self, nsid: int) -> int:
+        """Admitted-but-incomplete commands belonging to one namespace."""
+        return self._outstanding_ns.get(nsid, 0)
 
     def acquire_slot(self) -> Any:
         """Event that fires when a submission-queue slot is granted."""

@@ -16,9 +16,10 @@ from repro.flash.timing import FlashTiming
 from repro.ftl.ftl import Ftl, FtlConfig
 from repro.sim.core import Event, Simulator
 from repro.sim.stats import StatRegistry
+from repro.common.errors import ConfigError
 from repro.ssd.commands import Command, Completion, Op
 from repro.ssd.controller import ControllerConfig, SsdController
-from repro.ssd.interface import HostInterface, InterfaceConfig
+from repro.ssd.interface import HostInterface, InterfaceConfig, NamespaceLayout
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,41 @@ class Ssd:
             self.isce.processor.host_pressure = (
                 lambda: self.controller.outstanding_user > 0
                 or self.interface.queued > 0)
+
+        self.namespaces: Optional[NamespaceLayout] = None
+
+    # ------------------------------------------------------------------
+    # namespaces
+    # ------------------------------------------------------------------
+    def configure_namespaces(self, layout: NamespaceLayout) -> None:
+        """Shard the device into NVMe-style namespaces.
+
+        Must run before any traffic.  Ranges must be aligned to the FTL
+        mapping unit so no unit straddles a namespace boundary; the
+        controller then range-checks every command and the FTL segregates
+        write streams per namespace.
+        """
+        spu = self.ftl.sectors_per_unit
+        for entry in layout:
+            if entry.lba_start % spu or entry.nsectors % spu:
+                raise ConfigError(
+                    f"namespace {entry.label} is not aligned to the "
+                    f"{spu}-sector mapping unit")
+            if entry.lba_end > self.spec.geometry.capacity_bytes // 512:
+                raise ConfigError(
+                    f"namespace {entry.label} exceeds the device LBA space")
+        self.namespaces = layout
+        self.controller.configure_namespaces(layout)
+        self.ftl.set_namespaces([
+            (entry.nsid, entry.lba_start // spu, entry.nsectors // spu)
+            for entry in layout])
+
+    def namespace(self, nsid: int) -> "NamespaceHandle":
+        """A per-tenant handle that stamps ``nsid`` on every command."""
+        if self.namespaces is None:
+            raise ConfigError("device has no namespaces configured")
+        self.namespaces.get(nsid)  # validate existence
+        return NamespaceHandle(self, nsid)
 
     # ------------------------------------------------------------------
     @property
@@ -114,3 +150,48 @@ class Ssd:
         while self.controller.outstanding or self.interface.queued:
             yield 10_000
         yield from self.ftl.drain()
+
+
+class NamespaceHandle:
+    """One tenant's view of a shared namespaced device.
+
+    Wraps an :class:`Ssd` and stamps the tenant's namespace id on every
+    submitted command, so the controller can verify the addressed range
+    against the submitter's identity (not just the range's owner).  All
+    other attributes delegate to the underlying device — a handle is a
+    drop-in ``ssd`` for :class:`repro.engine.engine.StorageEngine`.
+    """
+
+    def __init__(self, device: Ssd, nsid: int) -> None:
+        self.device = device
+        self.nsid = nsid
+
+    def submit(self, command: Command) -> Event:
+        """Stamp the namespace id and submit to the shared controller."""
+        if command.nsid is None and command.op not in (Op.FLUSH,
+                                                       Op.LOAD_PROGRAM):
+            command.nsid = self.nsid
+        return self.device.submit(command)
+
+    def execute(self, command: Command) -> Generator[Any, Any, Completion]:
+        """Submit through this namespace and wait."""
+        completion = yield self.submit(command)
+        return completion
+
+    def read(self, lba: int, nsectors: int) -> Generator[Any, Any, List[Any]]:
+        """Read tags for a sector range inside this namespace."""
+        completion = yield self.submit(Command(op=Op.READ, lba=lba,
+                                               nsectors=nsectors))
+        return completion.tags
+
+    def write(self, lba: int, nsectors: int, tags=None, fua: bool = False,
+              stream: str = "data",
+              cause: str = "host") -> Generator[Any, Any, Completion]:
+        """Write a sector range inside this namespace."""
+        completion = yield self.submit(Command(
+            op=Op.WRITE, lba=lba, nsectors=nsectors, tags=tags, fua=fua,
+            stream=stream, cause=cause))
+        return completion
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.device, name)

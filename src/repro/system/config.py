@@ -25,7 +25,11 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FlashTiming
 from repro.ftl.ftl import FtlConfig
 from repro.ssd.controller import ControllerConfig
-from repro.ssd.interface import InterfaceConfig
+from repro.ssd.interface import (
+    InterfaceConfig,
+    NamespaceLayout,
+    NamespaceRange,
+)
 from repro.ssd.ssd import SsdSpec
 from repro.workload.records import (
     FixedSize,
@@ -43,6 +47,39 @@ DEFAULT_MAPPING_UNITS = {
 }
 """Per-configuration FTL mapping unit (Table I: 4 KiB page mapping for the
 conventional systems, 512 B sub-page mapping for ISC-C and Check-In)."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Per-tenant overrides for a multi-tenant (namespaced) run.
+
+    Every field left ``None`` inherits the base :class:`SystemConfig`
+    value; ``seed_offset`` defaults to the tenant's index so tenants get
+    distinct-but-deterministic RNG lineages (tenant 0 keeps the base seed
+    and therefore reproduces the single-tenant run exactly).
+    """
+
+    name: str = ""
+    workload: Optional[str] = None
+    distribution: Optional[str] = None
+    threads: Optional[int] = None
+    num_keys: Optional[int] = None
+    total_queries: Optional[int] = None
+    size_spec: Optional[str] = None
+    seed_offset: Optional[int] = None
+    checkpoint_interval_ns: Optional[int] = None
+    checkpoint_journal_quota: Optional[int] = None
+    journal_area_bytes: Optional[int] = None
+
+    def label(self, index: int) -> str:
+        """Display name of the tenant at ``index``."""
+        return self.name or f"tenant{index}"
+
+
+_TENANT_OVERRIDE_FIELDS = (
+    "workload", "distribution", "threads", "num_keys", "total_queries",
+    "size_spec", "checkpoint_interval_ns", "checkpoint_journal_quota",
+    "journal_area_bytes")
 
 
 @dataclass(frozen=True)
@@ -125,9 +162,16 @@ class SystemConfig:
     Off by default: a traced and an untraced run execute the identical
     event sequence, so leaving this off costs nothing."""
 
+    tenants: Optional[Tuple[TenantSpec, ...]] = None
+    """None = classic single-tenant run.  A tuple (even of length one)
+    selects namespace sharding: each tenant gets its own engine, journal
+    and LBA range on the shared device."""
+
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.tenants is not None and len(self.tenants) < 1:
+            raise ConfigError("tenants tuple must not be empty")
         if self.threads < 1:
             raise ConfigError("threads must be >= 1")
         if self.num_keys < 1 or self.total_queries < 1:
@@ -264,14 +308,83 @@ class SystemConfig:
             lock_queries_during_checkpoint=self.lock_queries_during_checkpoint,
             verify_reads=self.verify_reads)
 
+    # ------------------------------------------------------------------
+    # multi-tenant (namespace) derivations
+    # ------------------------------------------------------------------
+    @property
+    def num_tenants(self) -> int:
+        """Tenant count (1 for a classic single-tenant run)."""
+        return len(self.tenants) if self.tenants is not None else 1
+
+    def tenant_view(self, index: int) -> "SystemConfig":
+        """The effective single-tenant config of tenant ``index``.
+
+        A view is a plain :class:`SystemConfig` (``tenants=None``) with the
+        tenant's overrides and seed applied — it drives the tenant's
+        workload generators, checkpoint policy and engine layout, while
+        device-level fields are only read from the base config.
+        """
+        if self.tenants is None or not 0 <= index < len(self.tenants):
+            raise ConfigError(f"no tenant at index {index}")
+        spec = self.tenants[index]
+        overrides = {name: getattr(spec, name)
+                     for name in _TENANT_OVERRIDE_FIELDS
+                     if getattr(spec, name) is not None}
+        offset = spec.seed_offset if spec.seed_offset is not None else index
+        return replace(self, tenants=None, seed=self.seed + offset,
+                       **overrides)
+
+    def namespace_layout(self) -> NamespaceLayout:
+        """Stack each tenant's LBA footprint into one namespace layout.
+
+        Footprints are page-aligned so no flash page (and hence no mapping
+        unit) straddles two namespaces.
+        """
+        if self.tenants is None:
+            raise ConfigError("namespace_layout needs a tenants tuple")
+        page_sectors = self.page_size // SECTOR_SIZE
+        ranges = []
+        base = 0
+        for index, spec in enumerate(self.tenants):
+            engine_cfg = self.tenant_view(index).engine_config()
+            footprint = engine_cfg.data_lba_start + engine_cfg.data_sectors
+            if footprint % page_sectors:
+                footprint += page_sectors - (footprint % page_sectors)
+            ranges.append(NamespaceRange(nsid=index, lba_start=base,
+                                         nsectors=footprint,
+                                         name=spec.label(index)))
+            base += footprint
+        return NamespaceLayout(ranges)
+
+    def tenant_engine_config(self, index: int) -> EngineConfig:
+        """Tenant ``index``'s engine regions, offset to its namespace base.
+
+        Engines address the shared device in absolute LBAs; isolation is
+        the controller's range check, not address translation, so tenant 0
+        (base 0) is bit-identical to the legacy single-engine layout.
+        """
+        engine_cfg = self.tenant_view(index).engine_config()
+        base = self.namespace_layout().get(index).lba_start
+        if base == 0:
+            return engine_cfg
+        return replace(
+            engine_cfg,
+            journal_lba_start=engine_cfg.journal_lba_start + base,
+            meta_lba_start=engine_cfg.meta_lba_start + base,
+            data_lba_start=engine_cfg.data_lba_start + base)
+
     def check_capacity(self) -> Tuple[int, int]:
         """Validate logical footprint vs raw flash; returns (logical, raw).
 
         Keeps at least ~20 % of raw capacity as over-provisioning so GC
         has somewhere to work.
         """
-        engine_cfg = self.engine_config()
-        logical_sectors = engine_cfg.data_lba_start + engine_cfg.data_sectors
+        if self.tenants is not None:
+            logical_sectors = self.namespace_layout().ranges[-1].lba_end
+        else:
+            engine_cfg = self.engine_config()
+            logical_sectors = (engine_cfg.data_lba_start
+                               + engine_cfg.data_sectors)
         logical_bytes = logical_sectors * SECTOR_SIZE
         raw = self.geometry().capacity_bytes
         if logical_bytes > raw * 0.80:

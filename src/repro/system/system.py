@@ -1,16 +1,22 @@
-"""The full key-value store system: device + engine + clients + triggers.
+"""The full key-value store system: device + engine(s) + clients + triggers.
 
 :class:`KvSystem` wires one configuration end to end and drives a run:
 
 1. load the key population (instant, outside the measured phase);
 2. start services (journal committer, device idle-GC daemon);
-3. spawn the client pool and the checkpoint-trigger process;
-4. run the event loop until the operation budget drains;
-5. optionally run a final checkpoint, quiesce the device, stop daemons.
+3. spawn the client pools and the checkpoint-trigger processes;
+4. run the event loop until every operation budget drains;
+5. optionally run final checkpoints, quiesce the device, stop daemons.
 
 The checkpoint trigger mirrors the paper's policy: a checkpoint fires on a
 time interval *or* when the journal quota fills, whichever comes first
 (§IV-C).
+
+Multi-tenant runs (``config.tenants``) shard the device into NVMe-style
+namespaces: each tenant gets its own engine, journal, checkpointer,
+client pool and RNG lineage on a private LBA range, while the controller,
+FTL, GC and ISCE stay shared.  A single-tenant config takes the legacy
+path and is bit-identical to the pre-namespace system.
 """
 
 from __future__ import annotations
@@ -29,9 +35,40 @@ from repro.system.config import SystemConfig
 from repro.system.metrics import RunMetrics
 from repro.trace import install_tracer, summarize, tracing_enabled
 from repro.trace.metrics import TraceSummary
-from repro.workload.client import ClientPool
+from repro.workload.client import ClientPool, LatencySink
 from repro.workload.distributions import make_distribution
+from repro.workload.records import RecordSizeModel
 from repro.workload.ycsb import OperationGenerator, workload_by_name
+
+
+@dataclass
+class TenantRuntime:
+    """One tenant's live components inside a :class:`KvSystem`."""
+
+    index: int
+    name: str
+    view: SystemConfig
+    """The tenant's effective single-tenant configuration."""
+
+    engine: StorageEngine
+    metrics: RunMetrics
+    size_model: RecordSizeModel
+    sink: LatencySink
+
+
+@dataclass
+class TenantResult:
+    """Per-tenant slice of a finished multi-tenant run."""
+
+    name: str
+    config: SystemConfig
+    metrics: RunMetrics
+    checkpoint_reports: List[CheckpointReport] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        """Operations this tenant completed in the measured phase."""
+        return self.metrics.operations
 
 
 @dataclass
@@ -45,6 +82,10 @@ class RunResult:
     """Per-component stage and checkpoint-phase breakdown; None when the
     run was untraced."""
 
+    tenants: List[TenantResult] = field(default_factory=list)
+    """Per-tenant results; a single entry mirroring the aggregate on a
+    classic single-tenant run."""
+
     @property
     def checkpoint_count(self) -> int:
         """Checkpoints taken during the run."""
@@ -57,6 +98,13 @@ class RunResult:
         return sum(r.duration_ns for r in self.checkpoint_reports) / \
             len(self.checkpoint_reports)
 
+    def tenant(self, name: str) -> TenantResult:
+        """The tenant result named ``name``."""
+        for entry in self.tenants:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no tenant named {name!r}")
+
 
 class KvSystem:
     """One configured key-value store system instance."""
@@ -68,69 +116,138 @@ class KvSystem:
         if config.trace or tracing_enabled():
             install_tracer(self.sim, label=config.mode)
         self.ssd = Ssd(self.sim, config.ssd_spec())
-        self.engine = StorageEngine(self.sim, self.ssd, config.engine_config())
         self.metrics = RunMetrics(self.sim, self.ssd.stats)
-        self.size_model = config.size_model()
+        self.tenants: List[TenantRuntime] = []
+        if config.tenants is None:
+            engine = StorageEngine(self.sim, self.ssd, config.engine_config())
+            # The single runtime *is* the aggregate: one metrics object,
+            # recorded once per operation — the legacy behaviour.
+            self.tenants.append(TenantRuntime(
+                index=0, name="tenant0", view=config, engine=engine,
+                metrics=self.metrics, size_model=config.size_model(),
+                sink=self.metrics.record))
+        else:
+            layout = config.namespace_layout()
+            self.ssd.configure_namespaces(layout)
+            if len(layout) > 1:
+                # Split the stripe between namespaces so N tenants' worth
+                # of qualified streams cannot starve the free-block pool.
+                allocator = self.ssd.ftl.allocator
+                allocator.limit_stripe_width(
+                    max(1, allocator.stripe_width // len(layout)))
+            for index, spec in enumerate(config.tenants):
+                view = config.tenant_view(index)
+                engine = StorageEngine(self.sim, self.ssd.namespace(index),
+                                       config.tenant_engine_config(index))
+                metrics = RunMetrics(self.sim, self.ssd.stats)
+                self.tenants.append(TenantRuntime(
+                    index=index, name=spec.label(index), view=view,
+                    engine=engine, metrics=metrics,
+                    size_model=view.size_model(),
+                    sink=self._tenant_sink(metrics)))
+        self.engine = self.tenants[0].engine
+        """Tenant 0's engine — the whole system's engine on the legacy
+        single-tenant path (kept as an attribute for compatibility)."""
+        self.size_model = self.tenants[0].size_model
         self._loaded = False
-        self._trigger: Optional[Process] = None
+        self._triggers: List[Process] = []
+
+    def _tenant_sink(self, metrics: RunMetrics) -> LatencySink:
+        def record(operation, latency_ns, during_checkpoint) -> None:
+            metrics.record(operation, latency_ns, during_checkpoint)
+            self.metrics.record(operation, latency_ns, during_checkpoint)
+        return record
 
     # ------------------------------------------------------------------
     def load(self) -> None:
-        """Populate the store with the key population (instant)."""
+        """Populate every tenant's key population (instant)."""
         if self._loaded:
             return
-        self.engine.load(self.size_model.sizes(self.config.num_keys))
+        for tenant in self.tenants:
+            tenant.engine.load(
+                tenant.size_model.sizes(tenant.view.num_keys))
         self._loaded = True
 
-    def make_client_pool(self) -> ClientPool:
-        """Build the closed-loop client pool for this configuration."""
-        root = SeededRng(self.config.seed)
-        spec = workload_by_name(self.config.workload)
+    def make_client_pool(self, tenant: Optional[TenantRuntime] = None
+                         ) -> ClientPool:
+        """Build the closed-loop client pool for one tenant (default: 0)."""
+        if tenant is None:
+            tenant = self.tenants[0]
+        view = tenant.view
+        root = SeededRng(view.seed)
+        spec = workload_by_name(view.workload)
         generators = []
-        for thread in range(self.config.threads):
+        for thread in range(view.threads):
             thread_rng = root.fork(f"thread{thread}")
-            keys = make_distribution(self.config.distribution,
-                                     self.config.num_keys,
+            keys = make_distribution(view.distribution,
+                                     view.num_keys,
                                      thread_rng.fork("keys"))
             generators.append(OperationGenerator(spec, keys,
                                                  thread_rng.fork("ops")))
-        return ClientPool(self.sim, self.engine, generators,
-                          self.config.total_queries,
-                          on_complete=self.metrics.record)
+        label = tenant.name if self.config.tenants is not None else ""
+        return ClientPool(self.sim, tenant.engine, generators,
+                          view.total_queries,
+                          on_complete=tenant.sink, label=label)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the whole experiment; returns the results."""
         self.load()
-        self.engine.start()
+        for tenant in self.tenants:
+            tenant.engine.start()
         self.metrics.start_measurement()
+        if self.config.tenants is not None:
+            for tenant in self.tenants:
+                tenant.metrics.start_measurement()
 
-        pool_done = self.make_client_pool().start()
-        self._trigger = spawn(self.sim, self._checkpoint_trigger(),
-                              name="ckpt-trigger")
+        pool_done = [self.make_client_pool(tenant).start()
+                     for tenant in self.tenants]
+        for tenant in self.tenants:
+            suffix = f"{tenant.name}." if self.config.tenants is not None \
+                else ""
+            self._triggers.append(
+                spawn(self.sim, self._checkpoint_trigger(tenant),
+                      name=f"{suffix}ckpt-trigger"))
 
-        self._drive_until(pool_done)
+        for done in pool_done:
+            self._drive_until(done)
 
-        # Let an in-flight checkpoint finish before tearing anything down.
-        while self.engine.checkpoint_running:
+        # Let in-flight checkpoints finish before tearing anything down.
+        while any(tenant.engine.checkpoint_running
+                  for tenant in self.tenants):
             if not self.sim.step():
                 raise SimulationError("event loop drained mid-checkpoint")
 
-        if self.config.final_checkpoint and len(self.engine.journal.active_jmt):
-            final = spawn(self.sim, self.engine.checkpoint(), name="final-ckpt")
-            self._drive_until(final)
+        for tenant in self.tenants:
+            if tenant.view.final_checkpoint and \
+                    len(tenant.engine.journal.active_jmt):
+                final = spawn(self.sim, tenant.engine.checkpoint(),
+                              name=f"final-ckpt{tenant.index}")
+                self._drive_until(final)
 
         quiesced = spawn(self.sim, self.ssd.quiesce(), name="quiesce")
         self._drive_until(quiesced)
 
         self.metrics.finish_measurement()
+        if self.config.tenants is not None:
+            for tenant in self.tenants:
+                tenant.metrics.finish_measurement()
         self._stop_services()
         self.sim.run()  # drain whatever remains (completions, programs)
         tracer = self.sim.tracer
+        all_reports: List[CheckpointReport] = []
+        tenant_results: List[TenantResult] = []
+        for tenant in self.tenants:
+            reports = list(tenant.engine.checkpoint_reports)
+            all_reports.extend(reports)
+            tenant_results.append(TenantResult(
+                name=tenant.name, config=tenant.view,
+                metrics=tenant.metrics, checkpoint_reports=reports))
         return RunResult(config=self.config, metrics=self.metrics,
-                         checkpoint_reports=list(self.engine.checkpoint_reports),
+                         checkpoint_reports=all_reports,
                          trace_summary=summarize(tracer)
-                         if tracer.enabled else None)
+                         if tracer.enabled else None,
+                         tenants=tenant_results)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:
         """Synchronously run one checkpoint (helper for experiments)."""
@@ -147,28 +264,33 @@ class KvSystem:
             raise process.exception
 
     def _stop_services(self) -> None:
-        if self._trigger is not None and self._trigger.alive:
-            self._trigger.interrupt("run finished")
-        self._trigger = None
-        self.engine.shutdown()
+        for trigger in self._triggers:
+            if trigger.alive:
+                trigger.interrupt("run finished")
+        self._triggers = []
+        for tenant in self.tenants:
+            tenant.engine.shutdown()
 
     # ------------------------------------------------------------------
-    def _checkpoint_trigger(self) -> Generator[Any, Any, None]:
+    def _checkpoint_trigger(self, tenant: TenantRuntime
+                            ) -> Generator[Any, Any, None]:
+        view = tenant.view
+        engine = tenant.engine
         last_checkpoint = self.sim.now
         try:
             while True:
-                yield self.config.trigger_poll_ns
-                if self.engine.checkpoint_running:
+                yield view.trigger_poll_ns
+                if engine.checkpoint_running:
                     continue
-                if len(self.engine.journal.active_jmt) == 0:
+                if len(engine.journal.active_jmt) == 0:
                     continue
                 interval_due = (self.sim.now - last_checkpoint >=
-                                self.config.checkpoint_interval_ns)
-                quota_due = (self.engine.journal_pressure() >=
-                             self.config.checkpoint_journal_quota)
+                                view.checkpoint_interval_ns)
+                quota_due = (engine.journal_pressure() >=
+                             view.checkpoint_journal_quota)
                 if not (interval_due or quota_due):
                     continue
-                yield from self.engine.checkpoint()
+                yield from engine.checkpoint()
                 last_checkpoint = self.sim.now
         except Interrupt:
             return

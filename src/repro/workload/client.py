@@ -42,7 +42,8 @@ class ClientPool:
     def __init__(self, sim: Simulator, engine: StorageEngine,
                  generators: List[OperationGenerator],
                  total_operations: int,
-                 on_complete: Optional[LatencySink] = None) -> None:
+                 on_complete: Optional[LatencySink] = None,
+                 label: str = "") -> None:
         if not generators:
             raise WorkloadError("need at least one client thread")
         if total_operations < 1:
@@ -52,6 +53,9 @@ class ClientPool:
         self.generators = generators
         self.total_operations = total_operations
         self.on_complete = on_complete
+        self.label = label
+        """Process-name prefix; multi-tenant runs tag each tenant's
+        threads (e.g. "tenant1.client0") for readable traces."""
         self._remaining = total_operations
         self._issued = 0
 
@@ -63,8 +67,9 @@ class ClientPool:
     def start(self) -> Process:
         """Spawn every thread; returns a process to join for completion."""
         started_at = self.sim.now
+        prefix = f"{self.label}." if self.label else ""
         workers = [spawn(self.sim, self._thread_loop(generator, i),
-                         name=f"client{i}")
+                         name=f"{prefix}client{i}")
                    for i, generator in enumerate(self.generators)]
 
         def waiter():
@@ -73,7 +78,7 @@ class ClientPool:
                                     started_at=started_at,
                                     finished_at=self.sim.now)
 
-        return spawn(self.sim, waiter(), name="client-pool")
+        return spawn(self.sim, waiter(), name=f"{prefix}client-pool")
 
     def _thread_loop(self, generator: OperationGenerator,
                      thread: int) -> Generator[Any, Any, None]:

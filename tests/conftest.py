@@ -1,0 +1,62 @@
+"""Shared fixtures for the system-level tests.
+
+The ``test_system*`` files all build the same tiny-device system and
+drive it with the same step loop; these fixtures keep that boilerplate
+in one place.  Config-only unit tests keep importing ``tiny_config``
+directly — the fixtures are for tests that *run* a system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import spawn
+from repro.system import KvSystem, run_config, tiny_config
+
+
+@pytest.fixture
+def make_system():
+    """Factory: a :class:`KvSystem` on the tiny test device.
+
+    Keyword arguments are forwarded to :func:`tiny_config`.
+    """
+    def _make(**overrides) -> KvSystem:
+        return KvSystem(tiny_config(**overrides))
+    return _make
+
+
+@pytest.fixture
+def started_system(make_system):
+    """Factory: a tiny system already loaded with every engine started."""
+    def _make(**overrides) -> KvSystem:
+        system = make_system(**overrides)
+        system.load()
+        for tenant in system.tenants:
+            tenant.engine.start()
+        return system
+    return _make
+
+
+@pytest.fixture
+def run_tiny():
+    """Factory: run a full tiny-scale workload, returning its RunResult."""
+    def _run(**overrides):
+        return run_config(tiny_config(**overrides))
+    return _run
+
+
+@pytest.fixture
+def drive():
+    """Step a system's simulator until the given client generator is done.
+
+    Spawns ``generator`` on ``system.sim``, steps to completion and
+    asserts the process neither starved nor raised.  Returns the
+    finished process.
+    """
+    def _drive(system: KvSystem, generator, name: str = "test-client"):
+        proc = spawn(system.sim, generator, name=name)
+        while not proc.triggered:
+            assert system.sim.step(), "simulation starved"
+        assert proc.ok, proc.exception
+        return proc
+    return _drive

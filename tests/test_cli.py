@@ -68,3 +68,34 @@ class TestCommands:
         bad.write_text("[]")
         assert main(["trace", "--validate", str(bad)]) == 1
         assert main(["trace", "--validate", str(tmp_path / "missing")]) == 1
+
+
+class TestTenantRuns:
+    def test_run_tenants_parses(self):
+        args = build_parser().parse_args(["run", "--tenants", "2"])
+        assert args.experiment is None
+        assert args.tenants == 2
+        assert args.mode == "checkin"
+
+    def test_fault_sweep_tenants_default(self):
+        args = build_parser().parse_args(["fault-sweep"])
+        assert args.tenants == 1
+
+    def test_run_without_experiment_or_tenants_fails(self, capsys):
+        assert main(["run"]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    def test_run_rejects_experiment_plus_tenants(self, capsys):
+        assert main(["run", "fig8a", "--tenants", "2"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_rejects_nonpositive_tenants(self, capsys):
+        assert main(["run", "--tenants", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_run_two_tenants(self, capsys):
+        assert main(["run", "--tenants", "2", "--mode", "checkin"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant0" in out and "tenant1" in out
+        assert "aggregate" in out
+        assert "sum to" in out and "DO NOT" not in out

@@ -20,7 +20,7 @@ class TestReportAssembly:
         ids = {exp_id for exp_id, _title, _c in module.SECTIONS}
         for required in ("table1", "fig3a", "fig3b", "fig3c", "fig8a",
                          "fig8b", "fig9", "fig10", "fig11", "fig12",
-                         "fig13a", "fig13b"):
+                         "fig13a", "fig13b", "interference"):
             assert required in ids
 
     def test_main_builds_report(self, tmp_path, monkeypatch):

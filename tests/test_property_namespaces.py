@@ -1,0 +1,100 @@
+"""Property tests: namespace isolation under randomized tenant activity.
+
+Hypothesis drives random per-tenant scripts of puts and checkpoints
+against a namespaced tiny device, optionally pulling the plug mid-run
+and running SPOR recovery.  Whatever the interleaving — remap
+checkpoints, GC relocation, crash, recovery — the physical partitioning
+must hold: no flash unit referenced by two namespaces, every mapped LPN
+inside its owner's range, every durable remap confined to one tenant.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import SeededRng
+from repro.common.units import MIB
+from repro.fault import check_ftl_invariants, power_cut, recover_device
+from repro.fault.invariants import check_namespace_isolation
+from repro.sim import spawn
+from repro.system import KvSystem, TenantSpec, tiny_config
+
+KEYS = 16
+
+# One script per tenant: ("put", key) | ("ckpt",)
+SCRIPT = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, KEYS - 1)),
+        st.tuples(st.just("ckpt")),
+    ),
+    min_size=1, max_size=25)
+
+# 0 = run to completion; otherwise cut power after that many kernel
+# steps (clamped by the run's natural length — large draws degenerate
+# into crash-free examples, which is a property worth keeping too).
+CRASH_STEP = st.one_of(st.just(0), st.integers(1, 1_500))
+
+
+def run_tenants(mode, scripts, crash_step):
+    """Run one script per tenant; crash/recover if the step count hits."""
+    config = tiny_config(mode=mode, seed=5, num_keys=KEYS,
+                         track_op_log=True, snapshot_metadata=True,
+                         journal_area_bytes=1 * MIB,
+                         tenants=tuple(TenantSpec() for _ in scripts))
+    system = KvSystem(config)
+    system.load()
+    procs = []
+    for tenant, script in zip(system.tenants, scripts):
+        tenant.engine.start()
+
+        def client(engine=tenant.engine, script=script):
+            for op in script:
+                if op[0] == "put":
+                    yield from engine.put(op[1])
+                else:
+                    yield from engine.checkpoint()
+
+        procs.append(spawn(system.sim, client(),
+                           name=f"tenant{tenant.index}"))
+
+    steps = 0
+    crashed = False
+    while not all(proc.triggered for proc in procs):
+        assert system.sim.step(), "simulation starved"
+        steps += 1
+        if crash_step and steps >= crash_step:
+            crashed = True
+            break
+    if crashed:
+        power_cut(system, SeededRng(99).fork("tear"))
+        recover_device(system)
+    else:
+        for proc in procs:
+            assert proc.ok, proc.exception
+    return system
+
+
+def assert_isolated(system):
+    ftl = system.ssd.ftl
+    violations = check_namespace_isolation(ftl) + check_ftl_invariants(ftl)
+    assert not violations, violations
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scripts=st.tuples(SCRIPT, SCRIPT), crash_step=CRASH_STEP)
+def test_property_two_tenant_isolation_checkin(scripts, crash_step):
+    assert_isolated(run_tenants("checkin", scripts, crash_step))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scripts=st.tuples(SCRIPT, SCRIPT), crash_step=CRASH_STEP)
+def test_property_two_tenant_isolation_baseline(scripts, crash_step):
+    assert_isolated(run_tenants("baseline", scripts, crash_step))
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scripts=st.tuples(SCRIPT, SCRIPT, SCRIPT), crash_step=CRASH_STEP)
+def test_property_three_tenant_isolation_checkin(scripts, crash_step):
+    assert_isolated(run_tenants("checkin", scripts, crash_step))

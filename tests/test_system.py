@@ -1,9 +1,14 @@
-"""End-to-end system tests: full runs across configurations."""
+"""End-to-end system tests: full runs across configurations.
+
+System-building boilerplate lives in the shared fixtures
+(``tests/conftest.py``): ``run_tiny`` runs a full tiny-scale workload,
+``make_system``/``started_system`` build one for manual driving.
+"""
 
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.system import DEFAULT_MAPPING_UNITS, KvSystem, SystemConfig, run_config, tiny_config
+from repro.system import DEFAULT_MAPPING_UNITS, tiny_config
 
 ALL_MODES = ("baseline", "isc_a", "isc_b", "isc_c", "checkin")
 
@@ -51,92 +56,85 @@ class TestSystemConfig:
 
 class TestFullRuns:
     @pytest.mark.parametrize("mode", ALL_MODES)
-    def test_run_completes_all_queries(self, mode):
-        result = run_config(tiny_config(mode=mode, total_queries=800))
+    def test_run_completes_all_queries(self, run_tiny, mode):
+        result = run_tiny(mode=mode, total_queries=800)
         assert result.metrics.operations == 800
         assert result.metrics.throughput_qps() > 0
         assert result.metrics.latency_all.mean() > 0
 
-    def test_checkpoints_happen(self):
-        result = run_config(tiny_config(total_queries=1500))
+    def test_checkpoints_happen(self, run_tiny):
+        result = run_tiny(total_queries=1500)
         assert result.checkpoint_count >= 1
         assert result.mean_checkpoint_ns() > 0
 
-    def test_deterministic_across_runs(self):
-        a = run_config(tiny_config(total_queries=600))
-        b = run_config(tiny_config(total_queries=600))
+    def test_deterministic_across_runs(self, run_tiny):
+        a = run_tiny(total_queries=600)
+        b = run_tiny(total_queries=600)
         assert a.metrics.latency_all.mean() == b.metrics.latency_all.mean()
         assert a.metrics.throughput_qps() == b.metrics.throughput_qps()
         assert a.checkpoint_count == b.checkpoint_count
 
-    def test_seed_changes_results(self):
-        a = run_config(tiny_config(total_queries=600, seed=1))
-        b = run_config(tiny_config(total_queries=600, seed=2))
+    def test_seed_changes_results(self, run_tiny):
+        a = run_tiny(total_queries=600, seed=1)
+        b = run_tiny(total_queries=600, seed=2)
         assert a.metrics.latency_all.mean() != b.metrics.latency_all.mean()
 
-    def test_workload_wo_generates_no_reads(self):
-        result = run_config(tiny_config(workload="WO", total_queries=500))
+    def test_workload_wo_generates_no_reads(self, run_tiny):
+        result = run_tiny(workload="WO", total_queries=500)
         assert len(result.metrics.latency_read) == 0
         assert len(result.metrics.latency_update) == 500
 
-    def test_workload_f_counts_rmw_as_update(self):
-        result = run_config(tiny_config(workload="F", total_queries=500))
+    def test_workload_f_counts_rmw_as_update(self, run_tiny):
+        result = run_tiny(workload="F", total_queries=500)
         assert len(result.metrics.latency_update) > 0
         assert len(result.metrics.latency_read) > 0
 
-    def test_uniform_distribution_runs(self):
-        result = run_config(tiny_config(distribution="uniform",
-                                        total_queries=500))
+    def test_uniform_distribution_runs(self, run_tiny):
+        result = run_tiny(distribution="uniform", total_queries=500)
         assert result.metrics.operations == 500
 
 
 class TestPaperShapeAtTinyScale:
     """Smoke-level shape checks; the benchmarks do the real comparisons."""
 
-    def test_checkin_reduces_redundant_write_bytes(self):
-        baseline = run_config(tiny_config(mode="baseline"))
-        checkin = run_config(tiny_config(mode="checkin"))
+    def test_checkin_reduces_redundant_write_bytes(self, run_tiny):
+        baseline = run_tiny(mode="baseline")
+        checkin = run_tiny(mode="checkin")
         assert checkin.metrics.redundant_write_bytes() < \
             0.5 * baseline.metrics.redundant_write_bytes()
 
-    def test_checkin_remaps(self):
-        result = run_config(tiny_config(mode="checkin",
-                                        size_spec="fixed-512"))
+    def test_checkin_remaps(self, run_tiny):
+        result = run_tiny(mode="checkin", size_spec="fixed-512")
         assert result.metrics.remapped_units() > 0
         # Fully aligned records: no copy path at all.
         assert result.metrics.delta("isce.copied_units") == 0
 
-    def test_isc_c_does_not_remap_packed_logs(self):
-        result = run_config(tiny_config(mode="isc_c", size_spec="fixed-512"))
+    def test_isc_c_does_not_remap_packed_logs(self, run_tiny):
+        result = run_tiny(mode="isc_c", size_spec="fixed-512")
         assert result.metrics.remapped_units() == 0
 
-    def test_io_amplification_sane(self):
-        result = run_config(tiny_config(mode="baseline"))
+    def test_io_amplification_sane(self, run_tiny):
+        result = run_tiny(mode="baseline")
         amplification = result.metrics.io_amplification()
         assert 1.0 < amplification < 20.0
 
 
 class TestKvSystemHelpers:
-    def test_checkpoint_now(self):
-        system = KvSystem(tiny_config())
-        system.load()
-        system.engine.start()
-
-        from repro.sim import spawn
+    def test_checkpoint_now(self, started_system, drive):
+        system = started_system()
 
         def updates():
             for key in range(5):
                 yield from system.engine.put(key)
 
-        proc = spawn(system.sim, updates())
-        system._drive_until(proc)
+        drive(system, updates())
         report = system.checkpoint_now()
         assert report is not None
         assert report.entries_checkpointed == 5
         system.engine.shutdown()
 
-    def test_load_idempotent(self):
-        system = KvSystem(tiny_config())
+    def test_load_idempotent(self, make_system):
+        system = make_system()
         system.load()
         system.load()
         assert len(system.engine.kvmap) == system.config.num_keys

@@ -3,16 +3,11 @@
 import pytest
 
 from repro.engine.recovery import check_durability, recover_store, verify_device_recovery
-from repro.system import KvSystem, tiny_config
 
 
-def run_tracked(system, updates=400, checkpoint_at=200):
+def run_tracked(system, drive, updates=400, checkpoint_at=200):
     """Run a scripted write workload, tracking acknowledged versions."""
-    from repro.sim import spawn
-    system.load()
-    system.engine.start()
-    engine, sim = system.engine, system.sim
-    acked = {}
+    engine = system.engine
 
     def client():
         for i in range(updates):
@@ -22,29 +17,25 @@ def run_tracked(system, updates=400, checkpoint_at=200):
             if i == checkpoint_at:
                 yield from engine.checkpoint()
 
-    proc = spawn(sim, client())
-    while not proc.triggered:
-        assert sim.step()
-    assert proc.ok, proc.exception
+    acked = {}
+    drive(system, client())
     system.engine.shutdown()
-    sim.run()
+    system.sim.run()
     return acked
 
 
 @pytest.mark.parametrize("mode", ["baseline", "isc_b", "isc_c", "checkin"])
-def test_end_of_run_durability(mode):
-    system = KvSystem(tiny_config(mode=mode, num_keys=96))
-    acked = run_tracked(system)
+def test_end_of_run_durability(started_system, drive, mode):
+    system = started_system(mode=mode, num_keys=96)
+    acked = run_tracked(system, drive)
     check_durability(system.engine, acked)
 
 
 @pytest.mark.parametrize("mode", ["baseline", "checkin"])
-def test_mid_run_crash_points(mode):
+def test_mid_run_crash_points(started_system, mode):
     """Pull the plug at several arbitrary instants: nothing acked is lost."""
     from repro.sim import spawn
-    system = KvSystem(tiny_config(mode=mode, num_keys=64, seed=11))
-    system.load()
-    system.engine.start()
+    system = started_system(mode=mode, num_keys=64, seed=11)
     engine, sim = system.engine, system.sim
     acked = {}
 
@@ -67,16 +58,16 @@ def test_mid_run_crash_points(mode):
     check_durability(engine, acked)
 
 
-def test_device_recovery_after_full_run():
-    system = KvSystem(tiny_config(mode="checkin", num_keys=96,
-                                  track_op_log=True, snapshot_metadata=True))
-    run_tracked(system)
+def test_device_recovery_after_full_run(started_system, drive):
+    system = started_system(mode="checkin", num_keys=96,
+                            track_op_log=True, snapshot_metadata=True)
+    run_tracked(system, drive)
     verify_device_recovery(system.ssd.ftl)
 
 
-def test_recovery_distinguishes_checkpoint_and_journal():
-    system = KvSystem(tiny_config(mode="checkin", num_keys=32))
-    acked = run_tracked(system, updates=96, checkpoint_at=48)
+def test_recovery_distinguishes_checkpoint_and_journal(started_system, drive):
+    system = started_system(mode="checkin", num_keys=32)
+    acked = run_tracked(system, drive, updates=96, checkpoint_at=48)
     recovered = recover_store(system.engine)
     # Some keys were checkpointed, some only journaled afterwards.
     assert recovered.from_checkpoint

@@ -1,50 +1,49 @@
 """Checkpoint trigger policy: interval vs journal quota (§IV-C)."""
 
 from repro.common.units import KIB, MS
-from repro.system import KvSystem, RunResult, tiny_config
+from repro.system import RunResult, tiny_config
 from repro.system.metrics import RunMetrics
 
 
 class TestTriggerPolicy:
-    def test_quota_fires_before_interval(self):
+    def test_quota_fires_before_interval(self, make_system):
         # Interval far beyond the run; small quota: checkpoints must still
         # happen, driven purely by journal volume.
-        system = KvSystem(tiny_config(
+        system = make_system(
             total_queries=1500,
             checkpoint_interval_ns=10 ** 13,
             checkpoint_journal_quota=96 * KIB,
-        ))
+        )
         result = system.run()
         # More than just the final checkpoint ran.
         assert result.checkpoint_count >= 2
         for report in result.checkpoint_reports[:-1]:
             assert report.entries_checkpointed > 0
 
-    def test_interval_fires_without_quota(self):
-        system = KvSystem(tiny_config(
+    def test_interval_fires_without_quota(self, make_system):
+        system = make_system(
             total_queries=1500,
             checkpoint_interval_ns=5 * MS,
             checkpoint_journal_quota=10 ** 12,
-        ))
+        )
         result = system.run()
         assert result.checkpoint_count >= 2
 
-    def test_no_mid_run_checkpoint_when_both_disabled(self):
-        system = KvSystem(tiny_config(
+    def test_no_mid_run_checkpoint_when_both_disabled(self, make_system):
+        system = make_system(
             total_queries=800,
             checkpoint_interval_ns=10 ** 13,
             checkpoint_journal_quota=10 ** 12,
-        ))
+        )
         result = system.run()
         # Only the final checkpoint (final_checkpoint=True by default).
         assert result.checkpoint_count == 1
 
-    def test_final_checkpoint_disabled(self):
-        from dataclasses import replace
-        config = tiny_config(total_queries=600,
+    def test_final_checkpoint_disabled(self, make_system):
+        system = make_system(total_queries=600,
                              checkpoint_interval_ns=10 ** 13,
-                             checkpoint_journal_quota=10 ** 12)
-        system = KvSystem(replace(config, final_checkpoint=False))
+                             checkpoint_journal_quota=10 ** 12,
+                             final_checkpoint=False)
         result = system.run()
         assert result.checkpoint_count == 0
         # The journal still holds the un-checkpointed epoch.
