@@ -218,8 +218,55 @@ FAULT_SWEEP_MODES = ("baseline", "isc_c", "checkin")
 the two remapping-FTL systems (ISC-A/B share the baseline's device FTL)."""
 
 
+def _cmd_media_sweep(args: argparse.Namespace) -> int:
+    from repro.fault.media import media_sweep, spare_exhaustion_run
+    modes = FAULT_SWEEP_MODES if args.mode == "all" else (args.mode,)
+    rates = tuple(float(rate) for rate in args.media_rates.split(","))
+    rows = []
+    failed = 0
+    started = time.time()
+    for mode in modes:
+        sweep = media_sweep(mode=mode, rates=rates, seed=args.seed,
+                            ops=args.ops, tenants=args.tenants)
+        failures = sweep.failures()
+        failed += len(failures)
+        for point in sweep.results:
+            rows.append([mode, point.rate, point.acked_keys,
+                         point.program_fails, point.erase_fails,
+                         point.uecc_events, point.relocations,
+                         point.bad_blocks,
+                         "yes" if point.degraded else "no",
+                         "FAIL" if not point.ok else "ok"])
+        for point in failures:
+            problems = (point.client_errors + point.invariant_violations
+                        + point.checkpoint_violations)
+            if point.durability_error:
+                problems.append(point.durability_error)
+            print(f"FAIL {mode} rate {point.rate}: {problems[0]}",
+                  file=sys.stderr)
+    exhaustion = spare_exhaustion_run(seed=args.seed)
+    summary = exhaustion.metrics.summary()
+    degraded_ok = summary["degraded"] == 1.0 and summary["bad_blocks"] > 0
+    if not degraded_ok:
+        failed += 1
+        print("FAIL spare-exhaustion run did not end in degraded mode",
+              file=sys.stderr)
+    elapsed = time.time() - started
+    print(format_table(
+        ["mode", "rate", "acked", "pgm_fail", "ers_fail", "uecc",
+         "reloc", "bad_blk", "degraded", "verdict"],
+        rows, title=f"media-error sweep (seed {args.seed})"))
+    print(f"\nspare-exhaustion: degraded={summary['degraded']:.0f} "
+          f"bad_blocks={summary['bad_blocks']:.0f} "
+          f"({exhaustion.metrics.degraded_reason or 'healthy'})")
+    print(f"[{len(rows)} sweep points: {elapsed:.1f}s]")
+    return 1 if failed else 0
+
+
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     from repro.fault.harness import fault_sweep
+    if args.media_errors:
+        return _cmd_media_sweep(args)
     modes = FAULT_SWEEP_MODES if args.mode == "all" else (args.mode,)
     rows = []
     failed = 0
@@ -333,6 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     fault_parser.add_argument("--tenants", type=int, default=1,
                               help="crash a multi-tenant (namespaced) "
                                    "system instead of the classic one")
+    fault_parser.add_argument("--media-errors", action="store_true",
+                              help="media-error campaign instead of crash "
+                                   "points: seeded NAND failures under "
+                                   "load, plus a spare-exhaustion run")
+    fault_parser.add_argument("--media-rates", default="0.001,0.01,0.05",
+                              metavar="R1,R2,...",
+                              help="program-fail base rates for the "
+                                   "media-error grid")
     fault_parser.set_defaults(handler=_cmd_fault_sweep)
     return parser
 

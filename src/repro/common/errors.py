@@ -27,6 +27,27 @@ class FlashError(ReproError):
     """Illegal NAND flash operation (e.g. programming a written page)."""
 
 
+class MediaError(FlashError):
+    """A NAND operation failed for media (charge/cell) reasons.
+
+    Unlike the structural :class:`FlashError` cases, media errors are
+    expected events the stack above must handle: relocate, retire, retry
+    or surface a typed completion status — never crash a process.
+    """
+
+
+class MediaProgramError(MediaError):
+    """Program-status failure: the page did not verify after tPROG."""
+
+
+class MediaEraseError(MediaError):
+    """Erase-status failure: the block did not erase cleanly."""
+
+
+class MediaReadError(MediaError):
+    """Uncorrectable read: every read-retry level exhausted ECC."""
+
+
 class FtlError(ReproError):
     """Illegal FTL operation or mapping-table inconsistency."""
 
@@ -53,6 +74,11 @@ class KeyNotFoundError(EngineError):
 
 class RecoveryError(EngineError):
     """Crash recovery could not reconstruct a consistent state."""
+
+
+class CheckpointMediaError(EngineError):
+    """A checkpoint was abandoned because the device reported media
+    errors past the retry budget (or dropped to read-only mid-run)."""
 
 
 class WorkloadError(ReproError):

@@ -24,12 +24,13 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Generator, List, Optional
 
+from repro.common.errors import CheckpointMediaError
 from repro.common.units import ceil_div
 from repro.engine.journal import FrozenEpoch
 from repro.engine.records import JournalEntry
 from repro.sim.core import Simulator, all_of
 from repro.sim.process import spawn
-from repro.ssd.commands import Command, CowEntry, Op, write_command
+from repro.ssd.commands import Command, CowEntry, Op, Status, write_command
 from repro.ssd.ssd import Ssd
 
 
@@ -74,6 +75,10 @@ class CheckpointPolicy:
 
     metadata_lba: int = 0
     """Reserved metadata region (set by the engine at wiring time)."""
+
+    media_retry_limit: int = 4
+    """Fresh re-issues of a checkpoint command after a MEDIA_ERROR
+    completion before the checkpoint is abandoned."""
 
 
 class CheckpointStrategy(abc.ABC):
@@ -133,6 +138,29 @@ class CheckpointStrategy(abc.ABC):
                                       span=span))
         self._phase_end(span)
 
+    def _submit_reliable(self, make_command: Any) -> Generator[Any, Any, Any]:
+        """Submit via a fresh-command factory, re-issuing on media errors.
+
+        Checkpoint commands are idempotent over a frozen epoch, so a
+        whole-command retry is always safe.  Raises
+        :class:`CheckpointMediaError` once the budget is exhausted or the
+        device reports read-only — the engine then falls back or degrades
+        instead of losing the epoch.
+        """
+        attempts = 0
+        while True:
+            completion = yield self.ssd.submit(make_command())
+            if completion.ok:
+                return completion
+            if completion.status is Status.MEDIA_ERROR \
+                    and attempts < self.policy.media_retry_limit:
+                attempts += 1
+                self.ssd.stats.counter("ckpt.media_resubmits").add(1)
+                continue
+            raise CheckpointMediaError(
+                f"checkpoint {completion.command.op.value} command failed: "
+                f"{completion.error or completion.status.value}")
+
     def _pooled(self, jobs: List[Any]) -> Generator[Any, Any, None]:
         """Run generator jobs with bounded concurrency."""
         width = max(1, self.policy.parallelism)
@@ -156,11 +184,15 @@ class CheckpointStrategy(abc.ABC):
         meta_bytes = max(512, entry_count * self.policy.metadata_bytes_per_entry)
         nsectors = ceil_div(meta_bytes, 512)
         span = self._phase(trace_parent, "metadata_persist", bytes=meta_bytes)
-        meta_cmd = write_command(
-            self.policy.metadata_lba, nsectors, tags=None, fua=True,
-            stream="meta", cause="ckpt_meta")
-        meta_cmd.span = span
-        yield self.ssd.submit(meta_cmd)
+
+        def meta_cmd():
+            cmd = write_command(
+                self.policy.metadata_lba, nsectors, tags=None, fua=True,
+                stream="meta", cause="ckpt_meta")
+            cmd.span = span
+            return cmd
+
+        yield from self._submit_reliable(meta_cmd)
         yield self.ssd.submit(Command(op=Op.FLUSH, span=span))
         report.write_commands += 1
         self._phase_end(span)
@@ -176,8 +208,16 @@ class CheckpointStrategy(abc.ABC):
             return
         op = Op.DELETE_LOGS if via_isce else Op.TRIM
         span = self._phase(trace_parent, "dealloc", lba=lba, nsectors=nsectors)
-        yield self.ssd.submit(Command(op=op, lba=lba, nsectors=nsectors,
-                                      span=span))
+        completion = yield self.ssd.submit(Command(op=op, lba=lba,
+                                                   nsectors=nsectors,
+                                                   span=span))
+        if not completion.ok:
+            # The checkpoint itself is already durable; a failed
+            # deallocation only leaves stale journal sectors for GC to
+            # reclaim later.  Tolerate it rather than abort.
+            self.ssd.stats.counter("ckpt.trim_failed").add(1)
+            self._phase_end(span, failed=True)
+            return
         report.journal_sectors_freed = nsectors
         self._phase_end(span)
 
@@ -215,7 +255,7 @@ class BaselineCheckpointer(CheckpointStrategy):
                                entries=len(latest))
 
         def read_job(index: int, entry: JournalEntry):
-            completion = yield self.ssd.submit(Command(
+            completion = yield from self._submit_reliable(lambda: Command(
                 op=Op.READ, lba=entry.journal_lba,
                 nsectors=entry.journal_nsectors, span=readback))
             read_results[index] = completion.tags
@@ -235,11 +275,15 @@ class BaselineCheckpointer(CheckpointStrategy):
         def write_job(index: int, entry: JournalEntry):
             tag = extract_from_span(read_results[index], entry.src_offset)
             sector_tags = [tag] * entry.target_nsectors
-            cmd = write_command(
-                entry.target_lba, entry.target_nsectors, tags=sector_tags,
-                stream="data", cause="ckpt")
-            cmd.span = data_write
-            yield self.ssd.submit(cmd)
+
+            def make_cmd():
+                cmd = write_command(
+                    entry.target_lba, entry.target_nsectors, tags=sector_tags,
+                    stream="data", cause="ckpt")
+                cmd.span = data_write
+                return cmd
+
+            yield from self._submit_reliable(make_cmd)
             report.write_commands += 1
 
         ordered = sorted(range(len(latest)), key=lambda i: latest[i].target_lba)
@@ -273,7 +317,7 @@ class IscACheckpointer(CheckpointStrategy):
                                entries=len(latest))
 
         def cow_job(entry: JournalEntry):
-            completion = yield self.ssd.submit(Command(
+            completion = yield from self._submit_reliable(lambda: Command(
                 op=Op.COW, entries=(cow_entry_for(entry),), span=cow_span))
             report.cow_commands += 1
             report.remapped_units += completion.remapped_units
@@ -326,8 +370,8 @@ class IscBCheckpointer(CheckpointStrategy):
 
         def batch_job(batch: List[JournalEntry]):
             entries = tuple(cow_entry_for(entry) for entry in batch)
-            completion = yield self.ssd.submit(Command(op=op, entries=entries,
-                                                       span=cow_span))
+            completion = yield from self._submit_reliable(
+                lambda: Command(op=op, entries=entries, span=cow_span))
             report.cow_commands += 1
             report.remapped_units += completion.remapped_units
             report.copied_units += completion.copied_units

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.checkin.format import extract_from_span
-from repro.common.errors import ConfigError, EngineError
+from repro.common.errors import CheckpointMediaError, ConfigError, EngineError
 from repro.common.units import SECTOR_SIZE, US
 from repro.engine.aligner import (
     JournalFormatter,
@@ -27,6 +27,7 @@ from repro.engine.aligner import (
     UpdateRequest,
 )
 from repro.engine.checkpointer import (
+    BaselineCheckpointer,
     CheckpointPolicy,
     CheckpointReport,
     make_strategy,
@@ -74,6 +75,11 @@ class EngineConfig:
     """Assert that every read returns the expected key (catches
     consistency bugs in the pipeline; cheap enough to keep on)."""
 
+    media_retry_limit: int = 4
+    """Engine-level fresh-command re-issues of a failed read before the
+    data is declared unreadable.  (The controller and FTL retry below
+    this, so exhausting it means a genuinely uncorrectable location.)"""
+
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")
@@ -85,6 +91,8 @@ class EngineConfig:
         for start, size, name in regions:
             if start < 0 or size < 1:
                 raise ConfigError(f"invalid {name} region")
+        if self.media_retry_limit < 0:
+            raise ConfigError("media_retry_limit must be >= 0")
         ordered = sorted(regions)
         for (s1, n1, name1), (s2, _n2, name2) in zip(ordered, ordered[1:]):
             if s1 + n1 > s2:
@@ -194,6 +202,11 @@ class StorageEngine:
 
         self._gate: Optional[Event] = None  # closed during locked checkpoints
         self._checkpoint_running = False
+        self.degraded = False
+        """True once the engine stopped accepting updates: the journal
+        could not commit (media) or a checkpoint could not complete and
+        the frozen epoch is being retained for reads."""
+        self.degraded_reason = ""
         self.checkpoint_reports: List[CheckpointReport] = []
         self.on_checkpoint: List[Any] = []
         """Callbacks ``f(engine, report)`` invoked after each completed
@@ -241,13 +254,24 @@ class StorageEngine:
     # queries
     # ------------------------------------------------------------------
     def put(self, key: int,
-            trace_parent: Any = None) -> Generator[Any, Any, int]:
-        """Update ``key``; returns the committed version."""
+            trace_parent: Any = None) -> Generator[Any, Any, Optional[int]]:
+        """Update ``key``; returns the committed version.
+
+        Returns None (without journaling) once the engine is degraded:
+        an un-ackable update must not be accepted, and queueing against
+        a journal that can no longer drain would deadlock the client.
+        """
         tracer = self.sim.tracer
         span = tracer.begin("engine", "put", parent=trace_parent, key=key) \
             if tracer.enabled else None
         yield from self._pass_gate()
         yield self.config.cpu_query_ns
+        if self.degraded or self.journal.degraded:
+            self._note_degraded(self.journal.degraded_reason)
+            self.stats.counter("query.update_rejected").add(1)
+            if span is not None:
+                tracer.end(span, rejected=True)
+            return None
         record = self.kvmap.get(key)
         version = self.kvmap.bump_version(key)
         request = UpdateRequest(key=key, version=version,
@@ -255,7 +279,16 @@ class StorageEngine:
                                 target_lba=record.lba,
                                 target_nsectors=record.nsectors)
         commit = self.journal.submit(request)
-        yield commit
+        entry = yield commit
+        if entry is None:
+            # The transaction carrying this update hit the media and the
+            # journal degraded; the update was never made durable and is
+            # NOT acked.
+            self._note_degraded(self.journal.degraded_reason)
+            self.stats.counter("query.update_rejected").add(1)
+            if span is not None:
+                tracer.end(span, rejected=True)
+            return None
         self.mem_cache.insert(key, version)
         self.stats.counter("query.update").add(1, num_bytes=record.size_bytes)
         if span is not None:
@@ -283,18 +316,14 @@ class StorageEngine:
         if entry is None and self.journal.frozen is not None:
             entry = self.journal.frozen.jmt.lookup(key)
         if entry is not None and entry.committed:
-            command = Command(op=Op.READ, lba=entry.journal_lba,
-                              nsectors=entry.journal_nsectors)
-            command.span = span
-            completion = yield self.ssd.submit(command)
+            completion = yield from self._read_reliable(
+                entry.journal_lba, entry.journal_nsectors, span, key)
             tag = extract_from_span(completion.tags, entry.src_offset)
             version = entry.version
             source = "journal"
         else:
-            command = Command(op=Op.READ, lba=record.lba,
-                              nsectors=record.nsectors)
-            command.span = span
-            completion = yield self.ssd.submit(command)
+            completion = yield from self._read_reliable(
+                record.lba, record.nsectors, span, key)
             tag = completion.tags[0] if completion.tags else None
             version = tag[1] if tag else 0
             source = "data"
@@ -308,13 +337,53 @@ class StorageEngine:
             tracer.end(span, source=source, bytes=record.size_bytes)
         return version
 
+    def _read_reliable(self, lba: int, nsectors: int, span: Any,
+                       key: int) -> Generator[Any, Any, Any]:
+        """Issue a READ, re-issuing a fresh command on MEDIA_ERROR.
+
+        The controller and FTL already retry below this level, so an
+        engine-level exhaustion means the location is genuinely
+        uncorrectable — that is surfaced as a typed :class:`EngineError`
+        rather than a hang or a silently-wrong version.
+        """
+        attempts = 0
+        while True:
+            command = Command(op=Op.READ, lba=lba, nsectors=nsectors)
+            command.span = span
+            completion = yield self.ssd.submit(command)
+            if completion.ok:
+                return completion
+            if attempts < self.config.media_retry_limit:
+                attempts += 1
+                self.stats.counter("query.read_reissues").add(1)
+                continue
+            self.stats.counter("query.read_failed").add(1)
+            raise EngineError(
+                f"uncorrectable read for key {key} at lba {lba}: "
+                f"{completion.error or completion.status.value}")
+
     def read_modify_write(self, key: int,
                           trace_parent: Any = None
-                          ) -> Generator[Any, Any, int]:
+                          ) -> Generator[Any, Any, Optional[int]]:
         """YCSB workload F's RMW: a read followed by an update."""
         yield from self.get(key, trace_parent=trace_parent)
         version = yield from self.put(key, trace_parent=trace_parent)
         return version
+
+    def _note_degraded(self, reason: str) -> None:
+        """Latch the degraded flag (idempotent) with a visible trail."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = reason or "media errors"
+        # Once the engine stops checkpointing, journal space can never be
+        # reclaimed — propagate so a space-stalled committer fails fast.
+        self.journal.enter_degraded(self.degraded_reason)
+        self.stats.counter("engine.degraded").add(1)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.end(tracer.begin("engine", "degraded",
+                                    reason=self.degraded_reason))
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -329,8 +398,17 @@ class StorageEngine:
         return self.journal.active_bytes_logged
 
     def checkpoint(self) -> Generator[Any, Any, Optional[CheckpointReport]]:
-        """Run one checkpoint now; returns its report (None if skipped)."""
-        if self._checkpoint_running:
+        """Run one checkpoint now; returns its report (None if skipped).
+
+        A checkpoint that hits the media retries through the strategy's
+        reliable-submit path; if an in-storage strategy still cannot
+        complete, the engine falls back to a host-level (baseline)
+        checkpoint of the same frozen epoch.  If that fails too, the
+        frozen epoch is *retained* (reads keep resolving through its JMT
+        to the intact journal) and the engine degrades instead of losing
+        checkpointed state.
+        """
+        if self._checkpoint_running or self.degraded:
             return None
         if len(self.journal.active_jmt) == 0:
             return None
@@ -348,7 +426,14 @@ class StorageEngine:
             if scan is not None:
                 tracer.end(scan, entries=len(frozen.jmt),
                            journal_sectors=frozen.used_sectors)
-            report = yield from self.strategy.run(frozen, trace_parent=root)
+            report = yield from self._run_with_fallback(frozen, root)
+            if report is None:
+                # Unrecoverable checkpoint: keep the frozen epoch so its
+                # JMT still resolves reads to the (untrimmed) journal.
+                if root is not None:
+                    tracer.end(root, aborted=True)
+                    root = None
+                return None
             self.journal.release_frozen()
             self.checkpoint_reports.append(report)
             self.stats.counter("ckpt.count").add(1)
@@ -371,6 +456,32 @@ class StorageEngine:
             if self._gate is not None:
                 gate, self._gate = self._gate, None
                 gate.succeed()
+
+    def _run_with_fallback(self, frozen: Any, root: Any
+                           ) -> Generator[Any, Any,
+                                          Optional[CheckpointReport]]:
+        """Run the configured strategy; on media abort, retry host-level.
+
+        Returns None only when no strategy could complete — the caller
+        then retains the frozen epoch and degrades the engine.
+        """
+        try:
+            report = yield from self.strategy.run(frozen, trace_parent=root)
+            return report
+        except CheckpointMediaError as exc:
+            self.stats.counter("ckpt.media_aborts").add(1)
+            failure = exc
+        if self.strategy.name != "baseline" and not self.ssd.degraded:
+            fallback = BaselineCheckpointer(self.sim, self.ssd,
+                                            self.strategy.policy)
+            try:
+                report = yield from fallback.run(frozen, trace_parent=root)
+                self.stats.counter("ckpt.fallbacks").add(1)
+                return report
+            except CheckpointMediaError as exc:
+                failure = exc
+        self._note_degraded(str(failure))
+        return None
 
     def _pass_gate(self) -> Generator[Any, Any, None]:
         while self._gate is not None and not self._gate.triggered:

@@ -20,7 +20,7 @@ from repro.engine.aligner import JournalFormatter, UpdateRequest
 from repro.engine.jmt import JournalMappingTable
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Interrupt, spawn
-from repro.ssd.commands import write_command
+from repro.ssd.commands import Status, write_command
 from repro.ssd.ssd import Ssd
 
 
@@ -44,6 +44,10 @@ class JournalConfig:
     read-modify-write against the FTL mapping unit — only the checkpoint's
     scattered small writes do."""
 
+    media_retry_limit: int = 4
+    """Fresh-command re-submissions of a journal transaction after the
+    device reports a media error, before the engine degrades."""
+
     def __post_init__(self) -> None:
         if self.total_sectors < 4 or self.total_sectors % 2:
             raise EngineError("journal area needs an even sector count >= 4")
@@ -53,6 +57,8 @@ class JournalConfig:
             raise EngineError("max_txn_logs must be >= 1")
         if self.txn_align_sectors < 1:
             raise EngineError("txn_align_sectors must be >= 1")
+        if self.media_retry_limit < 0:
+            raise EngineError("media_retry_limit must be >= 0")
 
     @property
     def half_sectors(self) -> int:
@@ -119,6 +125,10 @@ class JournalManager:
         self._rotating = False
         self._quiesced: Optional[Event] = None
         self._rotation_done: Optional[Event] = None
+        self.degraded = False
+        """True once a journal transaction could not be made durable
+        (media-retry budget exhausted or the device went read-only)."""
+        self.degraded_reason = ""
         self.stats = ssd.stats
 
     # ------------------------------------------------------------------
@@ -200,6 +210,13 @@ class JournalManager:
         align = self.config.txn_align_sectors
         lba = None
         while lba is None:
+            if self.degraded:
+                # No space will ever be freed again (checkpoints stopped);
+                # fail the batch instead of parking its waiters forever.
+                self.stats.counter("journal.failed_txns").add(1)
+                for _request, event in batch:
+                    event.succeed(None)
+                return
             while self._rotating:
                 self._rotation_done = self.sim.event()
                 yield self._rotation_done
@@ -228,11 +245,33 @@ class JournalManager:
                             logs=len(batch),
                             bytes=nsectors * SECTOR_SIZE) \
             if tracer.enabled else None
-        command = write_command(
-            lba, nsectors, tags=layout.sector_tags, fua=True,
-            stream="journal", cause="journal")
-        command.span = span
-        completion = yield self.ssd.submit(command)
+        # The controller already retries internally; on a MEDIA_ERROR
+        # completion we re-issue the whole transaction as a fresh command
+        # a bounded number of times before giving up.  A failed
+        # transaction never acks its waiters with a committed entry:
+        # every commit event resolves to None and the journal degrades.
+        attempts = 0
+        while True:
+            command = write_command(
+                lba, nsectors, tags=layout.sector_tags, fua=True,
+                stream="journal", cause="journal")
+            command.span = span
+            completion = yield self.ssd.submit(command)
+            if completion.ok:
+                break
+            if completion.status is Status.MEDIA_ERROR \
+                    and attempts < self.config.media_retry_limit:
+                attempts += 1
+                self.stats.counter("journal.media_resubmits").add(1)
+                continue
+            # READ_ONLY device or retry budget exhausted: fail the batch.
+            if span is not None:
+                tracer.end(span)
+            self.enter_degraded(completion.error or completion.status.value)
+            self.stats.counter("journal.failed_txns").add(1)
+            for _request, event in batch:
+                event.succeed(None)
+            return
         if span is not None:
             tracer.end(span)
 
@@ -252,6 +291,21 @@ class JournalManager:
             entry = by_identity[(request.key, request.version)]
             event.succeed(entry)
         del completion
+
+    def enter_degraded(self, reason: str) -> None:
+        """Latch the journal's degraded state (idempotent).
+
+        Wakes a committer parked on the journal-full stall so it fails
+        its batch (waking every waiter with None) instead of waiting for
+        a rotation that will never come.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = reason or "media errors"
+        if self._space_freed is not None and not self._space_freed.triggered:
+            self._space_freed.succeed()
+            self._space_freed = None
 
     # ------------------------------------------------------------------
     # checkpoint coordination

@@ -11,6 +11,13 @@ recovered KV state matches what was durably committed.
 from repro.fault.crash import CrashReport, power_cut, recover_device
 from repro.fault.harness import CrashPointResult, SweepResult, fault_sweep
 from repro.fault.invariants import assert_ftl_invariants, check_ftl_invariants
+from repro.fault.media import (
+    MediaPointResult,
+    MediaSweepResult,
+    media_error_config,
+    media_sweep,
+    spare_exhaustion_run,
+)
 
 __all__ = [
     "CrashReport",
@@ -21,4 +28,9 @@ __all__ = [
     "fault_sweep",
     "assert_ftl_invariants",
     "check_ftl_invariants",
+    "MediaPointResult",
+    "MediaSweepResult",
+    "media_error_config",
+    "media_sweep",
+    "spare_exhaustion_run",
 ]

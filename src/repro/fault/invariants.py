@@ -71,6 +71,25 @@ def check_ftl_invariants(ftl: Ftl) -> List[str]:
                 f"upa {upa} (lpns {sorted(expected_refs[upa])}) maps to "
                 f"unwritten page {ppa} of block {block.block_id} and is "
                 "not staged")
+
+    # 4. grown-bad blocks are fully quarantined: nothing maps to them and
+    # the allocator can never hand them out again.
+    allocator = ftl.allocator
+    for block in ftl.grown_bad:
+        if mapping.valid_units(block):
+            violations.append(
+                f"grown-bad block {block} still holds "
+                f"{mapping.valid_units(block)} mapped unit(s)")
+        if block in allocator.full_blocks:
+            violations.append(
+                f"grown-bad block {block} is still tracked as full")
+        lun = geometry.lun_of_block(block)
+        if block in allocator._free_per_lun[lun]:
+            violations.append(
+                f"grown-bad block {block} re-entered the free pool")
+        if not ftl.array.block(block).grown_bad:
+            violations.append(
+                f"grown-bad block {block} lost its array-level mark")
     return violations
 
 

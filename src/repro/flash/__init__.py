@@ -3,6 +3,8 @@
 from repro.flash.array import FlashArray
 from repro.flash.block import Block, PageState
 from repro.flash.geometry import FlashGeometry
+from repro.flash.media import MediaErrorConfig, MediaErrorModel, quiet_model
 from repro.flash.timing import FlashTiming
 
-__all__ = ["FlashArray", "Block", "PageState", "FlashGeometry", "FlashTiming"]
+__all__ = ["FlashArray", "Block", "PageState", "FlashGeometry", "FlashTiming",
+           "MediaErrorConfig", "MediaErrorModel", "quiet_model"]

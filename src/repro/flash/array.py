@@ -19,9 +19,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from repro.common.errors import FlashError
+from repro.common.errors import (
+    FlashError,
+    MediaEraseError,
+    MediaProgramError,
+    MediaReadError,
+)
 from repro.flash.block import Block
 from repro.flash.geometry import FlashGeometry
+from repro.flash.media import MediaErrorModel, quiet_model
 from repro.flash.timing import FlashTiming
 from repro.sim.core import Simulator
 from repro.sim.resources import Resource
@@ -32,11 +38,13 @@ class FlashArray:
     """All NAND blocks plus LUN/channel scheduling."""
 
     def __init__(self, sim: Simulator, geometry: FlashGeometry,
-                 timing: FlashTiming, stats: Optional[StatRegistry] = None) -> None:
+                 timing: FlashTiming, stats: Optional[StatRegistry] = None,
+                 media: Optional[MediaErrorModel] = None) -> None:
         self.sim = sim
         self.geometry = geometry
         self.timing = timing
         self.stats = stats if stats is not None else StatRegistry()
+        self.media = media if media is not None else quiet_model()
         self.max_pe_cycles: Optional[int] = None
         self.blocks: List[Block] = [
             Block(block_id, geometry.pages_per_block)
@@ -74,12 +82,26 @@ class FlashArray:
         """Highest per-block erase count (wear hot spot)."""
         return max(block.erase_count for block in self.blocks)
 
+    def wear_stats(self) -> Dict[str, float]:
+        """Per-block erase-count distribution: min / max / mean."""
+        counts = [block.erase_count for block in self.blocks]
+        return {"min": float(min(counts)), "max": float(max(counts)),
+                "mean": sum(counts) / len(counts)}
+
+    def _retention_age_ns(self, block: Block) -> int:
+        if block.first_program_ns < 0:
+            return 0
+        return self.sim.now - block.first_program_ns
+
     # -- timed operations ----------------------------------------------------
     def read_page(self, ppa: int) -> Generator[Any, Any, Tuple[Any, Any]]:
         """Timed page read; returns ``(data, oob)``.
 
-        Sequence: LUN busy for the array read, then the channel busy while
-        the page streams out.
+        Sequence: LUN busy for the array read (plus any read-retry
+        levels), then the channel busy while the page streams out.  An
+        uncorrectable read raises :class:`MediaReadError` after the
+        retry ladder is exhausted; re-issuing the read draws fresh retry
+        levels (transient UECC), which is how the layers above recover.
         """
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
@@ -95,6 +117,23 @@ class FlashArray:
         yield lun.acquire()
         try:
             yield self.timing.read_ns
+            block.reads_since_erase += 1
+            attempt = self.media.read_attempts(
+                block.block_id, block.erase_count,
+                self._retention_age_ns(block), block.reads_since_erase)
+            retries = (attempt - 1) if attempt \
+                else self.media.config.max_read_retries
+            if retries:
+                self.stats.counter("media.read_retry").add(retries)
+                yield self.timing.read_retry_ns * retries
+            if attempt == 0:
+                self.stats.counter("media.read_uecc").add(1)
+                if span is not None:
+                    tracer.end(span, uecc=True)
+                    span = None
+                raise MediaReadError(
+                    f"block {block.block_id}: uncorrectable read at page "
+                    f"{ppa} after {1 + retries} attempts")
             yield channel.acquire()
             try:
                 yield self.timing.transfer_ns(geometry.page_size)
@@ -113,7 +152,13 @@ class FlashArray:
 
     def program_page(self, ppa: int, data: Any,
                      oob: Any = None) -> Generator[Any, Any, None]:
-        """Timed page program: channel transfer in, then array program."""
+        """Timed page program: channel transfer in, then array program.
+
+        A program-status failure raises :class:`MediaProgramError` after
+        the pulse.  The page is consumed — it stays WRITTEN with no
+        readable content and a nulled OOB (the SPOR scan skips it) — so
+        the FTL must re-issue the unit to a fresh page.
+        """
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
         page_index = geometry.page_in_block(ppa)
@@ -135,14 +180,27 @@ class FlashArray:
             # Commit the page content before the long program pulse so a
             # reader that wins the LUN immediately afterwards sees it.
             block.program(page_index, data, oob)
+            if block.first_program_ns < 0:
+                block.first_program_ns = self.sim.now
             self._inflight_programs[ppa] = (block, page_index)
             yield self.timing.program_ns
             self._inflight_programs.pop(ppa, None)
         finally:
             lun.release()
+        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
+        if self.media.program_fails(block.block_id, block.erase_count):
+            # The page did not verify: null it so nothing reads it back.
+            nunits = len(oob) if isinstance(oob, list) else 0
+            block.corrupt(page_index, None,
+                          [None] * nunits if nunits else None)
+            self.stats.counter("media.program_fail").add(1)
+            if span is not None:
+                tracer.end(span, media_fail=True)
+            raise MediaProgramError(
+                f"block {block.block_id}: program-status failure at page "
+                f"{ppa}")
         if span is not None:
             tracer.end(span)
-        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
 
     def mapping_read(self, lun: int) -> Generator[Any, Any, None]:
         """Timed read of one mapping-table page (DFTL map-cache miss).
@@ -168,7 +226,13 @@ class FlashArray:
         self.stats.counter("flash.read.map").add(1)
 
     def erase_block(self, block_id: int) -> Generator[Any, Any, None]:
-        """Timed block erase."""
+        """Timed block erase.
+
+        An erase-status failure raises :class:`MediaEraseError`: the
+        P/E cycle is consumed but the block keeps its stale contents
+        (recovery's sequence ordering makes stale OOB entries lose), and
+        the FTL is expected to retire the block.
+        """
         geometry = self.geometry
         block = self.block(block_id)
         lun_index = geometry.lun_of_block(block_id)
@@ -177,12 +241,22 @@ class FlashArray:
         span = tracer.begin("flash", "erase_block", track=lun_index,
                             block=block_id) \
             if tracer.enabled else None
+        failed = self.media.erase_fails(block_id, block.erase_count)
         yield lun.acquire()
         try:
-            block.erase(self.max_pe_cycles)
+            if failed:
+                block.erase_count += 1  # the cycle is spent regardless
+            else:
+                block.erase(self.max_pe_cycles)
             yield self.timing.erase_ns
         finally:
             lun.release()
+        if failed:
+            self.stats.counter("media.erase_fail").add(1)
+            if span is not None:
+                tracer.end(span, media_fail=True)
+            raise MediaEraseError(
+                f"block {block_id}: erase-status failure")
         if span is not None:
             tracer.end(span)
         self.stats.counter("flash.erase").add(1)

@@ -30,6 +30,7 @@ class Block:
     """State of one erase block."""
 
     __slots__ = ("block_id", "pages_per_block", "erase_count", "write_pointer",
+                 "reads_since_erase", "first_program_ns", "grown_bad",
                  "_data", "_oob")
 
     def __init__(self, block_id: int, pages_per_block: int) -> None:
@@ -37,6 +38,9 @@ class Block:
         self.pages_per_block = pages_per_block
         self.erase_count = 0
         self.write_pointer = 0  # next programmable page index
+        self.reads_since_erase = 0  # read-disturb accumulator
+        self.first_program_ns = -1  # retention clock (-1 = nothing stored)
+        self.grown_bad = False  # retired by the FTL; never reused
         self._data: List[Any] = [None] * pages_per_block
         self._oob: List[Any] = [None] * pages_per_block
 
@@ -104,6 +108,8 @@ class Block:
                 f"{max_pe_cycles} P/E cycles")
         self.erase_count += 1
         self.write_pointer = 0
+        self.reads_since_erase = 0
+        self.first_program_ns = -1
         for i in range(self.pages_per_block):
             self._data[i] = None
             self._oob[i] = None

@@ -34,6 +34,10 @@ class PageProgram:
     padded_units: int = 0
     """Units in the page that were sacrificed as padding on a flush."""
 
+    stream: str = ""
+    """Qualified stream the page belongs to — lets a program-status
+    failure re-issue the units to a fresh page of the same stream."""
+
 
 @dataclass
 class _Lane:
@@ -127,6 +131,19 @@ class BlockAllocator:
         self._free_per_lun[lun].append(block)
         self._free_count += 1
 
+    def retire(self, block: int) -> None:
+        """Drop a grown-bad block from all pools — it is never reused.
+
+        The block must not be free or open for writing; retirement
+        happens after GC has migrated its valid units.
+        """
+        self.geometry.check_block(block)
+        lun = self.geometry.lun_of_block(block)
+        if block in self._free_per_lun[lun]:
+            raise FtlError(f"cannot retire free block {block}")
+        self._full_blocks.discard(block)
+        self.written_units.pop(block, None)
+
     # -- allocation ------------------------------------------------------------
     def allocate(self, stream: str,
                  n_units: int) -> Tuple[List[int], List[PageProgram]]:
@@ -159,7 +176,8 @@ class BlockAllocator:
                 self.written_units.get(lane.block_id, 0) + 1
             upas.append(upa)
             if len(lane.staged) == self.units_per_page:
-                programs.append(self._close_page(state, lane, padded=0))
+                programs.append(self._close_page(stream, state, lane,
+                                                 padded=0))
         return upas, programs
 
     def flush(self, stream: str) -> List[PageProgram]:
@@ -176,7 +194,8 @@ class BlockAllocator:
                 self.written_units.get(lane.block_id, 0) + padding
             self.padded_units_total += padding
             lane.next_unit += padding
-            programs.append(self._close_page(state, lane, padded=padding))
+            programs.append(self._close_page(stream, state, lane,
+                                             padded=padding))
         return programs
 
     def staged_units(self, stream: str) -> Tuple[int, ...]:
@@ -224,12 +243,12 @@ class BlockAllocator:
         self._free_count -= 1
         return self._free_per_lun[best_lun].pop()
 
-    def _close_page(self, state: _StreamState, lane: _Lane,
+    def _close_page(self, stream: str, state: _StreamState, lane: _Lane,
                     padded: int) -> PageProgram:
         first_upa = lane.staged[0]
         ppa = first_upa // self.units_per_page
         program = PageProgram(ppa=ppa, upas=tuple(lane.staged),
-                              padded_units=padded)
+                              padded_units=padded, stream=stream)
         lane.staged = []
         lane_index = state.lanes.index(lane)
         if lane.next_unit >= self.units_per_block:

@@ -27,7 +27,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError, FtlError
+from repro.common.errors import (
+    ConfigError,
+    DeviceFullError,
+    FtlError,
+    MediaProgramError,
+    MediaReadError,
+)
 from repro.common.units import MIB, SECTOR_SIZE, ceil_div
 from repro.flash.array import FlashArray
 from repro.flash.geometry import FlashGeometry
@@ -95,6 +101,26 @@ class FtlConfig:
     power-loss-recovery scan can be verified to rebuild the exact mapping
     (§III-G).  Off by default — costs memory proportional to run length."""
 
+    spare_block_budget: int = 8
+    """Grown-bad blocks tolerated before the device drops to read-only
+    degraded mode.  Real drives carry spare blocks outside the exported
+    capacity for exactly this; once the budget is exhausted the device
+    can no longer guarantee out-of-place writes."""
+
+    read_reissue_limit: int = 4
+    """FTL-level re-issues of a page read whose in-array retry ladder
+    exhausted (UECC).  Each re-issue draws fresh retry levels, which is
+    how transient UECCs recover."""
+
+    read_reclaim_threshold: int = 100_000
+    """Reads-since-erase beyond which a full block is proactively
+    migrated and erased (read-disturb reclaim).  The high default keeps
+    the scrubber out of the way of ordinary runs."""
+
+    relocate_attempt_limit: int = 8
+    """Back-to-back program failures tolerated while relocating one
+    page's units before the device degrades to read-only."""
+
     def __post_init__(self) -> None:
         if self.mapping_unit % SECTOR_SIZE != 0:
             raise ConfigError("mapping_unit must be a multiple of 512")
@@ -102,6 +128,14 @@ class FtlConfig:
             raise ConfigError("mapping_unit must be >= 512")
         if self.write_buffer_bytes < self.mapping_unit:
             raise ConfigError("write_buffer_bytes must hold at least one unit")
+        if self.spare_block_budget < 0:
+            raise ConfigError("spare_block_budget must be >= 0")
+        if self.read_reissue_limit < 0:
+            raise ConfigError("read_reissue_limit must be >= 0")
+        if self.read_reclaim_threshold < 1:
+            raise ConfigError("read_reclaim_threshold must be >= 1")
+        if self.relocate_attempt_limit < 1:
+            raise ConfigError("relocate_attempt_limit must be >= 1")
 
 
 class Ftl:
@@ -145,6 +179,14 @@ class Ftl:
                                  // self.geometry.page_size)
         self._map_cache: "OrderedDict[int, None]" = OrderedDict()
         self._lpn_locks: Dict[int, Resource] = {}
+        self.grown_bad: set = set()
+        """Blocks retired for media failures — never allocated again."""
+        self.suspect_blocks: set = set()
+        """Blocks that saw a program-status failure; retired (instead of
+        erased) at their next GC visit."""
+        self.read_only = False
+        """Degraded mode: the device stopped accepting mutations."""
+        self.degraded_reason = ""
         self.op_log: Optional[List[Tuple[int, str, int, int]]] = \
             [] if self.config.track_op_log else None
         """Durable mapping operations as ``(seq, op, a, b)``; 'remap' carries
@@ -393,36 +435,115 @@ class Ftl:
         self.stats.counter(f"ftl.units.write.{cause}").add(
             count, num_bytes=count * self.config.mapping_unit)
 
-    def _launch_program(self, program: PageProgram) -> None:
+    def _launch_program(self, program: PageProgram, attempt: int = 0) -> None:
         """Fire an asynchronous page program for a freshly filled page."""
         block = self.geometry.block_of_page(program.ppa)
         self._inflight_per_block[block] = self._inflight_per_block.get(block, 0) + 1
-        spawn(self.sim, self._program_page_proc(program),
+        spawn(self.sim, self._program_page_proc(program, attempt),
               name=f"program@{program.ppa}")
 
-    def _program_page_proc(self, program: PageProgram) -> Generator[Any, Any, None]:
+    def _dec_inflight(self, block: int) -> None:
+        remaining = self._inflight_per_block.get(block, 0) - 1
+        if remaining <= 0:
+            self._inflight_per_block.pop(block, None)
+        else:
+            self._inflight_per_block[block] = remaining
+
+    def _destage(self, upa: int) -> None:
+        """Drop a unit from the staging buffer, freeing its slot if held."""
+        self._staged_tags.pop(upa, None)
+        self._staged_oob.pop(upa, None)
+        if upa in self._buffer_held:
+            self._buffer_held.discard(upa)
+            self._write_buffer.release()
+
+    def _program_page_proc(self, program: PageProgram,
+                           attempt: int = 0) -> Generator[Any, Any, None]:
         data = {}
         oob: List[Any] = [None] * self.units_per_page
         for upa in program.upas:
             unit_index = self.mapping.unit_index(upa)
             data[unit_index] = self._staged_tags.get(upa)
             oob[unit_index] = self._staged_oob.get(upa)
-        yield from self.array.program_page(program.ppa, data, oob)
         block = self.geometry.block_of_page(program.ppa)
-        remaining = self._inflight_per_block.get(block, 0) - 1
-        if remaining <= 0:
-            self._inflight_per_block.pop(block, None)
-        else:
-            self._inflight_per_block[block] = remaining
+        try:
+            yield from self.array.program_page(program.ppa, data, oob)
+        except MediaProgramError:
+            # The page is consumed but verified bad.  Units stay staged
+            # (capacitor-backed — nothing acknowledged is lost) and are
+            # re-issued to fresh pages below.
+            self._dec_inflight(block)
+            yield from self._relocate_failed_program(program, attempt)
+            return
+        self._dec_inflight(block)
         for upa in program.upas:
-            self._staged_tags.pop(upa, None)
-            self._staged_oob.pop(upa, None)
-            if upa in self._buffer_held:
-                self._buffer_held.discard(upa)
-                self._write_buffer.release()
+            self._destage(upa)
         if program.padded_units:
             self.stats.counter("ftl.units.padding").add(program.padded_units)
         yield from self._maybe_persist_metadata()
+
+    def _relocate_failed_program(self, program: PageProgram,
+                                 attempt: int) -> Generator[Any, Any, None]:
+        """Re-issue a failed page's still-referenced units to fresh pages.
+
+        The failed block is marked suspect (retired at its next GC visit).
+        Each live unit is staged at a new address *before* the old one is
+        de-staged, and the old unit's write-buffer slot transfers to the
+        new unit — acknowledged data never leaves protected RAM and the
+        mapping is fixed before anything is dropped.
+        """
+        failed_block = self.geometry.block_of_page(program.ppa)
+        self.suspect_blocks.add(failed_block)
+        if attempt + 1 >= self.config.relocate_attempt_limit:
+            # Pathological cascade: stop re-issuing.  Units stay staged,
+            # so reads still serve them; the device degrades instead of
+            # looping forever.
+            self.enter_degraded(
+                f"program-fail relocation cascade at block {failed_block}")
+            return
+        stream = program.stream or "data"
+        relocated = 0
+        new_programs: List[PageProgram] = []
+        for upa in program.upas:
+            if upa not in self._staged_tags and upa not in self._staged_oob:
+                continue  # already superseded by a newer write
+            referrers = tuple(self.mapping.referrers(upa))
+            if not referrers:
+                # Metadata unit or stale data: no LPN points here any
+                # more; the next persistence cycle re-covers metadata.
+                self._destage(upa)
+                continue
+            try:
+                new_upas, programs = self.allocator.allocate(stream, 1)
+            except DeviceFullError:
+                self.enter_degraded(
+                    f"no free blocks to relocate failed program at block "
+                    f"{failed_block}")
+                return
+            new_upa = new_upas[0]
+            self._write_seq += 1
+            self._staged_tags[new_upa] = self._staged_tags[upa]
+            self._staged_oob[new_upa] = tuple(
+                (lpn, self._write_seq) for lpn in referrers)
+            for lpn in referrers:
+                self.mapping.map(lpn, new_upa)
+            self._note_dirty_entries(len(referrers))
+            if upa in self._buffer_held:
+                # Transfer the back-pressure slot — no release/acquire,
+                # so there is no window where the unit is unprotected.
+                self._buffer_held.discard(upa)
+                self._buffer_held.add(new_upa)
+            self._staged_tags.pop(upa, None)
+            self._staged_oob.pop(upa, None)
+            relocated += 1
+            new_programs.extend(programs)
+        if relocated:
+            self.stats.counter("media.relocations").add(relocated)
+            yield self.config.map_update_ns * relocated
+        for new_program in new_programs:
+            self._launch_program(new_program, attempt=attempt + 1)
+        if program.padded_units:
+            self.stats.counter("ftl.units.padding").add(program.padded_units)
 
     def flush_stream(self, stream: str) -> Generator[Any, Any, None]:
         """Force the open partial pages of ``stream`` to flash (pads tails).
@@ -556,8 +677,29 @@ class Ftl:
             yield all_of(self.sim, processes)
 
     def _read_one(self, ppa: int, out: Dict[int, Any]) -> Generator[Any, Any, None]:
-        data, _oob = yield from self.array.read_page(ppa)
+        data, _oob = yield from self._read_page_with_retry(ppa)
         out[ppa] = data
+
+    def _read_page_with_retry(self, ppa: int) -> Generator[Any, Any,
+                                                           Tuple[Any, Any]]:
+        """Array page read with bounded FTL-level re-issue on UECC.
+
+        The in-array retry ladder already walks the voltage levels; when
+        it exhausts, the FTL re-issues the whole read (fresh levels) up
+        to ``read_reissue_limit`` times before surfacing the error.
+        """
+        attempts = 1 + self.config.read_reissue_limit
+        for attempt in range(attempts):
+            try:
+                data, oob = yield from self.array.read_page(ppa)
+            except MediaReadError:
+                if attempt == attempts - 1:
+                    raise
+                continue
+            if attempt:
+                self.stats.counter("ftl.read_reissue").add(attempt)
+            return data, oob
+        raise FtlError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # trim / deallocate
@@ -650,6 +792,65 @@ class Ftl:
         yield self.config.map_update_ns
         self.stats.counter("ftl.units.write.gc").add(
             1, num_bytes=self.config.mapping_unit)
+
+    # ------------------------------------------------------------------
+    # bad-block management and degraded mode
+    # ------------------------------------------------------------------
+    def enter_degraded(self, reason: str) -> None:
+        """Drop the device to read-only degraded mode (idempotent).
+
+        The mapping, staged units and flash contents stay readable; the
+        controller rejects mutations with a READ_ONLY status from here on.
+        """
+        if self.read_only:
+            return
+        self.read_only = True
+        self.degraded_reason = reason
+        self.stats.counter("ftl.degraded").add(1)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.end(tracer.begin("ftl", "degraded", reason=reason))
+
+    def retire_block(self, block: int, cause: str) -> None:
+        """Move a block to the grown-bad table; it is never reused.
+
+        Callers must have migrated any valid units off the block first.
+        Exceeding :attr:`FtlConfig.spare_block_budget` retired blocks
+        drops the device to degraded mode — the spare capacity a real
+        drive holds back for exactly this is exhausted.
+        """
+        if block in self.grown_bad:
+            return
+        self.grown_bad.add(block)
+        self.suspect_blocks.discard(block)
+        self.array.block(block).grown_bad = True
+        self.allocator.retire(block)
+        self.stats.counter("ftl.bad_blocks").add(1)
+        self.stats.counter(f"ftl.bad_blocks.{cause}").add(1)
+        if len(self.grown_bad) > self.config.spare_block_budget:
+            self.enter_degraded(
+                f"spare blocks exhausted: {len(self.grown_bad)} grown-bad "
+                f"blocks > budget {self.config.spare_block_budget}")
+
+    def read_reclaim_candidate(self) -> Optional[int]:
+        """Most read-disturbed full block past the reclaim threshold.
+
+        Returns None when no block qualifies.  Open blocks and blocks
+        with in-flight programs are skipped; suspect blocks are left for
+        regular GC to retire.
+        """
+        best: Optional[int] = None
+        best_reads = self.config.read_reclaim_threshold - 1
+        for block in sorted(self.allocator.full_blocks):
+            if block in self.grown_bad or block in self.suspect_blocks:
+                continue
+            if self.inflight_programs(block):
+                continue
+            reads = self.array.block(block).reads_since_erase
+            if reads > best_reads:
+                best = block
+                best_reads = reads
+        return best
 
     # ------------------------------------------------------------------
     # metadata persistence (§III-D last paragraph)

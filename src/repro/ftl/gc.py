@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.common.errors import DeviceFullError
+from repro.common.errors import DeviceFullError, MediaEraseError
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.mapping import SubPageMappingTable
 from repro.sim.core import Simulator
@@ -66,6 +66,11 @@ class GarbageCollector:
         """
         allocator: BlockAllocator = self.ftl.allocator
         mapping: SubPageMappingTable = self.ftl.mapping
+        # Suspect blocks (program-status failures) jump the queue: they
+        # must be drained and retired before they can hurt again.
+        for block in sorted(allocator.full_blocks & self.ftl.suspect_blocks):
+            if not self.ftl.inflight_programs(block):
+                return block
         candidates = []
         best_invalid = 0
         for block in allocator.full_blocks:
@@ -96,6 +101,28 @@ class GarbageCollector:
             span = tracer.begin("gc", "collect", block=victim) \
                 if tracer.enabled else None
             yield from self._migrate_and_erase(victim)
+            if span is not None:
+                tracer.end(span)
+            return True
+        finally:
+            self._lock.release()
+
+    def collect_read_disturbed(self) -> Generator[Any, Any, bool]:
+        """Read-reclaim: migrate + erase the most disturbed block, if any.
+
+        Run from the controller's idle loop; returns False when no block
+        is past :attr:`~repro.ftl.ftl.FtlConfig.read_reclaim_threshold`.
+        """
+        yield self._lock.acquire()
+        try:
+            victim = self.ftl.read_reclaim_candidate()
+            if victim is None:
+                return False
+            tracer = self.ftl.sim.tracer
+            span = tracer.begin("gc", "read_reclaim", block=victim) \
+                if tracer.enabled else None
+            yield from self._migrate_and_erase(victim)
+            self.stats.counter("media.read_reclaim").add(1)
             if span is not None:
                 tracer.end(span)
             return True
@@ -147,7 +174,7 @@ class GarbageCollector:
             valid_upas = mapping.valid_units_in_page(ppa)
             if not valid_upas:
                 continue
-            page_data, _page_oob = yield from ftl.array.read_page(ppa)
+            page_data, _page_oob = yield from ftl._read_page_with_retry(ppa)
             self.stats.counter("flash.read.gc").add(1)
             for upa in valid_upas:
                 unit_index = mapping.unit_index(upa)
@@ -157,8 +184,23 @@ class GarbageCollector:
                 migrated += 1
         self.stats.counter("gc.migrated_units").add(migrated)
 
-        # All valid units are off the victim now; erase and recycle it.
-        yield from ftl.array.erase_block(victim)
+        # All valid units are off the victim now; erase and recycle it —
+        # unless the media condemned it, in which case retire it.
+        if victim in ftl.suspect_blocks:
+            # A program-status failure already condemned this block; do
+            # not spend an erase (or risk reuse) on it.
+            mapping.release_block(victim)
+            ftl.retire_block(victim, cause="program_fail")
+            return
+        try:
+            yield from ftl.array.erase_block(victim)
+        except MediaEraseError:
+            # Erase-status failure: the textbook grown-bad-block event.
+            # Stale contents remain but recovery's sequence ordering makes
+            # them lose against the migrated copies.
+            mapping.release_block(victim)
+            ftl.retire_block(victim, cause="erase_fail")
+            return
         mapping.release_block(victim)
         ftl.allocator.register_free(victim)
         self.stats.counter("gc.erased_blocks").add(1)

@@ -6,6 +6,7 @@ from repro.ssd.commands import (
     Completion,
     CowEntry,
     Op,
+    Status,
     read_command,
     write_command,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "Completion",
     "CowEntry",
     "Op",
+    "Status",
     "read_command",
     "write_command",
     "ControllerConfig",

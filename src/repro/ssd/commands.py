@@ -17,6 +17,20 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.common.errors import CommandError
 
 
+class Status(enum.Enum):
+    """Typed completion status returned to the host (NVMe-style).
+
+    Media problems surface here as data, not exceptions: the submitting
+    process always receives a :class:`Completion` and decides what to do,
+    instead of dying on a propagated device-internal error.
+    """
+
+    OK = "ok"
+    RETRIED_OK = "retried_ok"      # succeeded after controller retries
+    MEDIA_ERROR = "media_error"    # retry budget exhausted
+    READ_ONLY = "read_only"        # device is in degraded (read-only) mode
+
+
 class Op(enum.Enum):
     """Command opcodes understood by the simulated device."""
 
@@ -131,6 +145,16 @@ class Completion:
     tags: Optional[List[Any]] = None  # read payload
     remapped_units: int = 0
     copied_units: int = 0
+    status: Status = Status.OK
+    retries: int = 0
+    """Controller-level re-dispatches this command needed (media errors)."""
+    error: str = ""
+    """Human-readable failure detail when ``status`` is not a success."""
+
+    @property
+    def ok(self) -> bool:
+        """True when the command ultimately succeeded."""
+        return self.status in (Status.OK, Status.RETRIED_OK)
 
     @property
     def latency_ns(self) -> int:

@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from repro.common.errors import CommandError, ConfigError, NamespaceError
+from repro.common.errors import (
+    CommandError,
+    ConfigError,
+    DeviceFullError,
+    MediaError,
+    NamespaceError,
+)
 from repro.common.units import US
 from repro.ftl.ftl import Ftl
 from repro.sim.core import Event, Simulator
@@ -25,7 +31,7 @@ from repro.sim.resources import Resource
 from repro.sim.stats import TimeWeightedGauge
 from repro.ssd.cache import DramReadCache
 from repro.ssd.coalescer import CoalescedUnit, WriteCoalescer
-from repro.ssd.commands import Command, Completion, Op
+from repro.ssd.commands import Command, Completion, Op, Status
 from repro.ssd.interface import HostInterface, NamespaceLayout
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.checkin
@@ -55,11 +61,30 @@ class ControllerConfig:
     idle_gc_interval_ns: int = 500 * US
     """How often the background daemon checks for idle-time GC."""
 
+    media_retry_limit: int = 3
+    """Whole-command re-dispatches after a media error before the
+    command completes with ``Status.MEDIA_ERROR``."""
+
+    media_retry_backoff_ns: int = 100_000
+    """Backoff before re-dispatching, multiplied by the attempt number
+    (linear backoff in simulated time)."""
+
     def __post_init__(self) -> None:
         if self.cpu_cores < 1:
             raise ConfigError("cpu_cores must be >= 1")
         if self.idle_gc_interval_ns <= 0:
             raise ConfigError("idle_gc_interval_ns must be positive")
+        if self.media_retry_limit < 0:
+            raise ConfigError("media_retry_limit must be >= 0")
+        if self.media_retry_backoff_ns < 0:
+            raise ConfigError("media_retry_backoff_ns must be >= 0")
+
+
+MUTATING_OPS = (Op.WRITE, Op.TRIM, Op.COW, Op.COW_MULTI, Op.CHECKPOINT,
+                Op.DELETE_LOGS)
+"""Opcodes rejected with ``Status.READ_ONLY`` on a degraded device.
+FLUSH stays accepted (it degenerates to a no-op: buffered content is
+already capacitor-protected and nothing new may reach flash)."""
 
 
 class SsdController:
@@ -211,9 +236,14 @@ class SsdController:
 
             completion = Completion(command=command, submitted_at=submitted_at,
                                     completed_at=0)
-            yield from self._dispatch(command, completion)
+            if self.ftl.read_only and command.op in MUTATING_OPS:
+                completion.status = Status.READ_ONLY
+                completion.error = self.ftl.degraded_reason
+                self.stats.counter("cmd.read_only_rejected").add(1)
+            else:
+                yield from self._dispatch_with_retry(command, completion, span)
 
-            if command.op is Op.READ:
+            if command.op is Op.READ and completion.ok:
                 yield from self.interface.transfer(command.data_bytes)
             completion.completed_at = self.sim.now
             done.succeed(completion)
@@ -233,6 +263,56 @@ class SsdController:
             self.interface.release_slot()
             if span is not None and span.end_ns is None:
                 tracer.end(span)
+
+    # ------------------------------------------------------------------
+    # media-error containment
+    # ------------------------------------------------------------------
+    def _dispatch_with_retry(self, command: Command, completion: Completion,
+                             span: Any) -> Generator[Any, Any, None]:
+        """Dispatch with a bounded retry-with-backoff budget.
+
+        Every opcode's dispatch is idempotent at this layer (out-of-place
+        writes, content-identical re-reads, re-runnable remaps), so a
+        media error simply re-runs the whole dispatch after a linear
+        backoff.  Exhaustion completes the command with
+        ``Status.MEDIA_ERROR`` — the submitter always gets a completion,
+        never a propagated device-internal exception.
+        """
+        tracer = self.sim.tracer
+        attempts = 0
+        while True:
+            try:
+                yield from self._dispatch(command, completion)
+            except MediaError as exc:
+                attempts += 1
+                self.stats.counter("cmd.media_retries").add(1)
+                if tracer.enabled:
+                    tracer.end(tracer.begin(
+                        "media", "cmd_retry", parent=span,
+                        op=command.op.value, attempt=attempts))
+                if attempts > self.config.media_retry_limit:
+                    completion.status = Status.MEDIA_ERROR
+                    completion.retries = attempts - 1
+                    completion.error = str(exc)
+                    self.stats.counter("cmd.media_errors").add(1)
+                    if tracer.enabled:
+                        tracer.end(tracer.begin(
+                            "media", "cmd_error", parent=span,
+                            op=command.op.value))
+                    return
+                yield self.config.media_retry_backoff_ns * attempts
+                continue
+            except DeviceFullError as exc:
+                # Out of usable space mid-dispatch: degrade rather than
+                # kill the submitting process.
+                self.ftl.enter_degraded(str(exc))
+                completion.status = Status.READ_ONLY
+                completion.error = str(exc)
+                return
+            if attempts:
+                completion.status = Status.RETRIED_OK
+                completion.retries = attempts
+            return
 
     # ------------------------------------------------------------------
     # dispatch per opcode
@@ -414,6 +494,11 @@ class SsdController:
 
     def _do_flush(self) -> Generator[Any, Any, None]:
         self.stats.counter("host.flush_cmds").add(1)
+        if self.ftl.read_only:
+            # Degraded mode: nothing new may reach flash.  Buffered
+            # content is capacitor-protected already, so the flush's
+            # durability promise holds without touching the array.
+            return
         yield from self._drain_buffered(self.write_buffer.drain_all())
         for stream in ("journal", "data", "ckpt"):
             yield from self.ftl.flush_stream(stream)
@@ -489,10 +574,19 @@ class SsdController:
                 yield self.config.idle_gc_interval_ns
                 if not self.idle:
                     continue
-                if self.isce is not None:
-                    if self.isce.deallocator.should_collect(device_idle=True):
-                        yield from self.isce.deallocator.collect_idle()
-                elif self.ftl.gc.wants_background_collection():
-                    yield from self.ftl.gc.collect_once()
+                try:
+                    if self.isce is not None:
+                        if self.isce.deallocator.should_collect(device_idle=True):
+                            yield from self.isce.deallocator.collect_idle()
+                    elif self.ftl.gc.wants_background_collection():
+                        yield from self.ftl.gc.collect_once()
+                    if self.ftl.array.media.config.enabled \
+                            and not self.ftl.read_only:
+                        # Read-disturb reclaim piggybacks on idle time.
+                        yield from self.ftl.gc.collect_read_disturbed()
+                except MediaError:
+                    continue  # transient; the next tick retries
+                except DeviceFullError as exc:
+                    self.ftl.enter_degraded(str(exc))
         except Interrupt:
             return

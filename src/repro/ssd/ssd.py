@@ -12,6 +12,7 @@ from typing import Any, Generator, List, Optional
 
 from repro.flash.array import FlashArray
 from repro.flash.geometry import FlashGeometry
+from repro.flash.media import MediaErrorConfig, MediaErrorModel
 from repro.flash.timing import FlashTiming
 from repro.ftl.ftl import Ftl, FtlConfig
 from repro.sim.core import Event, Simulator
@@ -33,6 +34,10 @@ class SsdSpec:
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     enable_isce: bool = False
     allow_remap: bool = True
+    media: Optional[MediaErrorConfig] = None
+    """NAND media-error model; None = perfect flash (legacy behaviour)."""
+    media_seed: int = 0
+    """Seed for the media model's deterministic failure draws."""
 
     @property
     def capacity_bytes(self) -> int:
@@ -46,7 +51,12 @@ class Ssd:
     def __init__(self, sim: Simulator, spec: Optional[SsdSpec] = None) -> None:
         self.sim = sim
         self.spec = spec if spec is not None else SsdSpec()
-        self.array = FlashArray(sim, self.spec.geometry, self.spec.timing)
+        media_model = None
+        if self.spec.media is not None:
+            media_model = MediaErrorModel(self.spec.media,
+                                          self.spec.media_seed)
+        self.array = FlashArray(sim, self.spec.geometry, self.spec.timing,
+                                media=media_model)
         self.ftl = Ftl(sim, self.array, self.spec.ftl)
         self.interface = HostInterface(sim, self.spec.interface)
         from repro.checkin.isce import InStorageCheckpointEngine
@@ -110,6 +120,16 @@ class Ssd:
     def supports_in_storage_checkpoint(self) -> bool:
         """True when vendor CoW/checkpoint commands are available."""
         return self.isce is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True once the device dropped to read-only degraded mode."""
+        return self.ftl.read_only
+
+    @property
+    def degraded_reason(self) -> str:
+        """Why the device degraded ('' while healthy)."""
+        return self.ftl.degraded_reason
 
     def submit(self, command: Command) -> Event:
         """Submit a command; event resolves with a Completion."""

@@ -22,6 +22,7 @@ from repro.common.errors import ConfigError
 from repro.common.units import KIB, MIB, MS, SECTOR_SIZE, US, ceil_div
 from repro.engine.engine import MODES, EngineConfig
 from repro.flash.geometry import FlashGeometry
+from repro.flash.media import MediaErrorConfig
 from repro.flash.timing import FlashTiming
 from repro.ftl.ftl import FtlConfig
 from repro.ssd.controller import ControllerConfig
@@ -151,6 +152,20 @@ class SystemConfig:
     gc_low_watermark: int = 2
     gc_high_watermark: int = 6
     max_pe_cycles: int = 3000
+    media: Optional[MediaErrorConfig] = None
+    """NAND media-error model; None = perfect flash (legacy behaviour).
+    The device is seeded from the run seed, so same-seed runs draw the
+    identical failure sequence."""
+
+    spare_block_budget: int = 8
+    """Grown-bad blocks tolerated before the device goes read-only."""
+
+    read_reclaim_threshold: int = 100_000
+    """Reads-since-erase that make a block a read-reclaim candidate."""
+
+    media_retry_limit: int = 3
+    """Controller-level whole-command retries on media errors."""
+
     snapshot_metadata: bool = False
     """Per-persist L2P snapshots (enable for recovery-focused runs)."""
 
@@ -237,15 +252,21 @@ class SystemConfig:
                           write_buffer_bytes=self.write_buffer_bytes,
                           max_pe_cycles=self.max_pe_cycles,
                           snapshot_metadata=self.snapshot_metadata,
-                          track_op_log=self.track_op_log),
+                          track_op_log=self.track_op_log,
+                          spare_block_budget=self.spare_block_budget,
+                          read_reclaim_threshold=self.read_reclaim_threshold),
             interface=InterfaceConfig(
                 queue_depth=self.queue_depth,
                 command_overhead_ns=self.interface_overhead_ns,
                 pcie_bandwidth=self.pcie_bandwidth),
-            controller=ControllerConfig(cpu_cores=self.ssd_cpu_cores,
-                                        read_cache_units=self.read_cache_units),
+            controller=ControllerConfig(
+                cpu_cores=self.ssd_cpu_cores,
+                read_cache_units=self.read_cache_units,
+                media_retry_limit=self.media_retry_limit),
             enable_isce=engine_cfg.uses_in_storage_checkpoint,
-            allow_remap=engine_cfg.device_allow_remap)
+            allow_remap=engine_cfg.device_allow_remap,
+            media=self.media,
+            media_seed=self.seed)
 
     def data_area_sectors(self) -> int:
         """Upper-bound data-area footprint of the key population.

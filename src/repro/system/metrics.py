@@ -56,6 +56,12 @@ class RunMetrics:
         self._start_bytes: Dict[str, int] = {}
         self._end_counts: Dict[str, int] = {}
         self._end_bytes: Dict[str, int] = {}
+        self.erase_min = 0.0
+        self.erase_max = 0.0
+        self.erase_mean = 0.0
+        self.bad_blocks = 0
+        self.device_degraded = False
+        self.degraded_reason = ""
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -71,6 +77,17 @@ class RunMetrics:
         self._end_ns = self.sim.now
         self._end_counts = self.stats.snapshot()
         self._end_bytes = self.stats.snapshot_bytes()
+
+    def capture_device_state(self, ssd: object) -> None:
+        """Record end-of-run device health: wear spread, grown-bad blocks
+        and whether the device (or its FTL) dropped to degraded mode."""
+        wear = ssd.array.wear_stats()
+        self.erase_min = wear["min"]
+        self.erase_max = wear["max"]
+        self.erase_mean = wear["mean"]
+        self.bad_blocks = len(ssd.ftl.grown_bad)
+        self.device_degraded = bool(ssd.ftl.read_only)
+        self.degraded_reason = ssd.ftl.degraded_reason
 
     def record(self, operation: Operation, latency_ns: int,
                during_checkpoint: bool) -> None:
@@ -224,4 +241,15 @@ class RunMetrics:
             "gc_invocations": float(self.gc_invocations()),
             "erases": float(self.erase_count()),
             "waf": self.waf(),
+            "erase_min": self.erase_min,
+            "erase_max": self.erase_max,
+            "erase_mean": self.erase_mean,
+            "bad_blocks": float(self.bad_blocks),
+            "degraded": 1.0 if self.device_degraded else 0.0,
+            "media_program_fails": float(self.delta("media.program_fail")),
+            "media_erase_fails": float(self.delta("media.erase_fail")),
+            "media_read_retries": float(self.delta("media.read_retry")),
+            "media_uecc": float(self.delta("media.read_uecc")),
+            "media_relocations": float(self.delta("media.relocations")),
+            "cmd_media_retries": float(self.delta("cmd.media_retries")),
         }

@@ -220,6 +220,7 @@ class KvSystem:
 
         for tenant in self.tenants:
             if tenant.view.final_checkpoint and \
+                    not tenant.engine.degraded and \
                     len(tenant.engine.journal.active_jmt):
                 final = spawn(self.sim, tenant.engine.checkpoint(),
                               name=f"final-ckpt{tenant.index}")
@@ -234,6 +235,10 @@ class KvSystem:
                 tenant.metrics.finish_measurement()
         self._stop_services()
         self.sim.run()  # drain whatever remains (completions, programs)
+        self.metrics.capture_device_state(self.ssd)
+        if self.config.tenants is not None:
+            for tenant in self.tenants:
+                tenant.metrics.capture_device_state(self.ssd)
         tracer = self.sim.tracer
         all_reports: List[CheckpointReport] = []
         tenant_results: List[TenantResult] = []
@@ -280,7 +285,7 @@ class KvSystem:
         try:
             while True:
                 yield view.trigger_poll_ns
-                if engine.checkpoint_running:
+                if engine.checkpoint_running or engine.degraded:
                     continue
                 if len(engine.journal.active_jmt) == 0:
                     continue
