@@ -1,0 +1,47 @@
+"""Benchmark: telemetry pipeline on one Check-In run.
+
+Not a paper figure — this persists the observability artifacts the
+other benchmarks explain: the sampled time series of a full Check-In
+run (JSONL + the self-contained sparkline HTML report) and the
+per-series overview table for EXPERIMENTS.md.
+"""
+
+from make_report import write_telemetry_html
+from repro.system.config import SystemConfig
+from repro.system.system import run_config
+from repro.telemetry import (
+    TelemetryConfig,
+    summary_table,
+    validate_telemetry_file,
+    write_telemetry_jsonl,
+)
+
+
+def _run_sampled():
+    config = SystemConfig(mode="checkin", threads=8, total_queries=6_000,
+                          verify_reads=False,
+                          telemetry=TelemetryConfig(interval_ns=500_000))
+    return run_config(config)
+
+
+def test_telemetry_pipeline(benchmark, record_result, results_dir):
+    """Sampled run -> JSONL -> validator -> sparkline HTML report."""
+    result = benchmark.pedantic(_run_sampled, rounds=1, iterations=1)
+    sampler = result.telemetry
+    assert sampler.samples > 10
+
+    # the dump validates and covers the stack
+    jsonl_path = results_dir / "telemetry.jsonl"
+    write_telemetry_jsonl(str(jsonl_path), sampler)
+    assert validate_telemetry_file(str(jsonl_path)) == []
+    assert len(sampler.layers_covered()) >= 4
+    assert len({series.name for series in sampler.all_series()}) >= 8
+
+    # self-contained HTML report (inline SVG sparklines, no assets)
+    html_path = write_telemetry_html(jsonl_path,
+                                     results_dir / "telemetry.html")
+    text = html_path.read_text()
+    assert "<svg class='spark'" in text
+    assert "<script" not in text
+
+    record_result("telemetry", summary_table(sampler))

@@ -19,7 +19,7 @@ import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
-from repro.common.units import MIB
+from repro.common.units import MIB, parse_duration_ns
 from repro.experiments.base import FULL, QUICK
 from repro.experiments.registry import (
     EXPERIMENT_ALIASES,
@@ -27,6 +27,18 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.system import SystemConfig, TenantSpec, run_config
+from repro.telemetry import (
+    TelemetryConfig,
+    clear_samplers,
+    collected_samplers,
+    disable_telemetry,
+    enable_telemetry,
+    events_table,
+    health_table,
+    summary_table,
+    validate_telemetry_file,
+    write_telemetry_jsonl,
+)
 from repro.trace import (
     Tracer,
     clear_runs,
@@ -81,6 +93,33 @@ def _emit_trace(out: Optional[str]) -> None:
     clear_runs()
 
 
+def _emit_telemetry(out: Optional[str]) -> None:
+    """Print sampler overviews; optionally dump the JSONL file(s)."""
+    samplers = collected_samplers()
+    if not samplers:
+        print("[telemetry: no sampled runs collected]", file=sys.stderr)
+        return
+    rows = [[label, sampler.samples, len(sampler.series),
+             len(sampler.events),
+             len(sampler.health.frames) if sampler.health else 0]
+            for label, sampler in samplers]
+    print()
+    print(format_table(
+        ["run", "samples", "series", "events", "health_frames"],
+        rows, title="telemetry: sampled runs"))
+    if out:
+        import os
+        stem, ext = os.path.splitext(out)
+        for index, (label, sampler) in enumerate(samplers):
+            path = out if len(samplers) == 1 else f"{stem}-{label}{ext}"
+            count = write_telemetry_jsonl(path, sampler)
+            problems = validate_telemetry_file(path)
+            status = "valid" if not problems else \
+                f"{len(problems)} PROBLEMS"
+            print(f"[telemetry: {count} records -> {path} ({status})]")
+    clear_samplers()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.tenants is not None:
         if args.experiment is not None:
@@ -96,12 +135,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         clear_runs()
         enable_tracing()
+    if args.telemetry:
+        clear_samplers()
+        enable_telemetry(TelemetryConfig(
+            interval_ns=parse_duration_ns(args.telemetry_interval)))
     started = time.time()
     try:
         result = run_experiment(args.experiment, scale)
     finally:
         if args.trace:
             disable_tracing()
+        if args.telemetry:
+            disable_telemetry()
     elapsed = time.time() - started
     print(result if isinstance(result, str) else result.table())
     for extra in ("comparison_table", "lifetime_table"):
@@ -110,6 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(getattr(result, extra)())
     if args.trace:
         _emit_trace(args.out)
+    if args.telemetry:
+        _emit_telemetry(args.telemetry_out)
     print(f"\n[{args.experiment} at {scale.name} scale: {elapsed:.1f}s]")
     return 0
 
@@ -176,6 +223,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """One sampled run: summary tables, JSONL export, validation."""
+    if args.validate_file:
+        problems = validate_telemetry_file(args.validate_file)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{args.validate_file}: "
+              + ("ok" if not problems else f"{len(problems)} problems"))
+        return 1 if problems else 0
+    clear_samplers()
+    kwargs = dict(
+        mode=args.mode, workload=args.workload, threads=args.threads,
+        total_queries=args.queries, verify_reads=False,
+        telemetry=TelemetryConfig(
+            interval_ns=parse_duration_ns(args.interval)))
+    if args.tenants is not None:
+        kwargs["tenants"] = tuple(TenantSpec()
+                                  for _ in range(args.tenants))
+        kwargs["journal_area_bytes"] = 8 * MIB
+    config = SystemConfig(**kwargs)
+    started = time.time()
+    result = run_config(config)
+    elapsed = time.time() - started
+    sampler = result.telemetry
+    if args.summary:
+        print(summary_table(sampler))
+        print()
+        print(events_table(sampler))
+        print()
+        print(health_table(sampler))
+    exit_code = 0
+    if args.out:
+        count = write_telemetry_jsonl(args.out, sampler)
+        problems = validate_telemetry_file(args.out)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        status = "valid" if not problems else f"{len(problems)} problems"
+        print(f"[telemetry: {count} records -> {args.out} ({status})]")
+        exit_code = 1 if problems else 0
+    print(f"[{sampler.samples} samples / {len(sampler.series)} series / "
+          f"{len(sampler.events)} events; wall {elapsed:.1f}s]")
+    clear_samplers()
+    return exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     config = SystemConfig(mode=args.mode, workload=args.workload,
                           threads=args.threads, total_queries=args.queries,
@@ -202,6 +294,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             count = write_chrome_trace(args.out, collected_runs())
             print(f"\n[trace: {count} events -> {args.out}]")
         clear_runs()
+    if not args.no_artifact:
+        from repro.analysis.benchfile import (
+            bench_artifact,
+            runstamp,
+            write_bench_artifact,
+        )
+        bench_params = {"mode": args.mode, "workload": args.workload,
+                        "threads": args.threads, "queries": args.queries,
+                        "distribution": args.distribution}
+        stamp = runstamp()
+        path = args.artifact or f"BENCH_{stamp}.json"
+        write_bench_artifact(path, bench_artifact(result, bench_params,
+                                                  stamp=stamp))
+        print(f"\n[bench artifact -> {path}]")
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
           f"{metrics.duration_ns / 1e9:.3f}s]")
     return 0
@@ -332,6 +438,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", metavar="PATH", default=None,
                             help="with --trace: write the Chrome "
                                  "trace_event JSON here (Perfetto-loadable)")
+    run_parser.add_argument("--telemetry", action="store_true",
+                            help="sample every system in the experiment "
+                                 "(time series, SLO watchdogs, health log)")
+    run_parser.add_argument("--telemetry-interval", metavar="DUR",
+                            default="1ms",
+                            help="sampling interval, e.g. 10ms / 500us "
+                                 "(default: 1ms of simulated time)")
+    run_parser.add_argument("--telemetry-out", metavar="PATH", default=None,
+                            help="with --telemetry: write the JSONL "
+                                 "dump(s) here")
     run_parser.set_defaults(handler=_cmd_run)
 
     trace_parser = commands.add_parser(
@@ -364,7 +480,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--out", metavar="PATH", default=None,
                               help="with --trace: write the Chrome "
                                    "trace_event JSON here")
+    bench_parser.add_argument("--artifact", metavar="PATH", default=None,
+                              help="write the schema-versioned bench "
+                                   "artifact here (default: "
+                                   "BENCH_<runstamp>.json in the CWD)")
+    bench_parser.add_argument("--no-artifact", action="store_true",
+                              help="skip writing the bench artifact")
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    telemetry_parser = commands.add_parser(
+        "telemetry",
+        help="run one sampled configuration and export its time series")
+    telemetry_parser.add_argument("--mode", default="checkin",
+                                  choices=("baseline", "isc_a", "isc_b",
+                                           "isc_c", "checkin"))
+    telemetry_parser.add_argument("--workload", default="A",
+                                  choices=("A", "B", "C", "F", "WO"))
+    telemetry_parser.add_argument("--threads", type=int, default=8)
+    telemetry_parser.add_argument("--queries", type=int, default=4_000)
+    telemetry_parser.add_argument("--tenants", type=int, default=None,
+                                  metavar="N",
+                                  help="sample a multi-tenant (namespaced) "
+                                       "run instead of the classic one")
+    telemetry_parser.add_argument("--interval", metavar="DUR",
+                                  default="1ms",
+                                  help="sampling interval in simulated "
+                                       "time, e.g. 10ms / 500us / 250000")
+    telemetry_parser.add_argument("--out", metavar="PATH", default=None,
+                                  help="write the JSONL dump here (the "
+                                       "dump is re-validated after "
+                                       "writing)")
+    telemetry_parser.add_argument("--summary", action="store_true",
+                                  help="print the per-series overview, "
+                                       "watchdog events and health report")
+    telemetry_parser.add_argument("--validate", dest="validate_file",
+                                  metavar="PATH", default=None,
+                                  help="validate an existing telemetry "
+                                       "JSONL instead of running anything")
+    telemetry_parser.set_defaults(handler=_cmd_telemetry)
 
     commands.add_parser("table1", help="print the Table-I configuration") \
         .set_defaults(handler=_cmd_table1)

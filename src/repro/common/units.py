@@ -85,3 +85,21 @@ def format_time(ns: int) -> str:
     if ns < SEC:
         return f"{ns / MS:.2f} ms"
     return f"{ns / SEC:.3f} s"
+
+
+def parse_duration_ns(text: str) -> int:
+    """Parse ``'10ms'`` / ``'500us'`` / ``'1s'`` / ``'250000'`` (ns) to ns."""
+    text = text.strip().lower()
+    for suffix, scale in (("ns", NS), ("us", US), ("ms", MS), ("s", SEC)):
+        if text.endswith(suffix):
+            number = text[:-len(suffix)].strip()
+            break
+    else:
+        number, scale = text, NS
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"cannot parse duration {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"duration must be positive, got {text!r}")
+    return max(1, int(value * scale))

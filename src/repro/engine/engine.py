@@ -34,6 +34,7 @@ from repro.engine.checkpointer import (
 )
 from repro.engine.journal import JournalConfig, JournalManager
 from repro.engine.kvmap import KeyValueMap
+from repro.telemetry.names import safe_ratio
 from repro.sim.core import Event, Simulator
 from repro.ssd.commands import Command, Op
 from repro.ssd.ssd import Ssd
@@ -149,8 +150,7 @@ class MemoryCache:
 
     def hit_ratio(self) -> float:
         """Fraction of lookups served from memory."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return safe_ratio(self.hits, self.hits + self.misses)
 
 
 class StorageEngine:

@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.tables import format_table
 from repro.experiments.base import ALL_MODES, QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.system import run_config
 
 
@@ -61,8 +62,8 @@ def run_fig10(scale: ExperimentScale = QUICK,
             )
             run = run_config(config)
             reports = run.checkpoint_reports
-            mean_ms = (sum(r.duration_ns for r in reports) /
-                       len(reports) / 1e6) if reports else 0.0
+            mean_ms = safe_ratio(sum(r.duration_ns for r in reports),
+                                 len(reports)) / 1e6
             series.append(mean_ms)
         result.ckpt_ms[mode] = series
     return result

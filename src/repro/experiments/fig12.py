@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 from repro.analysis.tables import format_table
 from repro.common.units import MIB, MS
 from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.system import run_config
 
 SENSITIVITY_MODES = ("baseline", "checkin")
@@ -45,7 +46,7 @@ class Fig12Result:
         """Relative throughput spread across intervals (sensitivity)."""
         series = self.throughput_qps[mode]
         low, high = min(series), max(series)
-        return (high - low) / high * 100.0 if high else 0.0
+        return safe_ratio(high - low, high) * 100.0
 
 
 def run_fig12(scale: ExperimentScale = QUICK,

@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.system import run_config
 
 UNIT_MODES = ("isc_c", "checkin")
@@ -47,7 +48,7 @@ class Fig13aResult:
         """Check-In/ISC-C throughput ratio at one mapping unit."""
         index = self.units.index(unit)
         iscc = self.throughput_qps["isc_c"][index]
-        return self.throughput_qps["checkin"][index] / iscc if iscc else 0.0
+        return safe_ratio(self.throughput_qps["checkin"][index], iscc)
 
 
 def run_fig13a(scale: ExperimentScale = QUICK,
@@ -85,7 +86,7 @@ class Fig13bResult:
         """Space overhead of Check-In over ISC-C (%)."""
         iscc = self.journal_bytes[("isc_c", pattern, unit)]
         checkin = self.journal_bytes[("checkin", pattern, unit)]
-        return (checkin - iscc) / iscc * 100.0 if iscc else 0.0
+        return safe_ratio(checkin - iscc, iscc) * 100.0
 
     def table(self) -> str:
         """Render the figure's rows as an ASCII table."""

@@ -17,6 +17,7 @@ from repro.analysis.tables import format_table
 from repro.common.units import MIB
 from repro.experiments import expectations
 from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.system import run_config
 
 
@@ -101,7 +102,7 @@ class Fig3bResult:
         """uniform/zipfian latest-ratio at the highest thread count."""
         uniform = self.series("uniform", "latest_ratio")[-1]
         zipfian = self.series("zipfian", "latest_ratio")[-1]
-        return uniform / zipfian if zipfian else float("inf")
+        return safe_ratio(uniform, zipfian, default=float("inf"))
 
 
 def run_fig3b(scale: ExperimentScale = QUICK) -> Fig3bResult:
@@ -120,8 +121,8 @@ def run_fig3b(scale: ExperimentScale = QUICK) -> Fig3bResult:
             )
             run = run_config(config)
             reports = run.checkpoint_reports
-            ckpt_ms = (sum(r.duration_ns for r in reports) /
-                       len(reports) / 1e6) if reports else 0.0
+            ckpt_ms = safe_ratio(sum(r.duration_ns for r in reports),
+                                 len(reports)) / 1e6
             latest = (sum(r.entries_checkpointed for r in reports) /
                       max(1, sum(r.entries_total for r in reports)))
             if base_ms is None:
@@ -130,7 +131,7 @@ def run_fig3b(scale: ExperimentScale = QUICK) -> Fig3bResult:
                 "distribution": distribution,
                 "threads": threads,
                 "ckpt_ms": ckpt_ms,
-                "normalized": ckpt_ms / base_ms if base_ms else 0.0,
+                "normalized": safe_ratio(ckpt_ms, base_ms),
                 "latest_ratio": latest,
             })
     return result
@@ -147,12 +148,11 @@ class Fig3cResult:
 
     @property
     def read_slowdown(self) -> float:
-        return self.read_ckpt_us / self.read_avg_us if self.read_avg_us else 0.0
+        return safe_ratio(self.read_ckpt_us, self.read_avg_us)
 
     @property
     def write_slowdown(self) -> float:
-        return self.write_ckpt_us / self.write_avg_us if self.write_avg_us \
-            else 0.0
+        return safe_ratio(self.write_ckpt_us, self.write_avg_us)
 
     def table(self) -> str:
         """Render the figure's rows as an ASCII table."""

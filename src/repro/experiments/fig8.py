@@ -16,6 +16,7 @@ from repro.analysis.tables import format_table
 from repro.common.units import MIB, MS
 from repro.experiments import expectations
 from repro.experiments.base import ALL_MODES, QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.system import run_config
 
 GC_MODES = ("baseline", "isc_a", "isc_b", "isc_c", "checkin")
@@ -42,7 +43,7 @@ class Fig8aResult:
     def mean_redundant(self, mode: str) -> float:
         """Mean redundant MiB across the interval sweep."""
         series = self.redundant_mib[mode]
-        return sum(series) / len(series) if series else 0.0
+        return safe_ratio(sum(series), len(series))
 
     def checkin_vs_baseline_pct(self) -> float:
         """Check-In's redundant-write reduction vs the baseline (%)."""

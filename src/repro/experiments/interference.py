@@ -33,6 +33,7 @@ from typing import Dict, List, Tuple
 from repro.analysis.tables import format_table
 from repro.common.units import KIB, MIB, MS, SEC
 from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.metrics import safe_ratio
 from repro.system.config import SystemConfig, TenantSpec
 from repro.system.system import run_config
 
@@ -63,14 +64,14 @@ class InterferenceResult:
         """Quiet/solo p99 ratio: raw write contention, no checkpoints."""
         solo = self.p99_read_us[(mode, "solo")]
         quiet = self.p99_read_us[(mode, "quiet")]
-        return quiet / solo if solo else float("inf")
+        return safe_ratio(quiet, solo, default=float("inf"))
 
     def degradation(self, mode: str) -> float:
         """Shared/quiet p99 ratio: tail inflation attributable to the
         storm's checkpoints alone (1.0 = checkpointing is free)."""
         quiet = self.p99_read_us[(mode, "quiet")]
         shared = self.p99_read_us[(mode, "shared")]
-        return shared / quiet if quiet else float("inf")
+        return safe_ratio(shared, quiet, default=float("inf"))
 
     def remap_beats_host_checkpointing(self) -> bool:
         """The paper's prediction: remap degrades the co-tenant less."""

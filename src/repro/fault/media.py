@@ -201,7 +201,13 @@ def spare_exhaustion_run(seed: int = 11, mode: str = "baseline"
     count exceeds a deliberately tiny spare budget.  The run must finish
     cleanly — updates rejected, reads still served — and report read-only
     degraded mode through :class:`~repro.system.metrics.RunMetrics`.
+
+    The run is telemetry-sampled: the returned result's ``telemetry``
+    carries the SMART health frames around the failure and the
+    ``degraded_entry`` watchdog event marking the instant the device
+    dropped to read-only — the fault harness asserts against both.
     """
+    from repro.telemetry import TelemetryConfig
     config = tiny_config(
         mode=mode, seed=seed,
         # Small enough that GC must erase (and therefore fail and retire)
@@ -216,5 +222,6 @@ def spare_exhaustion_run(seed: int = 11, mode: str = "baseline"
             program_fail_base=0.02,
             erase_fail_base=0.5,
             read_uecc_base=0.0,
-        ))
+        ),
+        telemetry=TelemetryConfig(interval_ns=200_000))
     return KvSystem(config).run()

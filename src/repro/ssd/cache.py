@@ -15,6 +15,7 @@ from collections import OrderedDict
 from typing import Any, Optional, Tuple
 
 from repro.common.errors import ConfigError
+from repro.telemetry.names import safe_ratio
 
 UnitTags = Tuple[Any, ...]
 
@@ -83,5 +84,4 @@ class DramReadCache:
 
     def hit_ratio(self) -> float:
         """Fraction of lookups served from DRAM."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return safe_ratio(self.hits, self.hits + self.misses)

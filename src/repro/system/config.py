@@ -32,6 +32,7 @@ from repro.ssd.interface import (
     NamespaceRange,
 )
 from repro.ssd.ssd import SsdSpec
+from repro.telemetry.sampler import TelemetryConfig
 from repro.workload.records import (
     FixedSize,
     RecordSizeModel,
@@ -176,6 +177,12 @@ class SystemConfig:
     """Install a span tracer on this run's simulator (see ``repro.trace``).
     Off by default: a traced and an untraced run execute the identical
     event sequence, so leaving this off costs nothing."""
+
+    telemetry: Optional[TelemetryConfig] = None
+    """Wire a :class:`~repro.telemetry.sampler.TelemetrySampler` on this
+    run (see ``repro.telemetry``).  None (the default) builds no sampler
+    at all — like ``trace``, disabled telemetry costs nothing and the
+    counter snapshots stay byte-identical to an instrumented run."""
 
     tenants: Optional[Tuple[TenantSpec, ...]] = None
     """None = classic single-tenant run.  A tuple (even of length one)

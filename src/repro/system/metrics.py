@@ -16,7 +16,14 @@ from typing import Dict, Optional
 from repro.common.units import SEC
 from repro.sim.core import Simulator
 from repro.sim.stats import LatencySample, StatRegistry
+from repro.telemetry import names
+from repro.telemetry.names import safe_ratio
 from repro.workload.ycsb import Operation, OpKind
+
+__all__ = ["LifetimeEstimate", "RunMetrics", "safe_ratio"]
+# safe_ratio is re-exported here as the canonical import site for metric
+# consumers (experiments, analysis, trace); it lives in the leaf module
+# repro.telemetry.names so the telemetry package can use it too.
 
 
 @dataclass
@@ -30,10 +37,8 @@ class LifetimeEstimate:
     @property
     def relative_lifetime(self) -> float:
         """Lifetime in units of T_op; infinite when nothing was erased."""
-        if self.block_erase_count == 0:
-            return float("inf")
-        return (self.max_pe_cycles * self.operation_time_ns /
-                self.block_erase_count)
+        return safe_ratio(self.max_pe_cycles * self.operation_time_ns,
+                          self.block_erase_count, default=float("inf"))
 
 
 class RunMetrics:
@@ -144,32 +149,31 @@ class RunMetrics:
 
     def write_query_bytes(self) -> int:
         """Payload bytes carried by update queries (fig 3a denominator)."""
-        return self.delta_bytes("query.update")
+        return self.delta_bytes(names.QUERY_UPDATE)
 
     def host_io_bytes(self) -> int:
         """All host interface traffic: reads + writes, any cause."""
-        return (self.delta_bytes("host.read_cmds") +
-                self.delta_bytes("host.write_cmds"))
+        return (self.delta_bytes(names.HOST_READ_CMDS) +
+                self.delta_bytes(names.HOST_WRITE_CMDS))
 
     def io_amplification(self) -> float:
         """Host I/O bytes over write-query bytes (fig 3a, left group)."""
-        denominator = self.write_query_bytes()
-        return self.host_io_bytes() / denominator if denominator else 0.0
+        return safe_ratio(self.host_io_bytes(), self.write_query_bytes())
 
     def flash_ops(self) -> int:
         """Flash array operations: reads + programs + erases."""
-        return (self.delta("flash.read") + self.delta("flash.program") +
-                self.delta("flash.erase"))
+        return (self.delta(names.FLASH_READ) +
+                self.delta(names.FLASH_PROGRAM) +
+                self.delta(names.FLASH_ERASE))
 
     def flash_bytes(self) -> int:
         """Flash bytes moved (reads + programs)."""
-        return (self.delta_bytes("flash.read") +
-                self.delta_bytes("flash.program"))
+        return (self.delta_bytes(names.FLASH_READ) +
+                self.delta_bytes(names.FLASH_PROGRAM))
 
     def flash_amplification(self) -> float:
         """Flash bytes over write-query bytes (fig 3a, right group)."""
-        denominator = self.write_query_bytes()
-        return self.flash_bytes() / denominator if denominator else 0.0
+        return safe_ratio(self.flash_bytes(), self.write_query_bytes())
 
     def redundant_write_units(self) -> int:
         """Checkpoint-induced duplicate writes, in mapping units (fig 8a).
@@ -178,36 +182,34 @@ class RunMetrics:
         CoW copies (incl. their read-modify-write inflation), baseline's
         host rewrite of the data area, and checkpoint metadata.
         """
-        return (self.delta("ftl.units.write.ckpt") +
-                self.delta("ftl.units.write.ckpt_meta"))
+        return (self.delta(names.FTL_UNITS_WRITE_CKPT) +
+                self.delta(names.FTL_UNITS_WRITE_CKPT_META))
 
     def redundant_write_bytes(self) -> int:
         """Checkpoint-induced duplicate write volume in bytes."""
-        return (self.delta_bytes("ftl.units.write.ckpt") +
-                self.delta_bytes("ftl.units.write.ckpt_meta"))
+        return (self.delta_bytes(names.FTL_UNITS_WRITE_CKPT) +
+                self.delta_bytes(names.FTL_UNITS_WRITE_CKPT_META))
 
     def remapped_units(self) -> int:
         """Units checkpointed by pure remapping (zero-copy)."""
-        return self.delta("isce.remapped_units")
+        return self.delta(names.ISCE_REMAPPED_UNITS)
 
     def gc_invocations(self) -> int:
         """Garbage-collection victim passes (fig 8b)."""
-        return self.delta("gc.invocations")
+        return self.delta(names.GC_INVOCATIONS)
 
     def erase_count(self) -> int:
         """Block erases in the measured phase."""
-        return self.delta("flash.erase")
+        return self.delta(names.FLASH_ERASE)
 
     def gc_migrated_units(self) -> int:
         """Valid units GC had to rewrite."""
-        return self.delta("gc.migrated_units")
+        return self.delta(names.GC_MIGRATED_UNITS)
 
     def waf(self) -> float:
         """Write amplification: flash program bytes / host write bytes."""
-        host_writes = self.delta_bytes("host.write_cmds")
-        if host_writes == 0:
-            return 0.0
-        return self.delta_bytes("flash.program") / host_writes
+        return safe_ratio(self.delta_bytes(names.FLASH_PROGRAM),
+                          self.delta_bytes(names.HOST_WRITE_CMDS))
 
     def lifetime(self, max_pe_cycles: int) -> LifetimeEstimate:
         """Equation (1) over the measured phase."""
@@ -217,11 +219,11 @@ class RunMetrics:
 
     def journal_padding_bytes(self) -> int:
         """Alignment/packing waste written to the journal (fig 13b)."""
-        return self.delta_bytes("journal.padding")
+        return self.delta_bytes(names.JOURNAL_PADDING)
 
     def journal_stored_bytes(self) -> int:
         """Total journal footprint written (fig 13b numerator)."""
-        return self.delta_bytes("journal.transactions")
+        return self.delta_bytes(names.JOURNAL_TRANSACTIONS)
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers (for reports/benches)."""
@@ -246,10 +248,10 @@ class RunMetrics:
             "erase_mean": self.erase_mean,
             "bad_blocks": float(self.bad_blocks),
             "degraded": 1.0 if self.device_degraded else 0.0,
-            "media_program_fails": float(self.delta("media.program_fail")),
-            "media_erase_fails": float(self.delta("media.erase_fail")),
-            "media_read_retries": float(self.delta("media.read_retry")),
-            "media_uecc": float(self.delta("media.read_uecc")),
-            "media_relocations": float(self.delta("media.relocations")),
-            "cmd_media_retries": float(self.delta("cmd.media_retries")),
+            "media_program_fails": float(self.delta(names.MEDIA_PROGRAM_FAIL)),
+            "media_erase_fails": float(self.delta(names.MEDIA_ERASE_FAIL)),
+            "media_read_retries": float(self.delta(names.MEDIA_READ_RETRY)),
+            "media_uecc": float(self.delta(names.MEDIA_READ_UECC)),
+            "media_relocations": float(self.delta(names.MEDIA_RELOCATIONS)),
+            "cmd_media_retries": float(self.delta(names.CMD_MEDIA_RETRIES)),
         }

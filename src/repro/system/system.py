@@ -33,6 +33,13 @@ from repro.sim.process import Interrupt, Process, spawn
 from repro.ssd.ssd import Ssd
 from repro.system.config import SystemConfig
 from repro.system.metrics import RunMetrics
+from repro.telemetry import (
+    build_sampler,
+    global_telemetry_config,
+    register_sampler,
+    telemetry_enabled,
+)
+from repro.telemetry.sampler import TelemetryConfig, TelemetrySampler
 from repro.trace import install_tracer, summarize, tracing_enabled
 from repro.trace.metrics import TraceSummary
 from repro.workload.client import ClientPool, LatencySink
@@ -81,6 +88,10 @@ class RunResult:
     trace_summary: Optional[TraceSummary] = None
     """Per-component stage and checkpoint-phase breakdown; None when the
     run was untraced."""
+
+    telemetry: Optional[TelemetrySampler] = None
+    """The run's telemetry sampler (series, watchdog events, health log);
+    None when telemetry was off."""
 
     tenants: List[TenantResult] = field(default_factory=list)
     """Per-tenant results; a single entry mirroring the aggregate on a
@@ -149,6 +160,14 @@ class KvSystem:
         """Tenant 0's engine — the whole system's engine on the legacy
         single-tenant path (kept as an attribute for compatibility)."""
         self.size_model = self.tenants[0].size_model
+        self.telemetry: Optional[TelemetrySampler] = None
+        if config.telemetry is not None or telemetry_enabled():
+            telemetry_config = (config.telemetry or
+                                global_telemetry_config() or
+                                TelemetryConfig())
+            self.telemetry = build_sampler(self, telemetry_config,
+                                           label=config.mode)
+            register_sampler(config.mode, self.telemetry)
         self._loaded = False
         self._triggers: List[Process] = []
 
@@ -195,6 +214,8 @@ class KvSystem:
         self.load()
         for tenant in self.tenants:
             tenant.engine.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
         self.metrics.start_measurement()
         if self.config.tenants is not None:
             for tenant in self.tenants:
@@ -252,6 +273,7 @@ class KvSystem:
                          checkpoint_reports=all_reports,
                          trace_summary=summarize(tracer)
                          if tracer.enabled else None,
+                         telemetry=self.telemetry,
                          tenants=tenant_results)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:
@@ -269,6 +291,9 @@ class KvSystem:
             raise process.exception
 
     def _stop_services(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.sample_once()  # closing sample at teardown time
+            self.telemetry.stop()
         for trigger in self._triggers:
             if trigger.alive:
                 trigger.interrupt("run finished")

@@ -1,0 +1,128 @@
+"""``repro.telemetry`` — continuous time-series observability.
+
+Where :mod:`repro.trace` answers "where did this one operation's time
+go", telemetry answers "what did the whole stack look like over the
+run": a :class:`TelemetrySampler` sim process periodically snapshots a
+declarative :class:`MetricRegistry` of counters and gauges — engine,
+journal, checkpointer, coalescer, ISCE, FTL, GC, flash, host interface
+and media, per tenant and aggregate — into ring-buffered
+:class:`Series`, records SMART-style :class:`DeviceHealthLog` frames and
+evaluates SLO watchdogs (journal saturation, checkpoint overdue, GC
+starvation, queue stall, degraded entry).
+
+Like tracing, telemetry is **zero overhead when disabled**: no sampler
+exists, and a sampled run only reads state, so counter snapshots of a
+sampled and an unsampled run are byte-identical (CI-asserted).
+
+The **global telemetry switch** mirrors the trace switch: experiments
+build their own systems internally, so ``repro run <exp> --telemetry``
+flips the process-wide switch and every system constructed while it is
+on wires a sampler and registers it in the run collector.
+
+Submodules are loaded lazily (PEP 562): :mod:`repro.telemetry.names` is
+a leaf imported from low layers (``trace.tracer``, ``system.metrics``),
+and an eager package init would close an import cycle through
+``sampler`` → ``sim.process`` → ``sim.core`` → ``trace.tracer``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "ADDITIVE_METRICS", "AGGREGATE", "COUNTER", "GAUGE",
+    "MetricRegistry", "Probe", "Series",
+    "TelemetryConfig", "TelemetrySampler", "DeviceHealthLog",
+    "SloThresholds", "TelemetryEvent", "Watchdog", "WatchdogBank",
+    "ThresholdWatchdog", "CheckpointOverdueWatchdog",
+    "DegradedEntryWatchdog",
+    "telemetry_records", "write_telemetry_jsonl",
+    "validate_telemetry_file",
+    "summary_table", "events_table", "health_table",
+    "build_sampler",
+    "enable_telemetry", "disable_telemetry", "telemetry_enabled",
+    "global_telemetry_config", "collected_samplers", "clear_samplers",
+    "register_sampler",
+]
+
+_LAZY = {
+    "ADDITIVE_METRICS": "probes", "build_sampler": "probes",
+    "AGGREGATE": "registry", "COUNTER": "registry", "GAUGE": "registry",
+    "MetricRegistry": "registry", "Probe": "registry", "Series": "registry",
+    "TelemetryConfig": "sampler", "TelemetrySampler": "sampler",
+    "DeviceHealthLog": "health",
+    "SloThresholds": "watchdog", "TelemetryEvent": "watchdog",
+    "Watchdog": "watchdog", "WatchdogBank": "watchdog",
+    "ThresholdWatchdog": "watchdog",
+    "CheckpointOverdueWatchdog": "watchdog",
+    "DegradedEntryWatchdog": "watchdog",
+    "telemetry_records": "export", "write_telemetry_jsonl": "export",
+    "validate_telemetry_file": "export", "summary_table": "export",
+    "events_table": "export", "health_table": "export",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.telemetry' has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f"repro.telemetry.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+# ----------------------------------------------------------------------
+# process-wide switch + run collector (mirrors repro.trace)
+# ----------------------------------------------------------------------
+_GLOBAL_ENABLED = False
+_GLOBAL_CONFIG: Optional[Any] = None
+_SAMPLERS: List[Tuple[str, Any]] = []
+_LABEL_COUNTS: dict = {}
+
+
+def enable_telemetry(config: Optional[Any] = None) -> None:
+    """Turn the process-wide telemetry switch on (CLI ``--telemetry``)."""
+    global _GLOBAL_ENABLED, _GLOBAL_CONFIG
+    _GLOBAL_ENABLED = True
+    _GLOBAL_CONFIG = config
+
+
+def disable_telemetry() -> None:
+    """Turn the switch off (new systems stop sampling)."""
+    global _GLOBAL_ENABLED, _GLOBAL_CONFIG
+    _GLOBAL_ENABLED = False
+    _GLOBAL_CONFIG = None
+
+
+def telemetry_enabled() -> bool:
+    """True while the process-wide switch is on."""
+    return _GLOBAL_ENABLED
+
+
+def global_telemetry_config() -> Optional[Any]:
+    """The config installed with :func:`enable_telemetry` (may be None)."""
+    return _GLOBAL_CONFIG
+
+
+def register_sampler(label: str, sampler: Any) -> str:
+    """Record a sampler for post-run export; returns its unique label."""
+    count = _LABEL_COUNTS.get(label, 0) + 1
+    _LABEL_COUNTS[label] = count
+    unique = label if count == 1 else f"{label}#{count}"
+    sampler.label = unique
+    _SAMPLERS.append((unique, sampler))
+    return unique
+
+
+def collected_samplers() -> List[Tuple[str, Any]]:
+    """Every (label, sampler) since the last :func:`clear_samplers`."""
+    return list(_SAMPLERS)
+
+
+def clear_samplers() -> None:
+    """Drop collected samplers (start of a telemetry CLI invocation)."""
+    _SAMPLERS.clear()
+    _LABEL_COUNTS.clear()

@@ -1,0 +1,181 @@
+"""Telemetry exporters: schema-versioned JSONL dump and validation.
+
+The JSONL layout is one self-describing JSON object per line:
+
+* line 1 — a ``header`` record (``schema``, run label, interval, sample
+  count);
+* one ``series`` record per (tenant, metric) with its retained
+  ``[t_ns, value]`` points;
+* one ``event`` record per watchdog edge, in emission order;
+* one ``health`` record per SMART frame;
+* a final ``footer`` record with counts, so truncated files are
+  detectable.
+
+:func:`validate_telemetry_file` re-reads a dump and checks the schema
+version, required keys, point monotonicity and footer counts — the CI
+telemetry smoke job runs it on a fresh dump.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.telemetry.sampler import TelemetrySampler
+
+SCHEMA = "repro-telemetry/v1"
+
+_REQUIRED = {
+    "header": ("schema", "label", "interval_ns", "samples"),
+    "series": ("tenant", "layer", "kind", "name", "points"),
+    "event": ("t_ns", "watchdog", "kind", "tenant", "severity"),
+    "health": ("t_ns", "wear_min", "wear_max", "wear_mean", "bad_blocks",
+               "spare_remaining"),
+    "footer": ("series", "events", "health_frames"),
+}
+
+
+def telemetry_records(sampler: TelemetrySampler) -> List[Dict[str, Any]]:
+    """The full dump of one sampler as a list of JSONL records."""
+    records: List[Dict[str, Any]] = [{
+        "type": "header",
+        "schema": SCHEMA,
+        "label": sampler.label,
+        "interval_ns": sampler.config.interval_ns,
+        "samples": sampler.samples,
+        "layers": sampler.layers_covered(),
+        "tenants": sampler.registry.tenants(),
+    }]
+    for series in sampler.all_series():
+        records.append({
+            "type": "series",
+            "tenant": series.tenant,
+            "layer": series.layer,
+            "kind": series.kind,
+            "name": series.name,
+            "points": [[t, value] for t, value in series.points],
+        })
+    for event in sampler.events:
+        records.append(event.as_dict())
+    health_frames = list(sampler.health.frames) if sampler.health else []
+    records.extend(health_frames)
+    records.append({
+        "type": "footer",
+        "series": len(sampler.series),
+        "events": len(sampler.events),
+        "health_frames": len(health_frames),
+    })
+    return records
+
+
+def write_telemetry_jsonl(path: str, sampler: TelemetrySampler) -> int:
+    """Dump one sampler to ``path``; returns the record count."""
+    records = telemetry_records(sampler)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def validate_telemetry_file(path: str) -> List[str]:
+    """Structural validation of a JSONL dump; returns problems found."""
+    problems: List[str] = []
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    problems.append(f"line {lineno}: invalid JSON ({exc})")
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not records:
+        return ["empty telemetry file"]
+
+    header = records[0]
+    if header.get("type") != "header":
+        problems.append("first record is not a header")
+    elif header.get("schema") != SCHEMA:
+        problems.append(f"schema {header.get('schema')!r} != {SCHEMA!r}")
+    if records[-1].get("type") != "footer":
+        problems.append("last record is not a footer")
+
+    counts = {"series": 0, "event": 0, "health": 0}
+    for index, record in enumerate(records):
+        kind = record.get("type")
+        required = _REQUIRED.get(kind)
+        if required is None:
+            if kind not in ("header", "footer", "health_report"):
+                problems.append(f"record {index}: unknown type {kind!r}")
+            continue
+        for key in required:
+            if key not in record:
+                problems.append(f"record {index} ({kind}): missing {key!r}")
+        if kind in counts:
+            counts[kind] += 1
+        if kind == "series":
+            last_t = None
+            for point in record.get("points", []):
+                if not (isinstance(point, list) and len(point) == 2):
+                    problems.append(
+                        f"series {record.get('name')}: malformed point")
+                    break
+                if last_t is not None and point[0] < last_t:
+                    problems.append(
+                        f"series {record.get('name')}: timestamps not "
+                        "monotonic")
+                    break
+                last_t = point[0]
+    footer = records[-1]
+    if footer.get("type") == "footer":
+        expected = {"series": footer.get("series"),
+                    "event": footer.get("events"),
+                    "health": footer.get("health_frames")}
+        for kind, count in counts.items():
+            if expected[kind] is not None and expected[kind] != count:
+                problems.append(
+                    f"footer claims {expected[kind]} {kind} records, "
+                    f"found {count}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# CLI renderers
+# ----------------------------------------------------------------------
+def summary_table(sampler: TelemetrySampler, title: str = "") -> str:
+    """Per-series overview table (scope, layer, metric, min/max/last)."""
+    from repro.analysis.tables import format_table
+    return format_table(
+        ["scope", "layer", "metric", "kind", "samples", "min", "max",
+         "last"],
+        sampler.summary_rows(),
+        title=title or f"telemetry: {sampler.samples} samples at "
+                       f"{sampler.config.interval_ns / 1e6:g} ms")
+
+
+def events_table(sampler: TelemetrySampler, title: str = "") -> str:
+    """Watchdog edge table in emission order."""
+    from repro.analysis.tables import format_table
+    rows = [[event.t_ns / 1e6, event.watchdog, event.kind,
+             event.tenant or "aggregate", event.severity,
+             round(event.value, 3)]
+            for event in sampler.events]
+    return format_table(
+        ["t_ms", "watchdog", "edge", "scope", "severity", "value"],
+        rows, title=title or "telemetry: SLO watchdog events")
+
+
+def health_table(sampler: TelemetrySampler, title: str = "") -> str:
+    """The final SMART-style health report as a two-column table."""
+    from repro.analysis.tables import format_table
+    report = sampler.health_report()
+    if report is None:
+        return "(no device health log)"
+    rows = [[key, value] for key, value in report.items()
+            if key not in ("type",)]
+    return format_table(["field", "value"], rows,
+                        title=title or "telemetry: device health report")

@@ -1,0 +1,127 @@
+"""Canonical metric names shared across the observability surfaces.
+
+Three consumers used to hard-code overlapping string literals and
+aggregation loops: :class:`repro.system.metrics.RunMetrics` (counter
+deltas), :func:`repro.trace.metrics.summarize` (phase/queue splits) and
+now the telemetry sampler.  This module is the single source of truth:
+
+* the :class:`~repro.sim.stats.StatRegistry` counter names every layer
+  emits (one constant per counter, grouped by layer);
+* the checkpoint phase vocabulary (the named child spans every
+  checkpoint strategy opens under its ``ckpt`` root);
+* the shared aggregation helpers — :func:`phase_totals` and
+  :func:`queue_split` — that both the trace summary and the telemetry
+  exporters fold their raw data through, so the two reports can never
+  drift apart on how a split is computed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+# ---------------------------------------------------------------------------
+# StatRegistry counter names, by emitting layer
+# ---------------------------------------------------------------------------
+QUERY_UPDATE = "query.update"
+QUERY_UPDATE_REJECTED = "query.update_rejected"
+QUERY_READ_MEM = "query.read_mem"
+QUERY_READ_STORAGE = "query.read_storage"
+
+ENGINE_DEGRADED = "engine.degraded"
+
+JOURNAL_TRANSACTIONS = "journal.transactions"
+JOURNAL_PAYLOAD = "journal.payload"
+JOURNAL_PADDING = "journal.padding"
+JOURNAL_FULL_STALLS = "journal.full_stalls"
+JOURNAL_FAILED_TXNS = "journal.failed_txns"
+
+CKPT_COUNT = "ckpt.count"
+CKPT_MEDIA_ABORTS = "ckpt.media_aborts"
+CKPT_FALLBACKS = "ckpt.fallbacks"
+
+HOST_READ_CMDS = "host.read_cmds"
+HOST_WRITE_CMDS = "host.write_cmds"
+HOST_FLUSH_CMDS = "host.flush_cmds"
+
+ISCE_REMAPPED_UNITS = "isce.remapped_units"
+ISCE_COPIED_UNITS = "isce.copied_units"
+
+FTL_MAP_MISS = "ftl.map_miss"
+FTL_UNITS_WRITE_CKPT = "ftl.units.write.ckpt"
+FTL_UNITS_WRITE_CKPT_META = "ftl.units.write.ckpt_meta"
+FTL_DEGRADED = "ftl.degraded"
+FTL_BAD_BLOCKS = "ftl.bad_blocks"
+
+GC_INVOCATIONS = "gc.invocations"
+GC_MIGRATED_UNITS = "gc.migrated_units"
+GC_ERASED_BLOCKS = "gc.erased_blocks"
+
+FLASH_READ = "flash.read"
+FLASH_PROGRAM = "flash.program"
+FLASH_ERASE = "flash.erase"
+
+MEDIA_PROGRAM_FAIL = "media.program_fail"
+MEDIA_ERASE_FAIL = "media.erase_fail"
+MEDIA_READ_RETRY = "media.read_retry"
+MEDIA_READ_UECC = "media.read_uecc"
+MEDIA_RELOCATIONS = "media.relocations"
+
+CMD_MEDIA_RETRIES = "cmd.media_retries"
+CMD_MEDIA_ERRORS = "cmd.media_errors"
+
+# ---------------------------------------------------------------------------
+# Checkpoint phase vocabulary (child spans of the "ckpt" root span)
+# ---------------------------------------------------------------------------
+CHECKPOINT_PHASES = (
+    "journal_scan",
+    "journal_readback",
+    "cow_remap",
+    "data_write",
+    "metadata_persist",
+    "dealloc",
+    "load_program",
+)
+"""Every named phase a checkpoint strategy may open, in pipeline order."""
+
+
+# ---------------------------------------------------------------------------
+# Shared aggregation helpers
+# ---------------------------------------------------------------------------
+def safe_ratio(numerator: float, denominator: float,
+               default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` on a zero denominator.
+
+    Defined here (a leaf module) so every layer can use it without import
+    cycles; :mod:`repro.system.metrics` re-exports it as the canonical
+    import site for metric consumers.
+    """
+    return numerator / denominator if denominator else default
+
+
+def phase_totals(checkpoints: Iterable[Mapping[str, Any]]) -> Dict[str, int]:
+    """Total ns per checkpoint phase across checkpoint summaries.
+
+    Each input mapping is one checkpoint's summary carrying a ``phases``
+    dict (phase name -> ns), the shape both the tracer's
+    ``checkpoint_summaries`` and the telemetry health frames use.
+    """
+    totals: Dict[str, int] = {}
+    for ckpt in checkpoints:
+        for phase, duration in ckpt.get("phases", {}).items():
+            totals[phase] = totals.get(phase, 0) + duration
+    return totals
+
+
+def queue_split(stage_stats: Mapping[Tuple[str, str], Any]
+                ) -> Dict[str, Dict[str, int]]:
+    """Per-component queue-wait vs service-time split.
+
+    ``stage_stats`` maps ``(component, stage)`` to any object exposing
+    ``queue_ns`` and ``service_ns`` (the tracer's ``StageStat``).
+    """
+    split: Dict[str, Dict[str, int]] = {}
+    for (component, _stage), stat in sorted(stage_stats.items()):
+        entry = split.setdefault(component, {"queue_ns": 0, "service_ns": 0})
+        entry["queue_ns"] += stat.queue_ns
+        entry["service_ns"] += stat.service_ns
+    return split

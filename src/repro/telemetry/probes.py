@@ -1,0 +1,177 @@
+"""Probe wiring: turn one live ``KvSystem`` into a telemetry pipeline.
+
+:func:`build_sampler` registers the declarative probe set every layer of
+the stack exposes — engine, journal, checkpointer, coalescer, ISCE, FTL,
+GC, flash, host interface and media — as per-tenant *and* aggregate
+series, builds the stock SLO watchdog bank and the SMART health log, and
+returns a ready (not yet started) sampler.
+
+The system object is duck-typed (``system.ssd``, ``system.tenants`` …)
+so this module depends only on the telemetry package — no import cycle
+with :mod:`repro.system.system`.
+
+Aggregation contract: for additive counters (listed in
+:data:`ADDITIVE_METRICS`) the aggregate probe is defined as the *sum of
+the per-tenant probes*, read at the same sample instant — so per-tenant
+series sum exactly to the aggregate series, which the tenant-isolation
+tests assert pointwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry import names
+from repro.telemetry.health import DeviceHealthLog
+from repro.telemetry.registry import AGGREGATE, MetricRegistry
+from repro.telemetry.sampler import TelemetryConfig, TelemetrySampler
+from repro.telemetry.watchdog import (
+    CheckpointOverdueWatchdog,
+    DegradedEntryWatchdog,
+    ThresholdWatchdog,
+    WatchdogBank,
+)
+
+ADDITIVE_METRICS = ("engine.ops", "checkpoint.count",
+                    "journal.pressure_bytes")
+"""Per-tenant series of these metrics sum to the aggregate series."""
+
+
+def _tenant_probes(registry: MetricRegistry, system: Any,
+                   tenant: Any, scope: str) -> None:
+    """Register one tenant's engine/journal/checkpoint probes."""
+    engine = tenant.engine
+    journal = engine.journal
+    metrics = tenant.metrics
+    registry.counter("engine.ops", "engine",
+                     lambda m=metrics: m.operations, tenant=scope)
+    registry.gauge("engine.degraded", "engine",
+                   lambda e=engine: 1.0 if e.degraded else 0.0,
+                   tenant=scope)
+    registry.gauge("journal.occupancy", "journal",
+                   lambda j=journal: names.safe_ratio(
+                       j.active_head_sectors, j.config.half_sectors),
+                   tenant=scope)
+    registry.gauge("journal.pressure_bytes", "journal",
+                   lambda j=journal: j.active_bytes_logged, tenant=scope)
+    registry.counter("checkpoint.count", "checkpoint",
+                     lambda e=engine: len(e.checkpoint_reports),
+                     tenant=scope)
+    registry.gauge("checkpoint.running", "checkpoint",
+                   lambda e=engine: 1.0 if e.checkpoint_running else 0.0,
+                   tenant=scope)
+    if system.config.tenants is not None:
+        controller = system.ssd.controller
+        registry.gauge("host.queue_depth", "host",
+                       lambda c=controller, n=tenant.index:
+                       c.namespace_queue_depth(n).level,
+                       tenant=scope)
+
+
+def build_registry(system: Any) -> MetricRegistry:
+    """The full probe set of one system: aggregate + per-tenant."""
+    registry = MetricRegistry()
+    ssd = system.ssd
+    stats = ssd.stats
+    tenants = system.tenants
+
+    # -- aggregate host/engine-side metrics (sums over tenants) ---------
+    registry.counter("engine.ops", "engine",
+                     lambda: sum(t.metrics.operations for t in tenants))
+    registry.gauge("engine.degraded", "engine",
+                   lambda: max((1.0 if t.engine.degraded else 0.0)
+                               for t in tenants))
+    registry.gauge("journal.occupancy", "journal",
+                   lambda: max(names.safe_ratio(
+                       t.engine.journal.active_head_sectors,
+                       t.engine.journal.config.half_sectors)
+                       for t in tenants))
+    registry.gauge("journal.pressure_bytes", "journal",
+                   lambda: sum(t.engine.journal.active_bytes_logged
+                               for t in tenants))
+    registry.counter("checkpoint.count", "checkpoint",
+                     lambda: sum(len(t.engine.checkpoint_reports)
+                                 for t in tenants))
+    registry.gauge("checkpoint.running", "checkpoint",
+                   lambda: max((1.0 if t.engine.checkpoint_running else 0.0)
+                               for t in tenants))
+    registry.stat_counter(stats, names.JOURNAL_TRANSACTIONS, "journal")
+    registry.stat_counter(stats, names.JOURNAL_FULL_STALLS, "journal")
+
+    # -- device-side metrics ---------------------------------------------
+    controller = ssd.controller
+    registry.gauge("host.queue_depth", "host",
+                   lambda: controller.queue_depth.level)
+    registry.gauge("host.interface_queued", "host",
+                   lambda: float(ssd.interface.queued))
+    registry.stat_counter(stats, names.HOST_READ_CMDS, "host")
+    registry.stat_counter(stats, names.HOST_WRITE_CMDS, "host")
+    registry.gauge("coalescer.buffered_units", "coalescer",
+                   lambda: float(len(controller.write_buffer)))
+    if ssd.isce is not None:
+        registry.stat_counter(stats, names.ISCE_REMAPPED_UNITS, "isce")
+        registry.stat_counter(stats, names.ISCE_COPIED_UNITS, "isce")
+    ftl = ssd.ftl
+    registry.gauge("ftl.free_blocks", "ftl",
+                   lambda: float(ftl.allocator.free_block_count))
+    registry.gauge("ftl.bad_blocks", "ftl",
+                   lambda: float(len(ftl.grown_bad)))
+    registry.gauge("ftl.degraded", "ftl",
+                   lambda: 1.0 if ftl.read_only else 0.0)
+    registry.stat_counter(stats, names.FTL_MAP_MISS, "ftl")
+    registry.stat_counter(stats, names.FTL_UNITS_WRITE_CKPT, "ftl")
+    registry.stat_counter(stats, names.GC_INVOCATIONS, "gc")
+    registry.stat_counter(stats, names.GC_MIGRATED_UNITS, "gc")
+    registry.stat_counter(stats, names.FLASH_READ, "flash")
+    registry.stat_counter(stats, names.FLASH_PROGRAM, "flash")
+    registry.stat_counter(stats, names.FLASH_ERASE, "flash")
+    registry.gauge("flash.wear_mean", "flash",
+                   lambda: ssd.array.wear_stats()["mean"])
+    registry.stat_counter(stats, names.MEDIA_READ_RETRY, "media")
+    registry.stat_counter(stats, names.MEDIA_PROGRAM_FAIL, "media")
+
+    # -- per-tenant scopes -------------------------------------------------
+    for tenant in tenants:
+        _tenant_probes(registry, system, tenant, tenant.name)
+    return registry
+
+
+def build_watchdogs(system: Any, config: TelemetryConfig) -> WatchdogBank:
+    """The stock SLO watchdog bank for one system."""
+    thresholds = config.thresholds
+    bank = WatchdogBank()
+    bank.add(ThresholdWatchdog(
+        "gc_starvation", "ftl.free_blocks",
+        threshold=float(max(thresholds.gc_free_blocks,
+                            system.config.gc_low_watermark)),
+        above=False, consecutive=thresholds.gc_consecutive))
+    bank.add(ThresholdWatchdog(
+        "queue_stall", "host.queue_depth",
+        threshold=min(thresholds.queue_depth,
+                      float(system.config.queue_depth)),
+        consecutive=thresholds.queue_consecutive))
+    bank.add(DegradedEntryWatchdog())
+    for tenant in system.tenants:
+        view = tenant.view
+        bank.add(ThresholdWatchdog(
+            "journal_saturation", "journal.occupancy",
+            threshold=thresholds.journal_occupancy, tenant=tenant.name))
+        bank.add(CheckpointOverdueWatchdog(
+            tenant=tenant.name,
+            overdue_ns=int(thresholds.checkpoint_overdue_factor
+                           * view.checkpoint_interval_ns)))
+    return bank
+
+
+def build_sampler(system: Any, config: TelemetryConfig,
+                  label: str = "run") -> TelemetrySampler:
+    """Registry + watchdogs + health log, assembled into one sampler."""
+    registry = build_registry(system)
+    health = DeviceHealthLog(system.ssd,
+                             max_pe_cycles=system.config.max_pe_cycles,
+                             spare_block_budget=system.config
+                             .spare_block_budget,
+                             max_frames=config.max_health_frames)
+    watchdogs = build_watchdogs(system, config)
+    return TelemetrySampler(system.sim, registry, config,
+                            health=health, watchdogs=watchdogs, label=label)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+from repro.telemetry.names import phase_totals, queue_split, safe_ratio
 from repro.trace.tracer import Tracer
 
 
@@ -47,12 +48,17 @@ class TraceSummary:
 
     def phase_fraction(self, phase: str) -> float:
         """Share of total checkpoint time spent in ``phase``."""
-        total = sum(self.phase_totals.values())
-        return self.phase_totals.get(phase, 0) / total if total else 0.0
+        return safe_ratio(self.phase_totals.get(phase, 0),
+                          sum(self.phase_totals.values()))
 
 
 def summarize(tracer: Tracer) -> TraceSummary:
-    """Build the run-level summary from a tracer's aggregates."""
+    """Build the run-level summary from a tracer's aggregates.
+
+    Phase and queue splits go through the shared helpers in
+    :mod:`repro.telemetry.names`, the same code path the telemetry
+    exporters use — the two reports cannot drift apart.
+    """
     summary = TraceSummary(open_spans=tracer.open_spans,
                            dropped_spans=tracer.dropped)
     for (component, name), stat in sorted(tracer.stage_stats.items()):
@@ -65,15 +71,10 @@ def summarize(tracer: Tracer) -> TraceSummary:
             "max_us": stat.max_ns / 1e3,
             "bytes": stat.bytes,
         })
-        split = summary.queue_split.setdefault(
-            component, {"queue_ns": 0, "service_ns": 0})
-        split["queue_ns"] += stat.queue_ns
-        split["service_ns"] += stat.service_ns
-    for ckpt in tracer.checkpoint_summaries:
-        summary.checkpoints.append(dict(ckpt))
-        for phase, duration in ckpt.get("phases", {}).items():
-            summary.phase_totals[phase] = \
-                summary.phase_totals.get(phase, 0) + duration
+    summary.queue_split = queue_split(tracer.stage_stats)
+    summary.checkpoints = [dict(ckpt)
+                           for ckpt in tracer.checkpoint_summaries]
+    summary.phase_totals = phase_totals(summary.checkpoints)
     return summary
 
 
@@ -120,7 +121,7 @@ def queue_split_table(summary: TraceSummary, title: str = "") -> str:
     rows: List[List[Any]] = []
     for component, split in sorted(summary.queue_split.items()):
         total = split["queue_ns"] + split["service_ns"]
-        queue_pct = 100.0 * split["queue_ns"] / total if total else 0.0
+        queue_pct = 100.0 * safe_ratio(split["queue_ns"], total)
         rows.append([component, split["queue_ns"] / 1e6,
                      split["service_ns"] / 1e6, queue_pct])
     return format_table(

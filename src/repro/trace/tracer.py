@@ -33,6 +33,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.telemetry.names import safe_ratio
+
 SPAN_KIND = "span"
 INSTANT_KIND = "instant"
 
@@ -141,7 +143,7 @@ class StageStat:
     @property
     def mean_ns(self) -> float:
         """Average span duration."""
-        return self.total_ns / self.count if self.count else 0.0
+        return safe_ratio(self.total_ns, self.count)
 
     @property
     def service_ns(self) -> int:

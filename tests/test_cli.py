@@ -47,21 +47,49 @@ class TestCommands:
 
     def test_bench_small(self, capsys):
         assert main(["bench", "--mode", "checkin", "--threads", "4",
-                     "--queries", "1500"]) == 0
+                     "--queries", "1500", "--no-artifact"]) == 0
         out = capsys.readouterr().out
         assert "throughput_qps" in out
         assert "checkpoints" in out
+        assert "bench artifact" not in out
+
+    def test_bench_writes_artifact(self, tmp_path, capsys):
+        from repro.analysis.benchfile import load_bench_artifact
+        artifact_path = tmp_path / "BENCH_test.json"
+        assert main(["bench", "--mode", "checkin", "--threads", "4",
+                     "--queries", "1500",
+                     "--artifact", str(artifact_path)]) == 0
+        artifact = load_bench_artifact(str(artifact_path))
+        assert artifact["schema"] == "repro-bench/v1"
+        assert artifact["bench"]["threads"] == 4
+        assert artifact["metrics"]["operations"] == 1500.0
+        assert artifact["metrics"]["throughput_qps"] > 0
 
     def test_bench_traced_exports_valid_trace(self, tmp_path, capsys):
         from repro.trace import validate_trace_file
         out_path = tmp_path / "bench.json"
         assert main(["bench", "--mode", "checkin", "--threads", "4",
-                     "--queries", "1500", "--trace",
+                     "--queries", "1500", "--no-artifact", "--trace",
                      "--out", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert "checkpoint phase breakdown" in out
         assert "queue-wait vs service-time" in out
         assert validate_trace_file(str(out_path)) == []
+
+    def test_telemetry_run_exports_valid_jsonl(self, tmp_path, capsys):
+        from repro.telemetry import validate_telemetry_file
+        out_path = tmp_path / "telemetry.jsonl"
+        assert main(["telemetry", "--threads", "4", "--queries", "1500",
+                     "--interval", "100us", "--out", str(out_path),
+                     "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "device health report" in out
+        assert validate_telemetry_file(str(out_path)) == []
+
+    def test_telemetry_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["telemetry", "--validate", str(bad)]) == 1
 
     def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

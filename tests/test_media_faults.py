@@ -166,6 +166,23 @@ class TestDegradedMode:
         # Degraded or not, the run completed and served queries.
         assert summary["operations"] > 0
 
+    def test_spare_exhaustion_is_telemetry_observable(self):
+        """The degraded_entry watchdog pinpoints the failure instant and
+        the SMART frames bracket it (healthy before, degraded after)."""
+        result = spare_exhaustion_run()
+        sampler = result.telemetry
+        assert sampler is not None
+        fired = [event for event in sampler.events
+                 if event.watchdog == "degraded_entry"]
+        assert len(fired) == 1  # terminal: fires once, never clears
+        assert fired[0].kind == "fired"
+        assert fired[0].severity == "error"
+        frames = list(sampler.health.frames)
+        assert frames[-1]["degraded"] is True
+        assert frames[-1]["bad_blocks"] > frames[0]["bad_blocks"]
+        before = [f for f in frames if f["t_ns"] < fired[0].t_ns]
+        assert before and before[0]["degraded"] is False
+
 
 class TestDeterminism:
     def test_same_seed_media_runs_are_identical(self):

@@ -1,0 +1,93 @@
+"""Per-tenant telemetry isolation on a namespaced (multi-tenant) device.
+
+Two invariants:
+
+* **additivity** — for every metric in ``ADDITIVE_METRICS`` the
+  per-tenant series sum *pointwise* to the aggregate series (they are
+  sampled at the same instant from the same registry pass);
+* **isolation** — a tenant that finished its workload shows flat
+  engine/checkpoint series while the other tenant's checkpoint storm is
+  in full swing.
+"""
+
+from repro.common.units import KIB, MIB, MS
+from repro.system.config import TenantSpec, tiny_config
+from repro.system.system import run_config
+from repro.telemetry import ADDITIVE_METRICS, TelemetryConfig
+
+
+def two_tenant_run(quiet_queries=150, busy_queries=4_000):
+    config = tiny_config(
+        tenants=(
+            TenantSpec(name="quiet", total_queries=quiet_queries,
+                       checkpoint_interval_ns=1_000 * MS),
+            TenantSpec(name="busy", total_queries=busy_queries,
+                       checkpoint_interval_ns=2 * MS,
+                       checkpoint_journal_quota=64 * KIB),
+        ),
+        total_queries=busy_queries,
+        journal_area_bytes=4 * MIB,
+        telemetry=TelemetryConfig(interval_ns=100_000),
+    )
+    return run_config(config)
+
+
+class TestAdditivity:
+    def test_per_tenant_series_sum_to_aggregate(self):
+        run = two_tenant_run()
+        sampler = run.telemetry
+        assert sampler.registry.tenants() == ["", "busy", "quiet"]
+        for metric in ADDITIVE_METRICS:
+            aggregate = sampler.get(metric)
+            quiet = sampler.get(metric, "quiet")
+            busy = sampler.get(metric, "busy")
+            assert len(aggregate) == len(quiet) == len(busy) > 0
+            for (t0, total), (t1, a), (t2, b) in zip(
+                    aggregate.points, quiet.points, busy.points):
+                assert t0 == t1 == t2
+                assert abs(total - (a + b)) < 1e-9, \
+                    f"{metric} not additive at t={t0}"
+
+    def test_final_ops_match_run_metrics(self):
+        run = two_tenant_run()
+        sampler = run.telemetry
+        assert sampler.get("engine.ops").last() == \
+            run.metrics.operations
+        for tenant in run.tenants:
+            assert sampler.get("engine.ops", tenant.name).last() == \
+                tenant.operations
+
+
+class TestIsolation:
+    def test_quiesced_tenant_stays_flat_during_checkpoint_storm(self):
+        run = two_tenant_run()
+        sampler = run.telemetry
+        quiet_ops = sampler.get("engine.ops", "quiet")
+        busy_ckpts = sampler.get("checkpoint.count", "busy")
+
+        # the quiet tenant finished its handful of queries early …
+        done_value = quiet_ops.last()
+        assert done_value == run.tenant("quiet").operations
+        done_index = quiet_ops.values().index(done_value)
+        tail = quiet_ops.values()[done_index:]
+        assert len(tail) > 10, "run too short to observe the tail"
+        assert set(tail) == {done_value}, \
+            "quiesced tenant's ops series moved after it finished"
+
+        # … while the busy tenant kept checkpointing in that window.
+        done_t = quiet_ops.times()[done_index]
+        storm = [v for t, v in busy_ckpts.points if t >= done_t]
+        assert storm[-1] - storm[0] >= 2, \
+            "expected a checkpoint storm on the busy tenant"
+
+        # and the quiet tenant took no checkpoints during the storm
+        quiet_ckpts = sampler.get("checkpoint.count", "quiet")
+        quiet_storm = [v for t, v in quiet_ckpts.points if t >= done_t]
+        assert quiet_storm[-1] - quiet_storm[0] <= 1
+
+    def test_per_tenant_queue_depth_series_exist(self):
+        run = two_tenant_run(quiet_queries=100, busy_queries=1_000)
+        sampler = run.telemetry
+        for name in ("quiet", "busy"):
+            series = sampler.get("host.queue_depth", name)
+            assert len(series) > 0
