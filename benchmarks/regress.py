@@ -42,10 +42,16 @@ TOLERANCES = {
     "redundant_units": 0.15,
     "checkpoint_total_ms": 0.30,
     "operations": 0.0,
+    "ops_per_sec": 0.75,
 }
-"""Allowed relative drift per gated metric (0.0 = must match exactly)."""
+"""Allowed relative drift per gated metric (0.0 = must match exactly).
 
-HIGHER_IS_BETTER = {"throughput_qps"}
+``ops_per_sec`` measures host wall-clock simulator speed, the one metric
+that is *not* seed-deterministic: CI machines vary and share cores.  Its
+very loose tolerance only catches a simulator that got several times
+slower (a hot-path regression), never scheduling jitter."""
+
+HIGHER_IS_BETTER = {"throughput_qps", "ops_per_sec"}
 """Metrics that only gate in the downward direction; everything else
 gates on getting *bigger* (latency, WAF, redundant writes, stalls)."""
 

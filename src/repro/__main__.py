@@ -309,7 +309,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                                   stamp=stamp))
         print(f"\n[bench artifact -> {path}]")
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
-          f"{metrics.duration_ns / 1e9:.3f}s]")
+          f"{metrics.duration_ns / 1e9:.3f}s, "
+          f"{result.ops_per_sec:,.0f} ops/s]")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one run and print the hottest functions.
+
+    The development loop behind the hot-path work: profile, attack the
+    top entries, re-profile.  The run itself is identical to ``repro
+    bench --no-artifact`` (same config class, ``verify_reads`` off).
+    """
+    import cProfile
+    import pstats
+
+    config = SystemConfig(mode=args.mode, workload=args.workload,
+                          threads=args.threads, total_queries=args.queries,
+                          distribution=args.distribution,
+                          verify_reads=False)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_config(config)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"[profile data -> {args.out}]")
+    print(f"[{result.metrics.operations} operations, "
+          f"wall {result.wall_seconds:.2f}s, "
+          f"{result.ops_per_sec:,.0f} ops/s]")
     return 0
 
 
@@ -487,6 +517,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--no-artifact", action="store_true",
                               help="skip writing the bench artifact")
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="cProfile one run and print the hottest functions")
+    profile_parser.add_argument("--mode", default="checkin",
+                                choices=("baseline", "isc_a", "isc_b",
+                                         "isc_c", "checkin"))
+    profile_parser.add_argument("--workload", default="A",
+                                choices=("A", "B", "C", "F", "WO"))
+    profile_parser.add_argument("--threads", type=int, default=8)
+    profile_parser.add_argument("--queries", type=int, default=4_000)
+    profile_parser.add_argument("--distribution", default="zipfian",
+                                choices=("uniform", "zipfian",
+                                         "scrambled_zipfian"))
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=("cumulative", "tottime", "calls"),
+                                help="pstats sort key (default: cumulative)")
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="how many entries to print (default 25)")
+    profile_parser.add_argument("--out", metavar="PATH", default=None,
+                                help="also dump raw pstats data here "
+                                     "(inspect with python -m pstats)")
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     telemetry_parser = commands.add_parser(
         "telemetry",

@@ -199,6 +199,15 @@ class StorageEngine:
                              metadata_lba=self.config.meta_lba_start))
         self.mem_cache = MemoryCache(self.config.mem_cache_records)
         self.stats = ssd.stats
+        # Per-query hot path: the config is frozen and counters are
+        # get-or-create, so resolve both once instead of per operation.
+        self._cpu_query_ns = self.config.cpu_query_ns
+        self._mem_hit_ns = self.config.mem_hit_ns
+        self._verify_reads = self.config.verify_reads
+        self._media_retry_limit = self.config.media_retry_limit
+        self._update_counter = self.stats.counter("query.update")
+        self._read_mem_counter = self.stats.counter("query.read_mem")
+        self._read_storage_counter = self.stats.counter("query.read_storage")
 
         self._gate: Optional[Event] = None  # closed during locked checkpoints
         self._checkpoint_running = False
@@ -265,7 +274,7 @@ class StorageEngine:
         span = tracer.begin("engine", "put", parent=trace_parent, key=key) \
             if tracer.enabled else None
         yield from self._pass_gate()
-        yield self.config.cpu_query_ns
+        yield self._cpu_query_ns
         if self.degraded or self.journal.degraded:
             self._note_degraded(self.journal.degraded_reason)
             self.stats.counter("query.update_rejected").add(1)
@@ -290,7 +299,7 @@ class StorageEngine:
                 tracer.end(span, rejected=True)
             return None
         self.mem_cache.insert(key, version)
-        self.stats.counter("query.update").add(1, num_bytes=record.size_bytes)
+        self._update_counter.add(1, num_bytes=record.size_bytes)
         if span is not None:
             tracer.end(span, bytes=record.size_bytes)
         return version
@@ -302,12 +311,12 @@ class StorageEngine:
         span = tracer.begin("engine", "get", parent=trace_parent, key=key) \
             if tracer.enabled else None
         yield from self._pass_gate()
-        yield self.config.cpu_query_ns
+        yield self._cpu_query_ns
         record = self.kvmap.get(key)
         cached = self.mem_cache.lookup(key)
         if cached is not None:
-            yield self.config.mem_hit_ns
-            self.stats.counter("query.read_mem").add(1)
+            yield self._mem_hit_ns
+            self._read_mem_counter.add(1)
             if span is not None:
                 tracer.end(span, source="mem")
             return cached
@@ -327,12 +336,11 @@ class StorageEngine:
             tag = completion.tags[0] if completion.tags else None
             version = tag[1] if tag else 0
             source = "data"
-        if self.config.verify_reads and tag is not None and tag[0] != key:
+        if self._verify_reads and tag is not None and tag[0] != key:
             raise EngineError(
                 f"consistency violation: read of key {key} returned {tag}")
         self.mem_cache.insert(key, version)
-        self.stats.counter("query.read_storage").add(
-            1, num_bytes=record.size_bytes)
+        self._read_storage_counter.add(1, num_bytes=record.size_bytes)
         if span is not None:
             tracer.end(span, source=source, bytes=record.size_bytes)
         return version
@@ -353,7 +361,7 @@ class StorageEngine:
             completion = yield self.ssd.submit(command)
             if completion.ok:
                 return completion
-            if attempts < self.config.media_retry_limit:
+            if attempts < self._media_retry_limit:
                 attempts += 1
                 self.stats.counter("query.read_reissues").add(1)
                 continue

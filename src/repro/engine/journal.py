@@ -130,6 +130,24 @@ class JournalManager:
         (media-retry budget exhausted or the device went read-only)."""
         self.degraded_reason = ""
         self.stats = ssd.stats
+        # Per-transaction hot path: get-or-create counters resolved once
+        # at construction (the config scalars are cached by the ``config``
+        # setter, which also covers tests swapping the config afterwards).
+        self._txn_counter = self.stats.counter("journal.transactions")
+        self._payload_counter = self.stats.counter("journal.payload")
+        self._padding_counter = self.stats.counter("journal.padding")
+
+    @property
+    def config(self) -> JournalConfig:
+        """The journal configuration (replaceable; scalars re-cached)."""
+        return self._config
+
+    @config.setter
+    def config(self, value: JournalConfig) -> None:
+        self._config = value
+        self._group_commit_ns = value.group_commit_ns
+        self._max_txn_logs = value.max_txn_logs
+        self._txn_align_sectors = value.txn_align_sectors
 
     # ------------------------------------------------------------------
     # submission API (called from query processes)
@@ -178,10 +196,10 @@ class JournalManager:
                 if not self._pending:
                     self._arrival = self.sim.event()
                     yield self._arrival
-                if self.config.group_commit_ns:
-                    yield self.config.group_commit_ns
+                if self._group_commit_ns:
+                    yield self._group_commit_ns
                 while self._pending:
-                    batch = self._pending[:self.config.max_txn_logs]
+                    batch = self._pending[:self._max_txn_logs]
                     del self._pending[:len(batch)]
                     yield from self._commit_transaction(batch)
         except Interrupt:
@@ -207,7 +225,7 @@ class JournalManager:
         # JMT would have its sectors trimmed away.  From the moment the
         # allocation succeeds until the JMT entries are in place, the
         # transaction is 'in flight' and blocks freezes.
-        align = self.config.txn_align_sectors
+        align = self._txn_align_sectors
         lba = None
         while lba is None:
             if self.degraded:
@@ -275,12 +293,9 @@ class JournalManager:
         if span is not None:
             tracer.end(span)
 
-        self.stats.counter("journal.transactions").add(
-            1, num_bytes=nsectors * SECTOR_SIZE)
-        self.stats.counter("journal.payload").add(
-            len(batch), num_bytes=layout.payload_bytes)
-        self.stats.counter("journal.padding").add(
-            0, num_bytes=layout.padded_bytes)
+        self._txn_counter.add(1, num_bytes=nsectors * SECTOR_SIZE)
+        self._payload_counter.add(len(batch), num_bytes=layout.payload_bytes)
+        self._padding_counter.add(0, num_bytes=layout.padded_bytes)
 
         by_identity: Dict[Tuple[int, int], Any] = {}
         for entry in layout.entries:

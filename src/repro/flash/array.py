@@ -57,6 +57,11 @@ class FlashArray:
         self._inflight_programs: Dict[int, Tuple[Block, int]] = {}
         """Pages whose program pulse has not completed: ppa -> (block,
         page index).  A power cut mid-pulse leaves these pages torn."""
+        # Every timed operation bumps one of these; resolve the counter
+        # objects once instead of a registry lookup per flash op.
+        self._read_counter = self.stats.counter("flash.read")
+        self._program_counter = self.stats.counter("flash.program")
+        self._erase_counter = self.stats.counter("flash.erase")
 
     # -- synchronous state access (no simulated time) -----------------------
     def block(self, block_id: int) -> Block:
@@ -143,7 +148,7 @@ class FlashArray:
             lun.release()
         if span is not None:
             tracer.end(span)
-        self.stats.counter("flash.read").add(1, num_bytes=geometry.page_size)
+        self._read_counter.add(1, num_bytes=geometry.page_size)
         # Content is sampled after the timed phases so a concurrent GC
         # migration that finished earlier is observed consistently.
         data = block.data(page_index)
@@ -187,7 +192,7 @@ class FlashArray:
             self._inflight_programs.pop(ppa, None)
         finally:
             lun.release()
-        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
+        self._program_counter.add(1, num_bytes=geometry.page_size)
         if self.media.program_fails(block.block_id, block.erase_count):
             # The page did not verify: null it so nothing reads it back.
             nunits = len(oob) if isinstance(oob, list) else 0
@@ -221,8 +226,7 @@ class FlashArray:
                 channel.release()
         finally:
             self._luns[lun].release()
-        self.stats.counter("flash.read").add(
-            1, num_bytes=self.geometry.page_size)
+        self._read_counter.add(1, num_bytes=self.geometry.page_size)
         self.stats.counter("flash.read.map").add(1)
 
     def erase_block(self, block_id: int) -> Generator[Any, Any, None]:
@@ -259,7 +263,7 @@ class FlashArray:
                 f"block {block_id}: erase-status failure")
         if span is not None:
             tracer.end(span)
-        self.stats.counter("flash.erase").add(1)
+        self._erase_counter.add(1)
 
     # -- power-loss modelling ------------------------------------------------
     def power_cut(self, rng: Any) -> List[int]:
@@ -296,7 +300,7 @@ class FlashArray:
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
         block.program(geometry.page_in_block(ppa), data, oob)
-        self.stats.counter("flash.program").add(1, num_bytes=geometry.page_size)
+        self._program_counter.add(1, num_bytes=geometry.page_size)
 
     def scan_oob(self) -> List[Tuple[int, Any]]:
         """Every written page's ``(ppa, oob)`` — the SPOR recovery scan."""

@@ -179,6 +179,15 @@ class Ftl:
                                  // self.geometry.page_size)
         self._map_cache: "OrderedDict[int, None]" = OrderedDict()
         self._lpn_locks: Dict[int, Resource] = {}
+        # Per-unit hot path: the config is frozen and counters are
+        # get-or-create, so resolve the per-write costs and counter
+        # objects once instead of per operation.
+        self._map_update_ns = self.config.map_update_ns
+        self._staged_read_ns = self.config.staged_read_ns
+        self._mapping_unit = self.config.mapping_unit
+        self._map_miss_counter = self.stats.counter("ftl.map_miss")
+        self._unit_write_counters: Dict[str, Any] = {}
+        self._unit_rmw_counters: Dict[str, Any] = {}
         self.grown_bad: set = set()
         """Blocks retired for media failures — never allocated again."""
         self.suspect_blocks: set = set()
@@ -313,7 +322,7 @@ class Ftl:
         for map_page in misses:
             yield from self.array.mapping_read(
                 map_page % self.geometry.num_luns)
-            self.stats.counter("ftl.map_miss").add(1)
+            self._map_miss_counter.add(1)
 
     # ------------------------------------------------------------------
     # write path
@@ -335,7 +344,7 @@ class Ftl:
                             bytes=nsectors * 512, stream=stream,
                             cause=cause) \
             if tracer.enabled else None
-        locked = sorted(self.lpn_span(lba, nsectors))
+        locked = list(self.lpn_span(lba, nsectors))  # range is ascending
         yield from self._acquire_lpns(locked)
         try:
             yield from self._locked_write(lba, nsectors, tags, stream, cause)
@@ -347,12 +356,13 @@ class Ftl:
     def _locked_write(self, lba: int, nsectors: int,
                       tags: Optional[Sequence[SectorTag]],
                       stream: str, cause: str) -> Generator[Any, Any, None]:
-        yield from self.touch_map(self.lpn_span(lba, nsectors))
+        span = self.lpn_span(lba, nsectors)
+        yield from self.touch_map(span)
 
         plan: List[Tuple[int, UnitTags, bool]] = []  # (lpn, unit tags, is_rmw)
         rmw_pages: List[int] = []
         staged_old: Dict[int, UnitTags] = {}  # snapshot against de-staging races
-        for lpn in self.lpn_span(lba, nsectors):
+        for lpn in span:
             unit_first_lba = lpn * self.sectors_per_unit
             start = max(lba, unit_first_lba)
             end = min(lba + nsectors, unit_first_lba + self.sectors_per_unit)
@@ -397,8 +407,11 @@ class Ftl:
         yield from self._write_units(lpns, unit_tags_list, oob_list,
                                      stream=stream, cause=cause)
         if rmw_units:
-            self.stats.counter(f"ftl.units.rmw.{cause}").add(
-                rmw_units, num_bytes=rmw_units * self.config.mapping_unit)
+            counter = self._unit_rmw_counters.get(cause)
+            if counter is None:
+                counter = self.stats.counter(f"ftl.units.rmw.{cause}")
+                self._unit_rmw_counters[cause] = counter
+            counter.add(rmw_units, num_bytes=rmw_units * self._mapping_unit)
 
     def _old_unit_tags(self, lpn: int, old_pages: Dict[int, Any]) -> Optional[UnitTags]:
         upa = self.mapping.lookup(lpn)
@@ -430,10 +443,13 @@ class Ftl:
             self._note_dirty_entries(1)
             for program in programs:
                 self._launch_program(program)
-            yield self.config.map_update_ns
+            yield self._map_update_ns
         count = len(lpns)
-        self.stats.counter(f"ftl.units.write.{cause}").add(
-            count, num_bytes=count * self.config.mapping_unit)
+        counter = self._unit_write_counters.get(cause)
+        if counter is None:
+            counter = self.stats.counter(f"ftl.units.write.{cause}")
+            self._unit_write_counters[cause] = counter
+        counter.add(count, num_bytes=count * self._mapping_unit)
 
     def _launch_program(self, program: PageProgram, attempt: int = 0) -> None:
         """Fire an asynchronous page program for a freshly filled page."""
@@ -573,7 +589,8 @@ class Ftl:
         """
         if tags is not None and len(tags) != nsectors:
             raise FtlError(f"expected {nsectors} sector tags, got {len(tags)}")
-        for lpn in self.lpn_span(lba, nsectors):
+        span = self.lpn_span(lba, nsectors)
+        for lpn in span:
             unit_first = lpn * self.sectors_per_unit
             merged: List[SectorTag] = [None] * self.sectors_per_unit
             old_upa = self.mapping.lookup(lpn)
@@ -603,8 +620,7 @@ class Ftl:
             self.mapping.map(lpn, upa)
             for program in programs:
                 self._program_now(program)
-        self.stats.counter("ftl.units.write.preload").add(
-            len(self.lpn_span(lba, nsectors)))
+        self.stats.counter("ftl.units.write.preload").add(len(span))
 
     def _program_now(self, program: PageProgram) -> None:
         data = {}
@@ -628,9 +644,10 @@ class Ftl:
         span = tracer.begin("ftl", "read", lba=lba, nsectors=nsectors,
                             bytes=nsectors * 512) \
             if tracer.enabled else None
-        yield from self.touch_map(self.lpn_span(lba, nsectors))
+        lpns = self.lpn_span(lba, nsectors)
+        yield from self.touch_map(lpns)
         lpn_to_upa: Dict[int, Optional[int]] = {
-            lpn: self.mapping.lookup(lpn) for lpn in self.lpn_span(lba, nsectors)}
+            lpn: self.mapping.lookup(lpn) for lpn in lpns}
         # Snapshot staged contents now: a unit staged at planning time may
         # be programmed (and de-staged) while the flash reads below are in
         # flight, and it would then be lost to both lookup paths.
@@ -648,7 +665,7 @@ class Ftl:
         if flash_pages:
             yield from self._read_pages_parallel(sorted(flash_pages), page_data)
         if staged_snapshot:
-            yield self.config.staged_read_ns
+            yield self._staged_read_ns
 
         result: List[SectorTag] = []
         for sector in range(lba, lba + nsectors):
@@ -669,6 +686,12 @@ class Ftl:
 
     def _read_pages_parallel(self, ppas: Iterable[int],
                              out: Dict[int, Any]) -> Generator[Any, Any, None]:
+        ppas = list(ppas)
+        if len(ppas) == 1:
+            # The common single-page case: run the read inline — a spawned
+            # process plus an all_of event buys nothing with one page.
+            yield from self._read_one(ppas[0], out)
+            return
         processes = []
         for ppa in ppas:
             processes.append(spawn(self.sim, self._read_one(ppa, out),

@@ -30,6 +30,9 @@ from repro.common.errors import FtlError
 class SubPageMappingTable:
     """LPN → physical-unit map with reference counting."""
 
+    __slots__ = ("units_per_page", "pages_per_block", "units_per_block",
+                 "_l2p", "_p2l", "_valid_per_block")
+
     def __init__(self, units_per_page: int, pages_per_block: int) -> None:
         if units_per_page < 1 or pages_per_block < 1:
             raise FtlError("units_per_page and pages_per_block must be >= 1")

@@ -32,10 +32,15 @@ class Simulator:
     exception — otherwise a failed flash op can vanish without trace.
     """
 
+    #: Dead-entry compaction kicks in once at least this many cancelled
+    #: timers sit in the heap *and* they outnumber the live ones.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self, strict_failures: bool = True) -> None:
         self._now = 0
         self._seq = 0
         self._heap: List[Tuple[int, int, "_Timer"]] = []
+        self._dead_timers = 0
         self.strict_failures = strict_failures
         self._unconsumed_failures: Dict[int, "Event"] = {}
         self._crashed = False
@@ -58,11 +63,12 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        timer = _Timer(fn, args)
         if self._crashed:
             # Power is gone: nothing scheduled after the cut may ever run.
+            timer = _Timer(None, fn, args)
             timer.cancelled = True
             return timer
+        timer = _Timer(self, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, timer))
         return timer
@@ -81,6 +87,7 @@ class Simulator:
             return 0
         self._crashed = True
         self._heap.clear()
+        self._dead_timers = 0
         victims = list(self._live_processes.values())
         for process in victims:
             process.kill()
@@ -116,14 +123,17 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next pending callback; return False when idle."""
-        while self._heap:
-            when, _seq, timer = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, timer = pop(heap)
             if timer.cancelled:
+                self._dead_timers -= 1
                 continue
             if when < self._now:
                 raise SimulationError("event heap yielded a past timestamp")
             self._now = when
-            timer.fire()
+            timer._fn(*timer._args)
             return True
         return False
 
@@ -133,41 +143,98 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier.
         """
-        if until is not None and until < self._now:
-            raise SimulationError(f"until={until} is before now={self._now}")
-        while self._heap:
-            when, _seq, timer = self._heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._heap)
-            if timer.cancelled:
-                continue
-            self._now = when
-            timer.fire()
-        if until is not None:
+        # The two loops below pop-then-fire with the heap and heappop bound
+        # locally and the timer fired inline; peeking ``self._heap[0]``
+        # before every pop would touch the heap twice per event.
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            while heap:
+                when, _seq, timer = pop(heap)
+                if timer.cancelled:
+                    self._dead_timers -= 1
+                    continue
+                self._now = when
+                timer._fn(*timer._args)
+        else:
+            if until < self._now:
+                raise SimulationError(f"until={until} is before now={self._now}")
+            while heap:
+                entry = pop(heap)
+                timer = entry[2]
+                if timer.cancelled:
+                    self._dead_timers -= 1
+                    continue
+                when = entry[0]
+                if when > until:
+                    heapq.heappush(heap, entry)
+                    break
+                self._now = when
+                timer._fn(*timer._args)
             self._now = until
         self._check_unconsumed()
+
+    def run_until_triggered(self, event: "Event", name: str = "event") -> None:
+        """Drive the loop until ``event`` resolves (the hot join path).
+
+        Raises when the heap drains first — a joined process that can no
+        longer make progress is a deadlock, not quiet success.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while not event._resolved:
+            if not heap:
+                raise SimulationError(
+                    f"event loop drained while waiting for {name}")
+            when, _seq, timer = pop(heap)
+            if timer.cancelled:
+                self._dead_timers -= 1
+                continue
+            self._now = when
+            timer._fn(*timer._args)
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next live event, or None when idle."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._dead_timers -= 1
         return self._heap[0][0] if self._heap else None
+
+    def _timer_cancelled(self) -> None:
+        """Dead-entry accounting; compacts once cancellations dominate.
+
+        Compaction rewrites the heap *in place* (slice assignment) so the
+        local bindings held by :meth:`run`/:meth:`step` stay valid, and it
+        preserves the (when, seq) keys of the survivors, so the firing
+        order is untouched.
+        """
+        self._dead_timers += 1
+        heap = self._heap
+        if self._dead_timers >= self.COMPACT_MIN_DEAD and \
+                self._dead_timers * 2 >= len(heap):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._dead_timers = 0
 
 
 class _Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("_fn", "_args", "cancelled")
+    __slots__ = ("_sim", "_fn", "_args", "cancelled")
 
-    def __init__(self, fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+    def __init__(self, sim: Optional[Simulator],
+                 fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self._sim = sim
         self._fn = fn
         self._args = args
         self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._timer_cancelled()
 
     def fire(self) -> None:
         self._fn(*self._args)
@@ -248,11 +315,38 @@ class Event:
         return self
 
 
+def _absorb_late_failure(done: Event, late: Event) -> None:
+    """Fold a post-resolution input failure into an already-settled combinator.
+
+    Fail-fast combinators keep their callbacks registered on the inputs
+    that have not resolved yet, so a *later* failure used to land in a
+    no-op callback: :meth:`Event._resolve` saw a waiter and never flagged
+    the exception, and it vanished without reaching ``strict_failures``.
+    The combinator genuinely observes these failures, so it defuses them
+    explicitly and aggregates them onto the first exception
+    (``exc.late_failures``) where the joiner can still inspect them.
+    """
+    late.defuse()
+    first = done.exception
+    if first is None:
+        return
+    try:
+        collected = getattr(first, "late_failures", None)
+        if collected is None:
+            collected = []
+            first.late_failures = collected
+        collected.append(late.exception)
+    except AttributeError:
+        pass  # exception type forbids attributes; defusal already recorded it
+
+
 def all_of(sim: Simulator, events: List[Event]) -> Event:
     """An event that succeeds once every input event has resolved.
 
-    Fails fast with the first failure observed.  The value is the list of
-    input event values in input order.
+    Fails fast with the first failure observed; failures of the *other*
+    inputs after that point are defused and collected on the first
+    exception's ``late_failures`` list.  The value is the list of input
+    event values in input order.
     """
     done = sim.event()
     if not events:
@@ -262,6 +356,8 @@ def all_of(sim: Simulator, events: List[Event]) -> Event:
 
     def on_resolved(_ev: Event) -> None:
         if done.triggered:
+            if _ev.exception is not None:
+                _absorb_late_failure(done, _ev)
             return
         if _ev.exception is not None:
             done.fail(_ev.exception)
@@ -276,13 +372,20 @@ def all_of(sim: Simulator, events: List[Event]) -> Event:
 
 
 def any_of(sim: Simulator, events: List[Event]) -> Event:
-    """An event that resolves as soon as any input event does."""
+    """An event that resolves as soon as any input event does.
+
+    Input failures arriving after the race is decided are defused (and
+    collected when the winner was itself a failure) instead of silently
+    vanishing in the already-resolved combinator.
+    """
     done = sim.event()
     if not events:
         raise SimulationError("any_of requires at least one event")
 
     def on_resolved(_ev: Event) -> None:
         if done.triggered:
+            if _ev.exception is not None:
+                _absorb_late_failure(done, _ev)
             return
         if _ev.exception is not None:
             done.fail(_ev.exception)

@@ -64,10 +64,7 @@ class Process(Event):
         """
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        if self._sleep_timer is not None:
-            self._sleep_timer.cancel()
-            self._sleep_timer = None
-        self._waiting_on = None
+        self._detach_wait()
         self.sim.schedule(0, self._resume_with_exception, Interrupt(cause))
 
     def kill(self) -> None:
@@ -80,10 +77,7 @@ class Process(Event):
         """
         if self.triggered:
             return
-        if self._sleep_timer is not None:
-            self._sleep_timer.cancel()
-            self._sleep_timer = None
-        self._waiting_on = None
+        self._detach_wait()
         self.defused = True
         try:
             self._generator.close()
@@ -92,6 +86,29 @@ class Process(Event):
         if not self.triggered:
             self.fail(PowerLossError(f"process {self.name} lost power"))
             self.sim._consume_failure(self)
+
+    def _detach_wait(self) -> None:
+        """Stop waiting: cancel a pending sleep, deregister from an event.
+
+        Deregistering matters beyond the callback-list leak: a stale
+        ``_on_event`` left behind makes :meth:`Event._resolve` believe a
+        waiter exists, so if the abandoned event later *fails* the
+        exception is considered consumed and never reaches
+        ``strict_failures``.  (An event that already resolved has handed
+        its callbacks to the scheduler; the stale-wake-up guard in
+        :meth:`_on_event` covers that window.)
+        """
+        if self._sleep_timer is not None:
+            self._sleep_timer.cancel()
+            self._sleep_timer = None
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            if not waiting.triggered:
+                try:
+                    waiting._callbacks.remove(self._on_event)
+                except ValueError:
+                    pass
 
     # -- driving the generator ------------------------------------------
     def _resume(self, send_value: Any, _token: Any) -> None:

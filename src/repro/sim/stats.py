@@ -8,6 +8,7 @@ call sites.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.core import Simulator
@@ -34,6 +35,8 @@ class Counter:
 
 class TimeWeightedGauge:
     """Tracks a level over time and reports its time-weighted average."""
+
+    __slots__ = ("_sim", "_level", "_last_change", "_weighted_sum", "_start")
 
     def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
         self._sim = sim
@@ -92,47 +95,59 @@ class TimeWeightedGauge:
 class LatencySample:
     """Collects latency observations and computes exact percentiles.
 
-    Stores every sample (runs here are small enough); percentile queries
-    use linear interpolation between closest ranks, the same convention as
-    ``numpy.percentile``.
+    Stores every sample (runs here are small enough) in a preallocated
+    ``array('q')`` that doubles when full — one machine word per
+    observation and no per-``record`` allocation, versus a growing list
+    of boxed ints.  Percentile queries use linear interpolation between
+    closest ranks, the same convention as ``numpy.percentile``.
     """
+
+    __slots__ = ("name", "_buffer", "_count", "_sorted")
+
+    _INITIAL_CAPACITY = 1024
 
     def __init__(self, name: str = "latency") -> None:
         self.name = name
-        self._samples: List[int] = []
+        self._buffer = array("q", bytes(8 * self._INITIAL_CAPACITY))
+        self._count = 0
         self._sorted: Optional[List[int]] = None
 
     def record(self, latency_ns: int) -> None:
         """Add one observation (ns)."""
-        self._samples.append(latency_ns)
+        count = self._count
+        buffer = self._buffer
+        if count == len(buffer):
+            buffer.frombytes(bytes(8 * count))  # double the capacity
+        buffer[count] = latency_ns
+        self._count = count + 1
         self._sorted = None
 
     def extend(self, samples: Sequence[int]) -> None:
         """Add many observations."""
-        self._samples.extend(samples)
-        self._sorted = None
+        for sample in samples:
+            self.record(sample)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def samples(self) -> Sequence[int]:
         """All recorded samples, insertion order."""
-        return self._samples
+        return self._buffer[:self._count]
 
     def mean(self) -> float:
         """Arithmetic mean; 0.0 when empty."""
-        if not self._samples:
+        if not self._count:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return sum(self.samples) / self._count
 
     def min(self) -> int:
         """Smallest sample; 0 when empty."""
-        return min(self._samples) if self._samples else 0
+        return min(self.samples) if self._count else 0
 
     def max(self) -> int:
         """Largest sample; 0 when empty."""
-        return max(self._samples) if self._samples else 0
+        return max(self.samples) if self._count else 0
 
     @staticmethod
     def _interpolate(data: List[int], pct: float) -> float:
@@ -150,11 +165,11 @@ class LatencySample:
 
     def percentile(self, pct: float) -> float:
         """The ``pct``-th percentile (0..100), linearly interpolated."""
-        if not self._samples:
+        if not self._count:
             self._interpolate([0], pct)  # still validate the argument
             return 0.0
         if self._sorted is None:
-            self._sorted = sorted(self._samples)
+            self._sorted = sorted(self.samples)
         return self._interpolate(self._sorted, pct)
 
     def p(self, *pcts: float) -> Dict[float, float]:
@@ -165,12 +180,12 @@ class LatencySample:
         for the first query of each batch.  ``p(50, 99, 99.9)`` sorts at
         most once and returns ``{pct: value}``.
         """
-        if not self._samples:
+        if not self._count:
             for pct in pcts:
                 self._interpolate([0], pct)  # still validate the arguments
             return {pct: 0.0 for pct in pcts}
         if self._sorted is None:
-            self._sorted = sorted(self._samples)
+            self._sorted = sorted(self.samples)
         return {pct: self._interpolate(self._sorted, pct) for pct in pcts}
 
     def p50(self) -> float:
@@ -192,6 +207,8 @@ class LatencySample:
 
 class StatRegistry:
     """A flat namespace of counters shared by one simulated system."""
+
+    __slots__ = ("_counters",)
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}

@@ -11,7 +11,7 @@ a checkpoint is durable.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.common.errors import CommandError
@@ -81,46 +81,61 @@ class CowEntry:
         return self.src_nsectors if self.src_nsectors is not None else self.nsectors
 
 
-@dataclass
 class Command:
-    """A host command plus its payload descriptors."""
+    """A host command plus its payload descriptors.
 
-    op: Op
-    lba: int = 0
-    nsectors: int = 0
-    tags: Optional[Sequence[Any]] = None
-    fua: bool = False
-    stream: str = "data"
-    cause: str = "host"
-    entries: Tuple[CowEntry, ...] = field(default_factory=tuple)
-    nsid: Optional[int] = None
-    """NVMe-style namespace id.  ``None`` means unspecified: on a device
-    with namespaces configured the controller derives it from the LBA
-    range (and rejects ranges that straddle namespaces); when set, the
-    controller additionally verifies the addressed range belongs to
-    exactly this namespace."""
+    A plain ``__slots__`` class (not a dataclass): one instance is built
+    per host operation, so construction cost and per-instance ``__dict__``
+    overhead sit directly on the hot path.
 
-    span: Any = None
-    """Submitter's trace span (or None): the controller parents its own
-    device-side span under it, threading the trace context across the
-    host interface without changing any timing."""
+    ``nsid`` is the NVMe-style namespace id.  ``None`` means unspecified:
+    on a device with namespaces configured the controller derives it from
+    the LBA range (and rejects ranges that straddle namespaces); when
+    set, the controller additionally verifies the addressed range belongs
+    to exactly this namespace.
 
-    def __post_init__(self) -> None:
-        if self.nsid is not None and self.nsid < 0:
-            raise CommandError(f"negative namespace id {self.nsid}")
-        if self.op in (Op.READ, Op.WRITE, Op.TRIM):
-            if self.nsectors < 1:
-                raise CommandError(f"{self.op.value} needs nsectors >= 1")
-            if self.lba < 0:
+    ``span`` is the submitter's trace span (or None): the controller
+    parents its own device-side span under it, threading the trace
+    context across the host interface without changing any timing.
+    """
+
+    __slots__ = ("op", "lba", "nsectors", "tags", "fua", "stream", "cause",
+                 "entries", "nsid", "span")
+
+    def __init__(self, op: Op, lba: int = 0, nsectors: int = 0,
+                 tags: Optional[Sequence[Any]] = None, fua: bool = False,
+                 stream: str = "data", cause: str = "host",
+                 entries: Tuple[CowEntry, ...] = (),
+                 nsid: Optional[int] = None, span: Any = None) -> None:
+        self.op = op
+        self.lba = lba
+        self.nsectors = nsectors
+        self.tags = tags
+        self.fua = fua
+        self.stream = stream
+        self.cause = cause
+        self.entries = entries
+        self.nsid = nsid
+        self.span = span
+        if nsid is not None and nsid < 0:
+            raise CommandError(f"negative namespace id {nsid}")
+        if op in (Op.READ, Op.WRITE, Op.TRIM):
+            if nsectors < 1:
+                raise CommandError(f"{op.value} needs nsectors >= 1")
+            if lba < 0:
                 raise CommandError("negative lba")
-        if self.op is Op.WRITE and self.tags is not None \
-                and len(self.tags) != self.nsectors:
+        if op is Op.WRITE and tags is not None and len(tags) != nsectors:
             raise CommandError(
-                f"write carries {len(self.tags)} tags for {self.nsectors} sectors")
-        if self.op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT) and not self.entries:
-            raise CommandError(f"{self.op.value} requires CoW entries")
-        if self.op is Op.COW and len(self.entries) != 1:
+                f"write carries {len(tags)} tags for {nsectors} sectors")
+        if op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT) and not entries:
+            raise CommandError(f"{op.value} requires CoW entries")
+        if op is Op.COW and len(entries) != 1:
             raise CommandError("single COW carries exactly one entry")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Command(op={self.op!r}, lba={self.lba}, "
+                f"nsectors={self.nsectors}, stream={self.stream!r}, "
+                f"cause={self.cause!r}, entries={len(self.entries)})")
 
     @property
     def data_bytes(self) -> int:
@@ -135,21 +150,39 @@ class Command:
         return 0
 
 
-@dataclass
 class Completion:
-    """Result handed back to the submitter."""
+    """Result handed back to the submitter.
 
-    command: Command
-    submitted_at: int
-    completed_at: int
-    tags: Optional[List[Any]] = None  # read payload
-    remapped_units: int = 0
-    copied_units: int = 0
-    status: Status = Status.OK
-    retries: int = 0
-    """Controller-level re-dispatches this command needed (media errors)."""
-    error: str = ""
-    """Human-readable failure detail when ``status`` is not a success."""
+    A plain ``__slots__`` class for the same reason as :class:`Command`:
+    one per host operation, mutated in place by the controller.
+
+    ``retries`` counts controller-level re-dispatches this command needed
+    (media errors); ``error`` carries the human-readable failure detail
+    when ``status`` is not a success.
+    """
+
+    __slots__ = ("command", "submitted_at", "completed_at", "tags",
+                 "remapped_units", "copied_units", "status", "retries",
+                 "error")
+
+    def __init__(self, command: Command, submitted_at: int,
+                 completed_at: int, tags: Optional[List[Any]] = None,
+                 remapped_units: int = 0, copied_units: int = 0,
+                 status: Status = Status.OK, retries: int = 0,
+                 error: str = "") -> None:
+        self.command = command
+        self.submitted_at = submitted_at
+        self.completed_at = completed_at
+        self.tags = tags
+        self.remapped_units = remapped_units
+        self.copied_units = copied_units
+        self.status = status
+        self.retries = retries
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Completion(op={self.command.op!r}, "
+                f"status={self.status!r}, latency_ns={self.latency_ns})")
 
     @property
     def ok(self) -> bool:

@@ -16,6 +16,7 @@ so latency *ratios* are meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.common.errors import ConfigError
@@ -49,6 +50,52 @@ DEFAULT_MAPPING_UNITS = {
 }
 """Per-configuration FTL mapping unit (Table I: 4 KiB page mapping for the
 conventional systems, 512 B sub-page mapping for ISC-C and Check-In)."""
+
+
+@lru_cache(maxsize=None)
+def _size_model(size_spec: str, seed: int) -> RecordSizeModel:
+    """Shared record-size model instances (see SystemConfig.size_model)."""
+    if size_spec == "small-default":
+        return small_value_default(seed=seed)
+    if size_spec.startswith("fixed-"):
+        return FixedSize(int(size_spec.split("-", 1)[1]))
+    if size_spec.upper() in ("P1", "P2", "P3", "P4"):
+        return mixed_pattern(size_spec, seed=seed)
+    raise ConfigError(f"unknown size_spec {size_spec!r}")
+
+
+@lru_cache(maxsize=1024)
+def _data_area_sectors(size_spec: str, seed: int, num_keys: int,
+                       mode: str, mapping_unit: int, compress_ratio: float,
+                       slack: float) -> int:
+    """Cached body of SystemConfig.data_area_sectors.
+
+    The footprint is a pure function of these seven fields, but it walks
+    the whole key population; every ``engine_config()`` call (device spec,
+    engine construction, capacity check) used to recompute it.
+    """
+    model = _size_model(size_spec, seed)
+    unit_sectors = mapping_unit // SECTOR_SIZE
+    formatter = None
+    if mode == "checkin":
+        from repro.engine.aligner import SectorAlignedFormatter
+        formatter = SectorAlignedFormatter(
+            mapping_size=mapping_unit,
+            compress_ratio=compress_ratio)
+    total = 0
+    for _key, size in model.sizes(num_keys):
+        stored = formatter.stored_size(size) if formatter else size
+        nsectors = ceil_div(stored, SECTOR_SIZE)
+        # Mirror the engine: only remappable (whole-unit) records get
+        # unit-aligned homes; everything else packs at sector grain.
+        # Aligned records may also skip up to unit_sectors-1 sectors
+        # to reach their boundary.
+        if formatter is not None and stored % mapping_unit == 0:
+            if nsectors % unit_sectors:
+                nsectors += unit_sectors - (nsectors % unit_sectors)
+            nsectors += unit_sectors - 1
+        total += nsectors
+    return int(total * (1.0 + slack)) + unit_sectors
 
 
 @dataclass(frozen=True)
@@ -218,15 +265,14 @@ class SystemConfig:
         return replace(self, mode=mode)
 
     def size_model(self) -> RecordSizeModel:
-        """Instantiate the record-size model from ``size_spec``."""
-        spec = self.size_spec
-        if spec == "small-default":
-            return small_value_default(seed=self.seed)
-        if spec.startswith("fixed-"):
-            return FixedSize(int(spec.split("-", 1)[1]))
-        if spec.upper() in ("P1", "P2", "P3", "P4"):
-            return mixed_pattern(spec, seed=self.seed)
-        raise ConfigError(f"unknown size_spec {self.size_spec!r}")
+        """Instantiate the record-size model from ``size_spec``.
+
+        Memoised on ``(size_spec, seed)``: the model is a pure function of
+        those two fields, and sharing the instance shares its per-key size
+        cache across the several places one run consults it
+        (:meth:`data_area_sectors`, capacity checks, the engine load).
+        """
+        return _size_model(self.size_spec, self.seed)
 
     def geometry(self) -> FlashGeometry:
         """The NAND geometry of this run's device."""
@@ -281,30 +327,11 @@ class SystemConfig:
         Uses the formatted (stored) size for the aligned-journaling mode
         and rounds every record to the mapping unit — a safe over-estimate
         of the engine's per-record alignment decisions — plus slack.
+        Memoised (module-level) on the fields it actually reads.
         """
-        model = self.size_model()
-        unit_sectors = self.resolved_mapping_unit // SECTOR_SIZE
-        formatter = None
-        if self.mode == "checkin":
-            from repro.engine.aligner import SectorAlignedFormatter
-            formatter = SectorAlignedFormatter(
-                mapping_size=self.resolved_mapping_unit,
-                compress_ratio=self.compress_ratio)
-        total = 0
-        unit = self.resolved_mapping_unit
-        for _key, size in model.sizes(self.num_keys):
-            stored = formatter.stored_size(size) if formatter else size
-            nsectors = ceil_div(stored, SECTOR_SIZE)
-            # Mirror the engine: only remappable (whole-unit) records get
-            # unit-aligned homes; everything else packs at sector grain.
-            # Aligned records may also skip up to unit_sectors-1 sectors
-            # to reach their boundary.
-            if formatter is not None and stored % unit == 0:
-                if nsectors % unit_sectors:
-                    nsectors += unit_sectors - (nsectors % unit_sectors)
-                nsectors += unit_sectors - 1
-            total += nsectors
-        return int(total * (1.0 + self.data_area_slack)) + unit_sectors
+        return _data_area_sectors(self.size_spec, self.seed, self.num_keys,
+                                  self.mode, self.resolved_mapping_unit,
+                                  self.compress_ratio, self.data_area_slack)
 
     def engine_config(self) -> EngineConfig:
         """The storage-engine configuration for this run."""

@@ -21,6 +21,7 @@ path and is bit-identical to the pre-namespace system.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional
 
@@ -96,6 +97,17 @@ class RunResult:
     tenants: List[TenantResult] = field(default_factory=list)
     """Per-tenant results; a single entry mirroring the aggregate on a
     classic single-tenant run."""
+
+    wall_seconds: float = 0.0
+    """Host wall-clock time :meth:`KvSystem.run` took — the simulator
+    speed measurement behind the bench artifact's ``ops_per_sec``."""
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Completed operations per host wall-clock second (0 if untimed)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.metrics.operations / self.wall_seconds
 
     @property
     def checkpoint_count(self) -> int:
@@ -211,6 +223,7 @@ class KvSystem:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the whole experiment; returns the results."""
+        wall_started = time.perf_counter()
         self.load()
         for tenant in self.tenants:
             tenant.engine.start()
@@ -274,7 +287,8 @@ class KvSystem:
                          trace_summary=summarize(tracer)
                          if tracer.enabled else None,
                          telemetry=self.telemetry,
-                         tenants=tenant_results)
+                         tenants=tenant_results,
+                         wall_seconds=time.perf_counter() - wall_started)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:
         """Synchronously run one checkpoint (helper for experiments)."""
@@ -283,10 +297,7 @@ class KvSystem:
         return proc.value
 
     def _drive_until(self, process: Process) -> None:
-        while not process.triggered:
-            if not self.sim.step():
-                raise SimulationError(
-                    f"event loop drained while waiting for {process.name}")
+        self.sim.run_until_triggered(process, name=process.name)
         if not process.ok:
             raise process.exception
 

@@ -10,10 +10,11 @@ fixed across updates.
 from __future__ import annotations
 
 import abc
+import hashlib
+import random
 from typing import Dict, List, Sequence, Tuple
 
 from repro.common.errors import WorkloadError
-from repro.common.rng import SeededRng
 
 
 class RecordSizeModel(abc.ABC):
@@ -70,6 +71,7 @@ class MixedSizes(RecordSizeModel):
             self._cumulative.append(running)
         self._seed = seed
         self._cache: Dict[int, int] = {}
+        self._rng = random.Random()
 
     @property
     def name(self) -> str:
@@ -78,7 +80,15 @@ class MixedSizes(RecordSizeModel):
     def size_for_key(self, key: int) -> int:
         size = self._cache.get(key)
         if size is None:
-            draw = SeededRng(self._seed, "sizes").fork(str(key)).random()
+            # Same draw as SeededRng(seed, "sizes").fork(str(key)).random()
+            # — the child seed only depends on (seed, key), so one shared
+            # Random re-seeded per key replaces two throwaway SeededRng
+            # constructions on this hot load-time path.
+            digest = hashlib.sha256(f"{self._seed}/{key}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little") \
+                & 0x7FFF_FFFF_FFFF_FFFF
+            self._rng.seed(child_seed)
+            draw = self._rng.random()
             index = 0
             while draw > self._cumulative[index]:
                 index += 1
