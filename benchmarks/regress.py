@@ -43,13 +43,21 @@ TOLERANCES = {
     "checkpoint_total_ms": 0.30,
     "operations": 0.0,
     "ops_per_sec": 0.75,
+    "ckpt_blame_p99_share": 0.50,
 }
 """Allowed relative drift per gated metric (0.0 = must match exactly).
 
 ``ops_per_sec`` measures host wall-clock simulator speed, the one metric
 that is *not* seed-deterministic: CI machines vary and share cores.  Its
 very loose tolerance only catches a simulator that got several times
-slower (a hot-path regression), never scheduling jitter."""
+slower (a hot-path regression), never scheduling jitter.
+
+``ckpt_blame_p99_share`` is the checkpoint-attributable fraction of the
+>p99 tail from the blame ledgers (``repro.obs``): for the gated checkin
+configuration it should stay near zero — growth means checkpoints
+started leaking into the tail, the paper's headline regression.  The
+share is a fraction in [0, 1], so the 50% tolerance is *relative* to a
+small baseline, keeping the gate tight in absolute terms."""
 
 HIGHER_IS_BETTER = {"throughput_qps", "ops_per_sec"}
 """Metrics that only gate in the downward direction; everything else

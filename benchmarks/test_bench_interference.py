@@ -38,3 +38,13 @@ def test_interference_reader_tail(benchmark, record_result):
     assert result.degradation("checkin") < 1.3
     # Remap checkpointing also keeps more aggregate throughput.
     assert result.aggregate_qps["checkin"] > result.aggregate_qps["baseline"]
+
+    # The attribution view (locked placement, blame ledgers): the
+    # ledgers don't just show the baseline tail is worse — they charge
+    # it to checkpoint stages.  Host-level checkpointing owns a large
+    # slice of the reader's >p99 time; remap barely registers.
+    assert result.blame_isolates_checkpoints()
+    assert result.ckpt_tail_share["baseline"] > 0.2
+    assert result.ckpt_tail_share["checkin"] < 0.1
+    assert result.ckpt_tail_share["baseline"] > \
+        4 * result.ckpt_tail_share["checkin"]

@@ -26,6 +26,15 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     run_experiment,
 )
+from repro.obs import (
+    CKPT_FAMILY,
+    blame_table,
+    clear_blame,
+    exemplar_table,
+    tail_table,
+    validate_blame_file,
+    write_blame_jsonl,
+)
 from repro.system import SystemConfig, TenantSpec, run_config
 from repro.telemetry import (
     TelemetryConfig,
@@ -268,11 +277,81 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_blame(args: argparse.Namespace) -> int:
+    """One blamed run: per-stage attribution, tail profile, exemplars.
+
+    Answers "where did the nanoseconds go" per request: the blame table
+    splits every request's end-to-end latency into pipeline stages (the
+    ledger sums exactly — conservation is enforced at finalize), the tail
+    table conditions the split on >p99 requests, and the exemplar table
+    names the worst requests with their trace span ids.
+    """
+    if args.validate_file:
+        problems = validate_blame_file(args.validate_file)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{args.validate_file}: "
+              + ("ok" if not problems else f"{len(problems)} problems"))
+        return 1 if problems else 0
+    clear_blame()
+    kwargs = dict(
+        mode=args.mode, workload=args.workload, threads=args.threads,
+        total_queries=args.queries, verify_reads=False, blame=True,
+        lock_queries_during_checkpoint=args.gate)
+    if args.ckpt_interval is not None:
+        kwargs["checkpoint_interval_ns"] = \
+            parse_duration_ns(args.ckpt_interval)
+    if args.journal_mib is not None:
+        kwargs["journal_area_bytes"] = args.journal_mib * MIB
+        kwargs["checkpoint_journal_quota"] = args.journal_mib * MIB // 8
+    if args.tenants is not None:
+        kwargs["tenants"] = tuple(TenantSpec()
+                                  for _ in range(args.tenants))
+        kwargs["journal_area_bytes"] = 8 * MIB
+    config = SystemConfig(**kwargs)
+    started = time.time()
+    result = run_config(config)
+    elapsed = time.time() - started
+    report = result.blame
+    print(blame_table(report))
+    print()
+    print(tail_table(report, p=args.percentile))
+    print()
+    print(exemplar_table(report))
+    exit_code = 0
+    if args.out:
+        count = write_blame_jsonl(args.out, report, p=args.percentile)
+        problems = validate_blame_file(args.out)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        status = "valid" if not problems else f"{len(problems)} problems"
+        print(f"\n[blame: {count} records -> {args.out} ({status})]")
+        if problems:
+            exit_code = 1
+    if args.assert_ckpt_tail:
+        profile = report.aggregate().tail_profile(args.percentile)
+        dominant = profile.dominant_tail_category()
+        ok = dominant in CKPT_FAMILY
+        print(f"[dominant tail stage: {dominant or '-'} "
+              f"({'checkpoint-family' if ok else 'NOT checkpoint-family'}), "
+              f"ckpt tail share {profile.ckpt_tail_share:.1%}]")
+        if not ok:
+            exit_code = 1
+    print(f"[{report.requests} blamed requests / "
+          f"{result.checkpoint_count} checkpoints; wall {elapsed:.1f}s]")
+    clear_blame()
+    return exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    # Bench runs always carry blame ledgers: the artifact's gated
+    # ckpt_blame_p99_share metric comes from them, and blame adds no
+    # simulated-time events, so every other metric is unaffected.
     config = SystemConfig(mode=args.mode, workload=args.workload,
                           threads=args.threads, total_queries=args.queries,
                           distribution=args.distribution,
-                          verify_reads=False, trace=args.trace)
+                          verify_reads=False, trace=args.trace, blame=True)
+    clear_blame()
     if args.trace:
         clear_runs()
     started = time.time()
@@ -308,6 +387,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_artifact(path, bench_artifact(result, bench_params,
                                                   stamp=stamp))
         print(f"\n[bench artifact -> {path}]")
+    clear_blame()
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
           f"{metrics.duration_ns / 1e9:.3f}s, "
           f"{result.ops_per_sec:,.0f} ops/s]")
@@ -324,10 +404,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
-    config = SystemConfig(mode=args.mode, workload=args.workload,
-                          threads=args.threads, total_queries=args.queries,
-                          distribution=args.distribution,
-                          verify_reads=False)
+    kwargs = dict(mode=args.mode, workload=args.workload,
+                  threads=args.threads, total_queries=args.queries,
+                  distribution=args.distribution, verify_reads=False)
+    if args.tenants is not None:
+        kwargs["tenants"] = tuple(TenantSpec()
+                                  for _ in range(args.tenants))
+        kwargs["journal_area_bytes"] = 8 * MIB
+    config = SystemConfig(**kwargs)
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_config(config)
@@ -528,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=("A", "B", "C", "F", "WO"))
     profile_parser.add_argument("--threads", type=int, default=8)
     profile_parser.add_argument("--queries", type=int, default=4_000)
+    profile_parser.add_argument("--tenants", type=int, default=None,
+                                metavar="N",
+                                help="profile a multi-tenant (namespaced) "
+                                     "run instead of the classic one")
     profile_parser.add_argument("--distribution", default="zipfian",
                                 choices=("uniform", "zipfian",
                                          "scrambled_zipfian"))
@@ -540,6 +628,52 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also dump raw pstats data here "
                                      "(inspect with python -m pstats)")
     profile_parser.set_defaults(handler=_cmd_profile)
+
+    blame_parser = commands.add_parser(
+        "blame",
+        help="attribute per-request latency to pipeline stages and "
+             "print a root-cause report")
+    blame_parser.add_argument("--mode", default="baseline",
+                              choices=("baseline", "isc_a", "isc_b",
+                                       "isc_c", "checkin"))
+    blame_parser.add_argument("--workload", default="WO",
+                              choices=("A", "B", "C", "F", "WO"))
+    blame_parser.add_argument("--threads", type=int, default=8)
+    blame_parser.add_argument("--queries", type=int, default=4_000)
+    blame_parser.add_argument("--tenants", type=int, default=None,
+                              metavar="N",
+                              help="blame a multi-tenant (namespaced) run "
+                                   "instead of the classic one")
+    blame_parser.add_argument("--ckpt-interval", metavar="DUR",
+                              default=None,
+                              help="checkpoint interval in simulated "
+                                   "time, e.g. 10ms (default: config)")
+    blame_parser.add_argument("--journal-mib", type=int, default=None,
+                              metavar="N",
+                              help="journal area size in MiB; smaller "
+                                   "areas checkpoint more often "
+                                   "(default: config)")
+    blame_parser.add_argument("--gate", action="store_true",
+                              help="freeze queries during checkpoints "
+                                   "(the Figure-10 gated configuration; "
+                                   "makes checkpoint stalls visible in "
+                                   "the tail)")
+    blame_parser.add_argument("--percentile", type=float, default=99.0,
+                              metavar="P",
+                              help="tail percentile for the blame "
+                                   "profile (default 99)")
+    blame_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="write the repro-blame/v1 JSONL dump "
+                                   "here (re-validated after writing)")
+    blame_parser.add_argument("--assert-ckpt-tail", action="store_true",
+                              help="exit nonzero unless the dominant "
+                                   "tail stage is checkpoint-family "
+                                   "(CI smoke assertion)")
+    blame_parser.add_argument("--validate", dest="validate_file",
+                              metavar="PATH", default=None,
+                              help="validate an existing blame JSONL "
+                                   "instead of running anything")
+    blame_parser.set_defaults(handler=_cmd_blame)
 
     telemetry_parser = commands.add_parser(
         "telemetry",

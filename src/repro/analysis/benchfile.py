@@ -39,6 +39,7 @@ GATED_METRICS = (
     "checkpoint_total_ms",
     "operations",
     "ops_per_sec",
+    "ckpt_blame_p99_share",
 )
 """Metrics the regression gate tracks (regress.py assigns tolerances).
 
@@ -75,7 +76,7 @@ def bench_metrics(result: Any) -> Dict[str, float]:
     """The gated metric dict of one finished :class:`RunResult`."""
     metrics = result.metrics
     p50 = metrics.latency_all.p(50.0)[50.0]
-    return {
+    gated = {
         "throughput_qps": metrics.throughput_qps(),
         "latency_p50_us": p50 / 1e3,
         "latency_p99_us": metrics.summary()["latency_p99_us"],
@@ -86,6 +87,13 @@ def bench_metrics(result: Any) -> Dict[str, float]:
         "operations": float(metrics.operations),
         "ops_per_sec": float(result.ops_per_sec),
     }
+    if getattr(result, "blame", None) is not None:
+        # Checkpoint-attributable share of the >p99 tail (repro.obs):
+        # how much of the worst requests' time the checkpoint-family
+        # stages caused.  Only present on blamed runs — `repro bench`
+        # always blames, so the committed baseline carries it.
+        gated["ckpt_blame_p99_share"] = result.blame.ckpt_tail_share()
+    return gated
 
 
 def bench_artifact(result: Any, bench: Dict[str, Any],

@@ -257,7 +257,8 @@ class BaselineCheckpointer(CheckpointStrategy):
         def read_job(index: int, entry: JournalEntry):
             completion = yield from self._submit_reliable(lambda: Command(
                 op=Op.READ, lba=entry.journal_lba,
-                nsectors=entry.journal_nsectors, span=readback))
+                nsectors=entry.journal_nsectors, span=readback,
+                cause="ckpt_read"))
             read_results[index] = completion.tags
             report.read_commands += 1
 

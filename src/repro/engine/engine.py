@@ -34,6 +34,7 @@ from repro.engine.checkpointer import (
 )
 from repro.engine.journal import JournalConfig, JournalManager
 from repro.engine.kvmap import KeyValueMap
+from repro.obs.blame import fold_completion
 from repro.telemetry.names import safe_ratio
 from repro.sim.core import Event, Simulator
 from repro.ssd.commands import Command, Op
@@ -262,8 +263,8 @@ class StorageEngine:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def put(self, key: int,
-            trace_parent: Any = None) -> Generator[Any, Any, Optional[int]]:
+    def put(self, key: int, trace_parent: Any = None,
+            blame: Any = None) -> Generator[Any, Any, Optional[int]]:
         """Update ``key``; returns the committed version.
 
         Returns None (without journaling) once the engine is degraded:
@@ -273,7 +274,7 @@ class StorageEngine:
         tracer = self.sim.tracer
         span = tracer.begin("engine", "put", parent=trace_parent, key=key) \
             if tracer.enabled else None
-        yield from self._pass_gate()
+        yield from self._pass_gate(blame)
         yield self._cpu_query_ns
         if self.degraded or self.journal.degraded:
             self._note_degraded(self.journal.degraded_reason)
@@ -287,7 +288,7 @@ class StorageEngine:
                                 value_bytes=record.size_bytes,
                                 target_lba=record.lba,
                                 target_nsectors=record.nsectors)
-        commit = self.journal.submit(request)
+        commit = self.journal.submit(request, ledger=blame)
         entry = yield commit
         if entry is None:
             # The transaction carrying this update hit the media and the
@@ -304,13 +305,13 @@ class StorageEngine:
             tracer.end(span, bytes=record.size_bytes)
         return version
 
-    def get(self, key: int,
-            trace_parent: Any = None) -> Generator[Any, Any, int]:
+    def get(self, key: int, trace_parent: Any = None,
+            blame: Any = None) -> Generator[Any, Any, int]:
         """Read ``key``; returns the version observed."""
         tracer = self.sim.tracer
         span = tracer.begin("engine", "get", parent=trace_parent, key=key) \
             if tracer.enabled else None
-        yield from self._pass_gate()
+        yield from self._pass_gate(blame)
         yield self._cpu_query_ns
         record = self.kvmap.get(key)
         cached = self.mem_cache.lookup(key)
@@ -326,13 +327,13 @@ class StorageEngine:
             entry = self.journal.frozen.jmt.lookup(key)
         if entry is not None and entry.committed:
             completion = yield from self._read_reliable(
-                entry.journal_lba, entry.journal_nsectors, span, key)
+                entry.journal_lba, entry.journal_nsectors, span, key, blame)
             tag = extract_from_span(completion.tags, entry.src_offset)
             version = entry.version
             source = "journal"
         else:
             completion = yield from self._read_reliable(
-                record.lba, record.nsectors, span, key)
+                record.lba, record.nsectors, span, key, blame)
             tag = completion.tags[0] if completion.tags else None
             version = tag[1] if tag else 0
             source = "data"
@@ -346,7 +347,8 @@ class StorageEngine:
         return version
 
     def _read_reliable(self, lba: int, nsectors: int, span: Any,
-                       key: int) -> Generator[Any, Any, Any]:
+                       key: int, blame: Any = None
+                       ) -> Generator[Any, Any, Any]:
         """Issue a READ, re-issuing a fresh command on MEDIA_ERROR.
 
         The controller and FTL already retry below this level, so an
@@ -358,7 +360,14 @@ class StorageEngine:
         while True:
             command = Command(op=Op.READ, lba=lba, nsectors=nsectors)
             command.span = span
+            if blame is not None:
+                command.blame = {}
+            t0 = self.sim.now if blame is not None else 0
             completion = yield self.ssd.submit(command)
+            if blame is not None:
+                fold_completion(blame, self.sim.now - t0, command.blame,
+                                "ctrl_cpu" if completion.ok
+                                else "media_retry")
             if completion.ok:
                 return completion
             if attempts < self._media_retry_limit:
@@ -371,11 +380,13 @@ class StorageEngine:
                 f"{completion.error or completion.status.value}")
 
     def read_modify_write(self, key: int,
-                          trace_parent: Any = None
+                          trace_parent: Any = None,
+                          blame: Any = None
                           ) -> Generator[Any, Any, Optional[int]]:
         """YCSB workload F's RMW: a read followed by an update."""
-        yield from self.get(key, trace_parent=trace_parent)
-        version = yield from self.put(key, trace_parent=trace_parent)
+        yield from self.get(key, trace_parent=trace_parent, blame=blame)
+        version = yield from self.put(key, trace_parent=trace_parent,
+                                      blame=blame)
         return version
 
     def _note_degraded(self, reason: str) -> None:
@@ -491,6 +502,12 @@ class StorageEngine:
         self._note_degraded(str(failure))
         return None
 
-    def _pass_gate(self) -> Generator[Any, Any, None]:
+    def _pass_gate(self, blame: Any = None) -> Generator[Any, Any, None]:
+        if blame is None:
+            while self._gate is not None and not self._gate.triggered:
+                yield self._gate
+            return
+        t0 = self.sim.now
         while self._gate is not None and not self._gate.triggered:
             yield self._gate
+        blame.charge("ckpt_freeze_stall", self.sim.now - t0)

@@ -18,6 +18,7 @@ from repro.common.errors import EngineError
 from repro.common.units import SECTOR_SIZE, US
 from repro.engine.aligner import JournalFormatter, UpdateRequest
 from repro.engine.jmt import JournalMappingTable
+from repro.obs.blame import RequestLedger, fold_completion
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Interrupt, spawn
 from repro.ssd.commands import Status, write_command
@@ -117,7 +118,8 @@ class JournalManager:
         self._epoch = 0
         self.active_jmt = JournalMappingTable(epoch=0)
         self.frozen: Optional[FrozenEpoch] = None
-        self._pending: List[Tuple[UpdateRequest, Event]] = []
+        self._pending: List[Tuple[UpdateRequest, Event, int,
+                                  Optional[RequestLedger]]] = []
         self._arrival: Optional[Event] = None
         self._space_freed: Optional[Event] = None
         self._committer = None
@@ -152,10 +154,17 @@ class JournalManager:
     # ------------------------------------------------------------------
     # submission API (called from query processes)
     # ------------------------------------------------------------------
-    def submit(self, request: UpdateRequest) -> Event:
-        """Queue an update for journaling; event fires when committed."""
+    def submit(self, request: UpdateRequest,
+               ledger: Optional[RequestLedger] = None) -> Event:
+        """Queue an update for journaling; event fires when committed.
+
+        ``ledger`` opts the update into blame attribution: time from now
+        until its batch is picked is ``journal_queue``; rotation and
+        journal-full stalls and the device write itself are charged as
+        the committer measures them.
+        """
         commit_event = self.sim.event()
-        self._pending.append((request, commit_event))
+        self._pending.append((request, commit_event, self.sim.now, ledger))
         if self._arrival is not None and not self._arrival.triggered:
             self._arrival.succeed()
         return commit_event
@@ -205,9 +214,19 @@ class JournalManager:
         except Interrupt:
             return
 
-    def _commit_transaction(self, batch: List[Tuple[UpdateRequest, Event]]
-                            ) -> Generator[Any, Any, None]:
-        requests = [request for request, _event in batch]
+    def _commit_transaction(
+            self, batch: List[Tuple[UpdateRequest, Event, int,
+                                    Optional[RequestLedger]]]
+            ) -> Generator[Any, Any, None]:
+        t_pick = self.sim.now
+        ledgers = [ledger for _r, _e, _t, ledger in batch if ledger is not None]
+        if ledgers:
+            # Every batch member queued from its own submit time until
+            # this pick (group-commit gathering + committer backlog).
+            for _request, _event, submitted, ledger in batch:
+                if ledger is not None:
+                    ledger.charge("journal_queue", t_pick - submitted)
+        requests = [request for request, _event, _ts, _ledger in batch]
         layout = self.formatter.layout(requests, first_lba=0)
         nsectors = layout.nsectors
         tracer = self.sim.tracer
@@ -232,18 +251,27 @@ class JournalManager:
                 # No space will ever be freed again (checkpoints stopped);
                 # fail the batch instead of parking its waiters forever.
                 self.stats.counter("journal.failed_txns").add(1)
-                for _request, event in batch:
+                for _request, event, _ts, _ledger in batch:
                     event.succeed(None)
                 return
             while self._rotating:
                 self._rotation_done = self.sim.event()
+                t0 = self.sim.now if ledgers else 0
                 yield self._rotation_done
+                if ledgers:
+                    # Held at the door while the checkpoint rotates halves.
+                    for ledger in ledgers:
+                        ledger.charge("ckpt_freeze_stall", self.sim.now - t0)
             lba = self._halves[self._active_index].allocate(nsectors, align)
             if lba is None:
                 # Journal half full: wait for a checkpoint to rotate halves.
                 self.stats.counter("journal.full_stalls").add(1)
                 self._space_freed = self.sim.event()
+                t0 = self.sim.now if ledgers else 0
                 yield self._space_freed
+                if ledgers:
+                    for ledger in ledgers:
+                        ledger.charge("journal_full_stall", self.sim.now - t0)
         self._inflight_txns += 1
         try:
             yield from self._write_and_commit(batch, layout, lba, nsectors)
@@ -253,11 +281,14 @@ class JournalManager:
                     and not self._quiesced.triggered:
                 self._quiesced.succeed()
 
-    def _write_and_commit(self, batch: List[Tuple[UpdateRequest, Event]],
-                          layout, lba: int,
-                          nsectors: int) -> Generator[Any, Any, None]:
+    def _write_and_commit(
+            self, batch: List[Tuple[UpdateRequest, Event, int,
+                                    Optional[RequestLedger]]],
+            layout, lba: int,
+            nsectors: int) -> Generator[Any, Any, None]:
         for entry in layout.entries:
             entry.journal_lba += lba
+        ledgers = [ledger for _r, _e, _t, ledger in batch if ledger is not None]
         tracer = self.sim.tracer
         span = tracer.begin("journal", "txn", lba=lba, nsectors=nsectors,
                             logs=len(batch),
@@ -274,7 +305,20 @@ class JournalManager:
                 lba, nsectors, tags=layout.sector_tags, fua=True,
                 stream="journal", cause="journal")
             command.span = span
+            if ledgers:
+                command.blame = {}
+            t0 = self.sim.now if ledgers else 0
             completion = yield self.ssd.submit(command)
+            if ledgers:
+                # Every batch member waited this same absolute window;
+                # the device breakdown folds into each ledger, leaving
+                # the host-side residual to journal_commit (media_retry
+                # when the attempt failed).
+                window = self.sim.now - t0
+                residual = ("journal_commit" if completion.ok
+                            else "media_retry")
+                for ledger in ledgers:
+                    fold_completion(ledger, window, command.blame, residual)
             if completion.ok:
                 break
             if completion.status is Status.MEDIA_ERROR \
@@ -287,7 +331,7 @@ class JournalManager:
                 tracer.end(span)
             self.enter_degraded(completion.error or completion.status.value)
             self.stats.counter("journal.failed_txns").add(1)
-            for _request, event in batch:
+            for _request, event, _ts, _ledger in batch:
                 event.succeed(None)
             return
         if span is not None:
@@ -302,7 +346,7 @@ class JournalManager:
             entry.committed = True
             self.active_jmt.add(entry)
             by_identity[(entry.key, entry.version)] = entry
-        for request, event in batch:
+        for request, event, _ts, _ledger in batch:
             entry = by_identity[(request.key, request.version)]
             event.succeed(entry)
         del completion

@@ -15,7 +15,10 @@ reader runs in three placements per mode:
 * ``solo``   — reader alone on the device (uncontended floor);
 * ``quiet``  — storm co-located but with mid-run checkpoints
   suppressed (write contention only);
-* ``shared`` — storm co-located and checkpointing aggressively.
+* ``shared`` — storm co-located and checkpointing aggressively;
+* ``locked`` — ``shared`` plus the engine's consistency gate
+  (``lock_queries_during_checkpoint``), the RocksDB-style policy where
+  the store blocks queries while its checkpoint is cut.
 
 Checkpoint-attributable degradation is ``shared / quiet``: the same
 foreground write pressure, with and without checkpoints.  The paper's
@@ -23,6 +26,16 @@ foreground write pressure, with and without checkpoints.  The paper's
 the checkin factor is strictly smaller than the baseline one.  The
 reader keeps one seed lineage across placements, so every placement
 issues the identical operation sequence.
+
+The ``locked`` placement carries ``repro.obs`` blame ledgers and asks
+the attribution question directly: of the reader's worst-1% latency,
+how much do the ledgers charge to checkpoint stages?  Under the gate
+the storm's foreground pauses while its checkpoint runs, so the whole
+checkpoint — freeze, journal readback, home-location rewrite — overlaps
+live reader traffic instead of draining after the write burst.  Host-
+level checkpointing then dominates the reader's tail blame, while
+remap checkpoints barely register (they hold LUNs only for the rare
+partial-page copy).
 """
 
 from __future__ import annotations
@@ -39,7 +52,7 @@ from repro.system.system import run_config
 
 INTERFERENCE_MODES = ("baseline", "checkin")
 
-PLACEMENTS = ("solo", "quiet", "shared")
+PLACEMENTS = ("solo", "quiet", "shared", "locked")
 
 READER_SEED_OFFSET = 1
 """The reader keeps this RNG offset in every placement, so all runs
@@ -60,6 +73,14 @@ class InterferenceResult:
     storm_checkpoints: Dict[str, int] = field(default_factory=dict)
     """Checkpoints the storm tenant completed in the shared run."""
 
+    ckpt_tail_share: Dict[str, float] = field(default_factory=dict)
+    """mode -> checkpoint-attributable share of the reader's >p99 blame
+    in the *locked* run (``repro.obs`` ledgers): the fraction of the
+    worst reads' time spent stalled behind the storm's checkpoint
+    traffic while the storm's own foreground is gated.  The degradation
+    ratio says the tail got worse; this says the checkpoints are
+    *why*."""
+
     def contention(self, mode: str) -> float:
         """Quiet/solo p99 ratio: raw write contention, no checkpoints."""
         solo = self.p99_read_us[(mode, "solo")]
@@ -77,6 +98,14 @@ class InterferenceResult:
         """The paper's prediction: remap degrades the co-tenant less."""
         return self.degradation("checkin") < self.degradation("baseline")
 
+    def blame_isolates_checkpoints(self) -> bool:
+        """The attribution view of the same claim: in the locked
+        placement the blame ledgers charge a far larger slice of the
+        reader's tail to checkpoint stages under host-level
+        checkpointing than under remap."""
+        return self.ckpt_tail_share.get("checkin", 0.0) \
+            < self.ckpt_tail_share.get("baseline", 0.0)
+
     def table(self) -> str:
         """Render the experiment's rows as an ASCII table."""
         rows: List[List] = []
@@ -88,13 +117,16 @@ class InterferenceResult:
                 self.p99_read_us[(mode, "solo")],
                 self.p99_read_us[(mode, "quiet")],
                 self.p99_read_us[(mode, "shared")],
+                self.p99_read_us.get((mode, "locked"), 0.0),
                 self.degradation(mode),
+                self.ckpt_tail_share.get(mode, 0.0),
                 self.storm_checkpoints.get(mode, 0),
                 self.aggregate_qps.get(mode, 0.0),
             ])
         return format_table(
             ["config", "reader_p99_solo_us", "reader_p99_quiet_us",
-             "reader_p99_shared_us", "ckpt_degradation_x", "storm_ckpts",
+             "reader_p99_shared_us", "reader_p99_locked_us",
+             "ckpt_degradation_x", "ckpt_tail_blame", "storm_ckpts",
              "aggregate_qps"],
             rows, title="Interference: checkpoint storm vs co-tenant reads")
 
@@ -105,7 +137,8 @@ def interference_config(mode: str, scale: ExperimentScale = QUICK,
 
     ``placement`` picks the reader's co-tenant: ``"solo"`` none,
     ``"quiet"`` a storm whose mid-run checkpoints are suppressed,
-    ``"shared"`` the full checkpoint storm.
+    ``"shared"`` the full checkpoint storm, ``"locked"`` the storm with
+    the engine's checkpoint consistency gate engaged.
     """
     threads = max(2, scale.threads // 4)
     queries = scale.scaled_queries(0.25)
@@ -142,8 +175,13 @@ def interference_config(mode: str, scale: ExperimentScale = QUICK,
         journal_area_bytes=1 * MIB,
     )
     tenants = (reader,) if placement == "solo" else (storm, reader)
+    # The gated placement carries blame ledgers: the reader's tail
+    # blame splits checkpoint interference from raw write contention.
     return paper_config(mode, scale, tenants=tenants,
-                        journal_area_bytes=4 * MIB)
+                        journal_area_bytes=4 * MIB,
+                        blame=(placement == "locked"),
+                        lock_queries_during_checkpoint=(
+                            placement == "locked"))
 
 
 def run_interference(scale: ExperimentScale = QUICK) -> InterferenceResult:
@@ -159,4 +197,9 @@ def run_interference(scale: ExperimentScale = QUICK) -> InterferenceResult:
                 result.aggregate_qps[mode] = run.metrics.throughput_qps()
                 result.storm_checkpoints[mode] = \
                     len(run.tenant("storm").checkpoint_reports)
+            elif placement == "locked":
+                collector = dict(run.blame.tenants).get("reader")
+                if collector is not None:
+                    result.ckpt_tail_share[mode] = \
+                        collector.tail_profile(99.0).ckpt_tail_share
     return result

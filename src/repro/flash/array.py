@@ -57,11 +57,46 @@ class FlashArray:
         self._inflight_programs: Dict[int, Tuple[Block, int]] = {}
         """Pages whose program pulse has not completed: ppa -> (block,
         page index).  A power cut mid-pulse leaves these pages torn."""
+        self.ckpt_inflight = 0
+        """Flash operations currently *holding* a LUN on behalf of
+        checkpoint machinery (journal readback reads, checkpoint data
+        rewrites, device-side CoW copies).  Plain ints outside the stats
+        registry so blamed and unblamed runs snapshot identically."""
+        self._ckpt_busy_ns = 0
+        self._ckpt_since = 0
         # Every timed operation bumps one of these; resolve the counter
         # objects once instead of a registry lookup per flash op.
         self._read_counter = self.stats.counter("flash.read")
         self._program_counter = self.stats.counter("flash.program")
         self._erase_counter = self.stats.counter("flash.erase")
+
+    # -- checkpoint-activity clock (no simulated time) ----------------------
+    def ckpt_enter(self) -> None:
+        """A checkpoint-machinery flash op acquired a LUN."""
+        if self.ckpt_inflight == 0:
+            self._ckpt_since = self.sim.now
+        self.ckpt_inflight += 1
+
+    def ckpt_exit(self) -> None:
+        """A checkpoint-machinery flash op released its LUN."""
+        self.ckpt_inflight -= 1
+        if self.ckpt_inflight == 0:
+            self._ckpt_busy_ns += self.sim.now - self._ckpt_since
+
+    def ckpt_busy_ns(self) -> int:
+        """Total simulated ns with >= 1 LUN held by checkpoint work.
+
+        Blame windows diff this clock around a flash wait: the part of
+        the wait that overlapped checkpoint flash occupancy is charged
+        to ``ckpt_interference`` instead of the plain service category.
+        Queue time does not count — only held LUNs — so a request slowed
+        purely by foreground traffic is never blamed on a checkpoint
+        that happened to be pending somewhere.
+        """
+        busy = self._ckpt_busy_ns
+        if self.ckpt_inflight:
+            busy += self.sim.now - self._ckpt_since
+        return busy
 
     # -- synchronous state access (no simulated time) -----------------------
     def block(self, block_id: int) -> Block:
@@ -99,7 +134,8 @@ class FlashArray:
         return self.sim.now - block.first_program_ns
 
     # -- timed operations ----------------------------------------------------
-    def read_page(self, ppa: int) -> Generator[Any, Any, Tuple[Any, Any]]:
+    def read_page(self, ppa: int,
+                  ckpt: bool = False) -> Generator[Any, Any, Tuple[Any, Any]]:
         """Timed page read; returns ``(data, oob)``.
 
         Sequence: LUN busy for the array read (plus any read-retry
@@ -107,6 +143,7 @@ class FlashArray:
         uncorrectable read raises :class:`MediaReadError` after the
         retry ladder is exhausted; re-issuing the read draws fresh retry
         levels (transient UECC), which is how the layers above recover.
+        ``ckpt`` runs the LUN-hold period on the checkpoint clock.
         """
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
@@ -120,6 +157,8 @@ class FlashArray:
                             bytes=geometry.page_size) \
             if tracer.enabled else None
         yield lun.acquire()
+        if ckpt:
+            self.ckpt_enter()
         try:
             yield self.timing.read_ns
             block.reads_since_erase += 1
@@ -145,6 +184,8 @@ class FlashArray:
             finally:
                 channel.release()
         finally:
+            if ckpt:
+                self.ckpt_exit()
             lun.release()
         if span is not None:
             tracer.end(span)
@@ -155,14 +196,15 @@ class FlashArray:
         oob = block.oob(page_index)
         return data, oob
 
-    def program_page(self, ppa: int, data: Any,
-                     oob: Any = None) -> Generator[Any, Any, None]:
+    def program_page(self, ppa: int, data: Any, oob: Any = None,
+                     ckpt: bool = False) -> Generator[Any, Any, None]:
         """Timed page program: channel transfer in, then array program.
 
         A program-status failure raises :class:`MediaProgramError` after
         the pulse.  The page is consumed — it stays WRITTEN with no
         readable content and a nulled OOB (the SPOR scan skips it) — so
         the FTL must re-issue the unit to a fresh page.
+        ``ckpt`` runs the LUN-hold period on the checkpoint clock.
         """
         geometry = self.geometry
         block = self.block(geometry.block_of_page(ppa))
@@ -176,6 +218,8 @@ class FlashArray:
                             ppa=ppa, bytes=geometry.page_size) \
             if tracer.enabled else None
         yield lun.acquire()
+        if ckpt:
+            self.ckpt_enter()
         try:
             yield channel.acquire()
             try:
@@ -191,6 +235,8 @@ class FlashArray:
             yield self.timing.program_ns
             self._inflight_programs.pop(ppa, None)
         finally:
+            if ckpt:
+                self.ckpt_exit()
             lun.release()
         self._program_counter.add(1, num_bytes=geometry.page_size)
         if self.media.program_fails(block.block_id, block.erase_count):

@@ -40,6 +40,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.ftl.allocator import BlockAllocator, PageProgram
 from repro.ftl.gc import GarbageCollector
 from repro.ftl.mapping import SubPageMappingTable
+from repro.obs.blame import add_ns
 from repro.sim.core import Simulator, all_of
 from repro.sim.process import spawn
 from repro.sim.resources import Resource
@@ -330,7 +331,9 @@ class Ftl:
     def write(self, lba: int, nsectors: int,
               tags: Optional[Sequence[SectorTag]] = None,
               stream: str = "data",
-              cause: str = "host") -> Generator[Any, Any, None]:
+              cause: str = "host",
+              blame: Optional[Dict[str, int]] = None
+              ) -> Generator[Any, Any, None]:
         """Timed host-style write of ``nsectors`` sectors at ``lba``.
 
         ``tags`` carries one opaque tag per sector (or None).  Completion
@@ -345,9 +348,13 @@ class Ftl:
                             cause=cause) \
             if tracer.enabled else None
         locked = list(self.lpn_span(lba, nsectors))  # range is ascending
+        t0 = self.sim.now if blame is not None else 0
         yield from self._acquire_lpns(locked)
+        if blame is not None:
+            add_ns(blame, "ftl_map", self.sim.now - t0)
         try:
-            yield from self._locked_write(lba, nsectors, tags, stream, cause)
+            yield from self._locked_write(lba, nsectors, tags, stream, cause,
+                                          blame)
         finally:
             self._release_lpns(locked)
             if span is not None:
@@ -355,9 +362,14 @@ class Ftl:
 
     def _locked_write(self, lba: int, nsectors: int,
                       tags: Optional[Sequence[SectorTag]],
-                      stream: str, cause: str) -> Generator[Any, Any, None]:
+                      stream: str, cause: str,
+                      blame: Optional[Dict[str, int]] = None
+                      ) -> Generator[Any, Any, None]:
         span = self.lpn_span(lba, nsectors)
+        t0 = self.sim.now if blame is not None else 0
         yield from self.touch_map(span)
+        if blame is not None:
+            add_ns(blame, "ftl_map", self.sim.now - t0)
 
         plan: List[Tuple[int, UnitTags, bool]] = []  # (lpn, unit tags, is_rmw)
         rmw_pages: List[int] = []
@@ -380,7 +392,11 @@ class Ftl:
         # Read-modify-write: fetch every old page once, in parallel.
         old_pages: Dict[int, Any] = {}
         if rmw_pages:
+            if blame is not None:
+                t0, busy0 = self.sim.now, self.array.ckpt_busy_ns()
             yield from self._read_pages_parallel(sorted(set(rmw_pages)), old_pages)
+            if blame is not None:
+                self._charge_flash_wait(blame, "flash_read", t0, busy0)
             self.stats.counter("ftl.rmw_reads").add(len(set(rmw_pages)))
 
         unit_tags_list: List[UnitTags] = []
@@ -405,7 +421,7 @@ class Ftl:
 
         lpns = [entry[0] for entry in plan]
         yield from self._write_units(lpns, unit_tags_list, oob_list,
-                                     stream=stream, cause=cause)
+                                     stream=stream, cause=cause, blame=blame)
         if rmw_units:
             counter = self._unit_rmw_counters.get(cause)
             if counter is None:
@@ -425,14 +441,38 @@ class Ftl:
             return None
         return page_data.get(self.mapping.unit_index(upa))
 
+    def _charge_flash_wait(self, blame: Dict[str, int], category: str,
+                           t0: int, busy0: int) -> None:
+        """Split one measured flash wait between its service category
+        and ``ckpt_interference``.
+
+        The portion of the window that overlapped device-wide checkpoint
+        activity (diff of the array's busy clock) is the storm's fault:
+        the LUNs and staging slots this request queued for were occupied
+        by checkpoint traffic.  The two charges sum exactly to the
+        window, preserving blame conservation.
+        """
+        window = self.sim.now - t0
+        overlap = min(window, self.array.ckpt_busy_ns() - busy0)
+        add_ns(blame, "ckpt_interference", overlap)
+        add_ns(blame, category, window - overlap)
+
     def _write_units(self, lpns: Sequence[int], unit_tags: Sequence[UnitTags],
-                     oobs: Sequence[Any], stream: str,
-                     cause: str) -> Generator[Any, Any, None]:
+                     oobs: Sequence[Any], stream: str, cause: str,
+                     blame: Optional[Dict[str, int]] = None
+                     ) -> Generator[Any, Any, None]:
         """Allocate, stage and (asynchronously) program the given units."""
+        is_ckpt = cause.startswith("ckpt")
         for index, lpn in enumerate(lpns):
             if self.gc.needs_urgent_collection():
-                yield from self.gc.ensure_free_blocks()
+                yield from self.gc.ensure_free_blocks(blame=blame)
+            if blame is not None:
+                t0, busy0 = self.sim.now, self.array.ckpt_busy_ns()
             yield self._write_buffer.acquire()
+            if blame is not None:
+                # Waiting for a staging slot = backpressure from in-flight
+                # page programs (checkpoint-coincident wait splits out).
+                self._charge_flash_wait(blame, "flash_program", t0, busy0)
             upas, programs = self.allocator.allocate(
                 self._qualify(stream, lpn), 1)
             upa = upas[0]
@@ -442,8 +482,10 @@ class Ftl:
             self.mapping.map(lpn, upa)
             self._note_dirty_entries(1)
             for program in programs:
-                self._launch_program(program)
+                self._launch_program(program, ckpt=is_ckpt)
             yield self._map_update_ns
+            if blame is not None:
+                add_ns(blame, "ftl_map", self._map_update_ns)
         count = len(lpns)
         counter = self._unit_write_counters.get(cause)
         if counter is None:
@@ -451,11 +493,17 @@ class Ftl:
             self._unit_write_counters[cause] = counter
         counter.add(count, num_bytes=count * self._mapping_unit)
 
-    def _launch_program(self, program: PageProgram, attempt: int = 0) -> None:
-        """Fire an asynchronous page program for a freshly filled page."""
+    def _launch_program(self, program: PageProgram, attempt: int = 0,
+                        ckpt: bool = False) -> None:
+        """Fire an asynchronous page program for a freshly filled page.
+
+        ``ckpt`` marks checkpoint-machinery programs: they run on the
+        array's checkpoint-activity clock, so flash waits that overlap
+        them are blamed on the checkpoint, not on plain service time.
+        """
         block = self.geometry.block_of_page(program.ppa)
         self._inflight_per_block[block] = self._inflight_per_block.get(block, 0) + 1
-        spawn(self.sim, self._program_page_proc(program, attempt),
+        spawn(self.sim, self._program_page_proc(program, attempt, ckpt),
               name=f"program@{program.ppa}")
 
     def _dec_inflight(self, block: int) -> None:
@@ -473,8 +521,8 @@ class Ftl:
             self._buffer_held.discard(upa)
             self._write_buffer.release()
 
-    def _program_page_proc(self, program: PageProgram,
-                           attempt: int = 0) -> Generator[Any, Any, None]:
+    def _program_page_proc(self, program: PageProgram, attempt: int = 0,
+                           ckpt: bool = False) -> Generator[Any, Any, None]:
         data = {}
         oob: List[Any] = [None] * self.units_per_page
         for upa in program.upas:
@@ -483,7 +531,8 @@ class Ftl:
             oob[unit_index] = self._staged_oob.get(upa)
         block = self.geometry.block_of_page(program.ppa)
         try:
-            yield from self.array.program_page(program.ppa, data, oob)
+            yield from self.array.program_page(program.ppa, data, oob,
+                                               ckpt=ckpt)
         except MediaProgramError:
             # The page is consumed but verified bad.  Units stay staged
             # (capacitor-backed — nothing acknowledged is lost) and are
@@ -634,18 +683,26 @@ class Ftl:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def read(self, lba: int, nsectors: int) -> Generator[Any, Any, List[SectorTag]]:
+    def read(self, lba: int, nsectors: int,
+             blame: Optional[Dict[str, int]] = None,
+             ckpt: bool = False
+             ) -> Generator[Any, Any, List[SectorTag]]:
         """Timed read; returns one tag per requested sector.
 
         Unmapped sectors read back as None without touching flash (the
         device returns zeroes from the deallocated-range fast path).
+        ``ckpt`` marks checkpoint-machinery reads (journal readback):
+        their flash occupancy runs on the array's checkpoint clock.
         """
         tracer = self.sim.tracer
         span = tracer.begin("ftl", "read", lba=lba, nsectors=nsectors,
                             bytes=nsectors * 512) \
             if tracer.enabled else None
         lpns = self.lpn_span(lba, nsectors)
+        t0 = self.sim.now if blame is not None else 0
         yield from self.touch_map(lpns)
+        if blame is not None:
+            add_ns(blame, "ftl_map", self.sim.now - t0)
         lpn_to_upa: Dict[int, Optional[int]] = {
             lpn: self.mapping.lookup(lpn) for lpn in lpns}
         # Snapshot staged contents now: a unit staged at planning time may
@@ -663,9 +720,16 @@ class Ftl:
                 flash_pages.add(self.mapping.page_of_unit(upa))
         page_data: Dict[int, Any] = {}
         if flash_pages:
-            yield from self._read_pages_parallel(sorted(flash_pages), page_data)
+            if blame is not None:
+                t0, busy0 = self.sim.now, self.array.ckpt_busy_ns()
+            yield from self._read_pages_parallel(sorted(flash_pages),
+                                                 page_data, ckpt=ckpt)
+            if blame is not None:
+                self._charge_flash_wait(blame, "flash_read", t0, busy0)
         if staged_snapshot:
             yield self._staged_read_ns
+            if blame is not None:
+                add_ns(blame, "flash_read", self._staged_read_ns)
 
         result: List[SectorTag] = []
         for sector in range(lba, lba + nsectors):
@@ -685,26 +749,29 @@ class Ftl:
         return result
 
     def _read_pages_parallel(self, ppas: Iterable[int],
-                             out: Dict[int, Any]) -> Generator[Any, Any, None]:
+                             out: Dict[int, Any],
+                             ckpt: bool = False) -> Generator[Any, Any, None]:
         ppas = list(ppas)
         if len(ppas) == 1:
             # The common single-page case: run the read inline — a spawned
             # process plus an all_of event buys nothing with one page.
-            yield from self._read_one(ppas[0], out)
+            yield from self._read_one(ppas[0], out, ckpt)
             return
         processes = []
         for ppa in ppas:
-            processes.append(spawn(self.sim, self._read_one(ppa, out),
+            processes.append(spawn(self.sim, self._read_one(ppa, out, ckpt),
                                    name=f"read@{ppa}"))
         if processes:
             yield all_of(self.sim, processes)
 
-    def _read_one(self, ppa: int, out: Dict[int, Any]) -> Generator[Any, Any, None]:
-        data, _oob = yield from self._read_page_with_retry(ppa)
+    def _read_one(self, ppa: int, out: Dict[int, Any],
+                  ckpt: bool = False) -> Generator[Any, Any, None]:
+        data, _oob = yield from self._read_page_with_retry(ppa, ckpt)
         out[ppa] = data
 
-    def _read_page_with_retry(self, ppa: int) -> Generator[Any, Any,
-                                                           Tuple[Any, Any]]:
+    def _read_page_with_retry(self, ppa: int,
+                              ckpt: bool = False) -> Generator[Any, Any,
+                                                               Tuple[Any, Any]]:
         """Array page read with bounded FTL-level re-issue on UECC.
 
         The in-array retry ladder already walks the voltage levels; when
@@ -714,7 +781,7 @@ class Ftl:
         attempts = 1 + self.config.read_reissue_limit
         for attempt in range(attempts):
             try:
-                data, oob = yield from self.array.read_page(ppa)
+                data, oob = yield from self.array.read_page(ppa, ckpt=ckpt)
             except MediaReadError:
                 if attempt == attempts - 1:
                     raise
@@ -727,7 +794,9 @@ class Ftl:
     # ------------------------------------------------------------------
     # trim / deallocate
     # ------------------------------------------------------------------
-    def trim(self, lba: int, nsectors: int) -> Generator[Any, Any, int]:
+    def trim(self, lba: int, nsectors: int,
+             blame: Optional[Dict[str, int]] = None
+             ) -> Generator[Any, Any, int]:
         """Deallocate every unit fully inside the range; returns unit count."""
         tracer = self.sim.tracer
         span = tracer.begin("ftl", "trim", lba=lba, nsectors=nsectors) \
@@ -745,6 +814,9 @@ class Ftl:
                     self.op_log.append((self._write_seq, "trim", lpn, 0))
         if invalidated:
             yield invalidated * self.config.map_update_ns
+            if blame is not None:
+                add_ns(blame, "ftl_map",
+                       invalidated * self.config.map_update_ns)
             self.stats.counter("ftl.trim.units").add(invalidated)
         if span is not None:
             tracer.end(span, units=invalidated)

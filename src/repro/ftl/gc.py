@@ -129,26 +129,36 @@ class GarbageCollector:
         finally:
             self._lock.release()
 
-    def ensure_free_blocks(self) -> Generator[Any, Any, None]:
+    def ensure_free_blocks(self, blame=None) -> Generator[Any, Any, None]:
         """Foreground GC: reclaim until above the low watermark.
 
         Raises :class:`DeviceFullError` if no victim can be found while
         still below the watermark (the device is genuinely full of valid
         data).
+
+        ``blame`` charges the whole foreground stall (victim migration,
+        erase, programming catch-up waits) to ``gc_stall`` — the request
+        could not make progress for exactly this window.
         """
-        while self.needs_urgent_collection():
-            reclaimed = yield from self.collect_once()
-            if reclaimed:
-                continue
-            if self._victims_pending_program():
-                # Candidates exist but their last page is still programming;
-                # wait for the flash to catch up and retry.
-                yield 50_000
-                continue
-            if self.ftl.allocator.free_block_count == 0:
-                raise DeviceFullError(
-                    "device full: no free block and no GC victim")
-            break  # nothing reclaimable, but writes can still proceed
+        t0 = self.ftl.sim.now if blame is not None else 0
+        try:
+            while self.needs_urgent_collection():
+                reclaimed = yield from self.collect_once()
+                if reclaimed:
+                    continue
+                if self._victims_pending_program():
+                    # Candidates exist but their last page is still
+                    # programming; wait for the flash to catch up and retry.
+                    yield 50_000
+                    continue
+                if self.ftl.allocator.free_block_count == 0:
+                    raise DeviceFullError(
+                        "device full: no free block and no GC victim")
+                break  # nothing reclaimable, but writes can still proceed
+        finally:
+            if blame is not None:
+                from repro.obs.blame import add_ns
+                add_ns(blame, "gc_stall", self.ftl.sim.now - t0)
 
     def _victims_pending_program(self) -> bool:
         """True when a would-be victim is only blocked by in-flight programs."""

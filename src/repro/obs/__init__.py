@@ -1,0 +1,101 @@
+"""``repro.obs`` — per-request latency attribution ("blame").
+
+Public surface:
+
+* :class:`RequestLedger` / :func:`fold_completion` / :func:`add_ns` —
+  the attribution primitives threaded along the request path (see
+  :mod:`repro.obs.blame` for the conservation invariant);
+* :class:`BlameCollector` / :class:`BlameRunReport` and the table
+  renderers — per-tenant summaries, tail profiles, exemplars;
+* :func:`write_blame_jsonl` / :func:`validate_blame_file` — the
+  ``repro-blame/v1`` JSONL export;
+* the **global blame switch** below, mirroring ``repro.trace``: the CLI
+  flips the process-wide switch and every system constructed while it
+  is on builds per-tenant collectors and registers its run report here
+  for one merged export.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.obs.blame import (
+    CATEGORIES,
+    CKPT_FAMILY,
+    RESIDUAL,
+    BlameCollector,
+    BlameError,
+    BlameRecord,
+    BlameRunReport,
+    RequestLedger,
+    TailProfile,
+    add_ns,
+    blame_table,
+    exemplar_table,
+    fold_completion,
+    tail_table,
+)
+from repro.obs.export import (
+    SCHEMA,
+    blame_records,
+    validate_blame_file,
+    write_blame_jsonl,
+)
+
+__all__ = [
+    "CATEGORIES", "CKPT_FAMILY", "RESIDUAL",
+    "BlameCollector", "BlameError", "BlameRecord", "BlameRunReport",
+    "RequestLedger", "TailProfile", "add_ns", "fold_completion",
+    "blame_table", "tail_table", "exemplar_table",
+    "SCHEMA", "blame_records", "validate_blame_file", "write_blame_jsonl",
+    "enable_blame", "disable_blame", "blame_enabled",
+    "register_blame", "collected_blame", "clear_blame",
+]
+
+_GLOBAL_ENABLED = False
+_RUNS: List[BlameRunReport] = []
+_LABEL_COUNTS: dict = {}
+
+
+def enable_blame() -> None:
+    """Turn the process-wide blame switch on (CLI ``repro blame``)."""
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = True
+
+
+def disable_blame() -> None:
+    """Turn the switch off (new systems skip ledger allocation)."""
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = False
+
+
+def blame_enabled() -> bool:
+    """True while the process-wide switch is on."""
+    return _GLOBAL_ENABLED
+
+
+def register_blame(label: str,
+                   tenants: List[Tuple[str, BlameCollector]]
+                   ) -> BlameRunReport:
+    """Build a run report and register it for export.
+
+    Labels are uniquified (``checkin``, ``checkin#2`` …) so multi-run
+    sweeps export one report per run.
+    """
+    count = _LABEL_COUNTS.get(label, 0) + 1
+    _LABEL_COUNTS[label] = count
+    unique = label if count == 1 else f"{label}#{count}"
+    report = BlameRunReport(label=unique, tenants=tenants)
+    _RUNS.append(report)
+    return report
+
+
+def collected_blame() -> List[BlameRunReport]:
+    """Every report registered since the last :func:`clear_blame`."""
+    return list(_RUNS)
+
+
+def clear_blame() -> None:
+    """Drop collected reports (start of a blamed CLI invocation)."""
+    _RUNS.clear()
+    _LABEL_COUNTS.clear()

@@ -1,0 +1,194 @@
+"""Blame exporters: schema-versioned JSONL dump and validation.
+
+The ``repro-blame/v1`` layout is one self-describing JSON object per
+line (mirroring the telemetry JSONL):
+
+* line 1 — a ``header`` record (``schema``, run label, tenant names,
+  the stage taxonomy);
+* one ``tenant`` record per tenant with its per-category totals;
+* one ``tail`` record per tenant (p99 threshold, tail vs. all shares,
+  checkpoint-attributable tail share);
+* one ``exemplar`` record per worst-K request, carrying the linked
+  trace ``span_id`` (null when the run was untraced);
+* one ``hist`` record per (tenant, category) with log2 buckets;
+* a final ``footer`` record with counts, so truncation is detectable.
+
+:func:`validate_blame_file` re-reads a dump and checks the schema
+version, required keys, per-tenant conservation (category totals summing
+to the tenant's total) and footer counts — the CI blame smoke job runs
+it on a fresh dump.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.blame import CATEGORIES, BlameRunReport
+
+SCHEMA = "repro-blame/v1"
+
+_REQUIRED = {
+    "header": ("schema", "label", "tenants", "categories"),
+    "tenant": ("tenant", "requests", "total_ns", "totals"),
+    "tail": ("tenant", "p", "threshold_ns", "tail_requests",
+             "tail_shares", "all_shares", "ckpt_tail_share"),
+    "exemplar": ("tenant", "rank", "op", "key", "total_ns",
+                 "during_ckpt", "span_id", "charges"),
+    "hist": ("tenant", "category", "buckets"),
+    "footer": ("tenants", "exemplars", "hists"),
+}
+
+
+def blame_records(report: BlameRunReport,
+                  p: float = 99.0) -> List[Dict[str, Any]]:
+    """The full dump of one run report as a list of JSONL records."""
+    records: List[Dict[str, Any]] = [{
+        "type": "header",
+        "schema": SCHEMA,
+        "label": report.label,
+        "tenants": [tenant for tenant, _c in report.tenants],
+        "categories": list(CATEGORIES),
+    }]
+    exemplar_count = 0
+    hist_count = 0
+    for tenant, collector in report.tenants:
+        records.append({
+            "type": "tenant",
+            "tenant": tenant,
+            "requests": collector.requests,
+            "total_ns": collector.total_ns(),
+            "totals": collector.category_totals(),
+        })
+        profile = collector.tail_profile(p)
+        records.append({
+            "type": "tail",
+            "tenant": tenant,
+            "p": profile.p,
+            "threshold_ns": profile.threshold_ns,
+            "tail_requests": profile.tail_requests,
+            "tail_shares": profile.tail_shares,
+            "all_shares": profile.all_shares,
+            "ckpt_tail_share": profile.ckpt_tail_share,
+            "dominant_tail": profile.dominant_tail_category(),
+        })
+        for rank, (total_ns, op, key, during_ckpt, span_id, charges) \
+                in enumerate(collector.exemplars(), 1):
+            records.append({
+                "type": "exemplar",
+                "tenant": tenant,
+                "rank": rank,
+                "op": op,
+                "key": key,
+                "total_ns": total_ns,
+                "during_ckpt": during_ckpt,
+                "span_id": span_id,
+                "charges": charges,
+            })
+            exemplar_count += 1
+        for category, buckets in collector.histograms().items():
+            records.append({
+                "type": "hist",
+                "tenant": tenant,
+                "category": category,
+                "buckets": [[floor, count]
+                            for floor, count in buckets.items()],
+            })
+            hist_count += 1
+    records.append({
+        "type": "footer",
+        "tenants": len(report.tenants),
+        "exemplars": exemplar_count,
+        "hists": hist_count,
+    })
+    return records
+
+
+def write_blame_jsonl(path: str, report: BlameRunReport,
+                      p: float = 99.0) -> int:
+    """Dump one run report to ``path``; returns the record count."""
+    records = blame_records(report, p)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def validate_blame_file(path: str) -> List[str]:
+    """Structural validation of a JSONL dump; returns problems found."""
+    problems: List[str] = []
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    problems.append(f"line {lineno}: invalid JSON ({exc})")
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not records:
+        return ["empty blame file"]
+
+    header = records[0]
+    if header.get("type") != "header":
+        problems.append("first record is not a header")
+    elif header.get("schema") != SCHEMA:
+        problems.append(f"schema {header.get('schema')!r} != {SCHEMA!r}")
+    if records[-1].get("type") != "footer":
+        problems.append("last record is not a footer")
+    known = set(header.get("categories", CATEGORIES))
+
+    counts = {"tenant": 0, "exemplar": 0, "hist": 0}
+    for index, record in enumerate(records):
+        kind = record.get("type")
+        required = _REQUIRED.get(kind)
+        if required is None:
+            if kind not in ("header", "footer"):
+                problems.append(f"record {index}: unknown type {kind!r}")
+            continue
+        for key in required:
+            if key not in record:
+                problems.append(f"record {index} ({kind}): missing {key!r}")
+        if kind in counts:
+            counts[kind] += 1
+        if kind == "tenant":
+            totals = record.get("totals", {})
+            unknown = set(totals) - known
+            if unknown:
+                problems.append(
+                    f"tenant {record.get('tenant')}: unknown categories "
+                    f"{sorted(unknown)}")
+            # Conservation survives serialisation: the per-category
+            # totals of a tenant must sum exactly to its total_ns.
+            if sum(totals.values()) != record.get("total_ns", 0):
+                problems.append(
+                    f"tenant {record.get('tenant')}: category totals "
+                    f"{sum(totals.values())} != total_ns "
+                    f"{record.get('total_ns')}")
+        if kind == "exemplar":
+            total = record.get("total_ns", 0)
+            if sum(record.get("charges", {}).values()) != total:
+                problems.append(
+                    f"exemplar {record.get('tenant')}#{record.get('rank')}"
+                    f": charges do not sum to total_ns")
+        if kind == "hist":
+            for bucket in record.get("buckets", []):
+                if not (isinstance(bucket, list) and len(bucket) == 2):
+                    problems.append(
+                        f"hist {record.get('category')}: malformed bucket")
+                    break
+    footer = records[-1]
+    if footer.get("type") == "footer":
+        expected = {"tenant": footer.get("tenants"),
+                    "exemplar": footer.get("exemplars"),
+                    "hist": footer.get("hists")}
+        for kind, count in counts.items():
+            if expected[kind] is not None and expected[kind] != count:
+                problems.append(
+                    f"footer claims {expected[kind]} {kind} records, "
+                    f"found {count}")
+    return problems

@@ -97,10 +97,15 @@ class Command:
     ``span`` is the submitter's trace span (or None): the controller
     parents its own device-side span under it, threading the trace
     context across the host interface without changing any timing.
+
+    ``blame`` is the submitter's device-side attribution dict (or None):
+    when a request carries a blame ledger the submitter assigns an empty
+    dict before submit and folds it back into the ledger on completion
+    (see :mod:`repro.obs.blame`).  Like ``span`` it never changes timing.
     """
 
     __slots__ = ("op", "lba", "nsectors", "tags", "fua", "stream", "cause",
-                 "entries", "nsid", "span")
+                 "entries", "nsid", "span", "blame")
 
     def __init__(self, op: Op, lba: int = 0, nsectors: int = 0,
                  tags: Optional[Sequence[Any]] = None, fua: bool = False,
@@ -117,6 +122,7 @@ class Command:
         self.entries = entries
         self.nsid = nsid
         self.span = span
+        self.blame = None
         if nsid is not None and nsid < 0:
             raise CommandError(f"negative namespace id {nsid}")
         if op in (Op.READ, Op.WRITE, Op.TRIM):

@@ -25,6 +25,7 @@ from repro.common.errors import (
 )
 from repro.common.units import US
 from repro.ftl.ftl import Ftl
+from repro.obs.blame import add_ns
 from repro.sim.core import Event, Simulator
 from repro.sim.process import spawn
 from repro.sim.resources import Resource
@@ -107,6 +108,14 @@ class SsdController:
         self._cpu = Resource(sim, self.config.cpu_cores, name="ssd-cpu")
         self._outstanding = 0
         self._outstanding_user = 0
+        self._outstanding_ckpt = 0
+        """Admitted checkpoint-machinery commands (CoW/remap/delete-logs
+        plus anything with a ``ckpt`` cause).  A user command that waits
+        for a queue slot while this is non-zero is stalled *because* a
+        checkpoint occupies the device — blame's ``ckpt_interference``.
+        Flash-level occupancy is tracked separately, on the array's
+        checkpoint clock (``FlashArray.ckpt_busy_ns``), because the
+        programs a checkpoint write triggers outlive its command."""
         self.queue_depth = TimeWeightedGauge(sim)
         """Admitted-command depth over time; window it per checkpoint
         interval with :meth:`TimeWeightedGauge.snapshot_window`."""
@@ -204,6 +213,10 @@ class SsdController:
                 done: Event) -> Generator[Any, Any, None]:
         submitted_at = self.sim.now
         is_user = command.op in (Op.READ, Op.WRITE, Op.FLUSH, Op.TRIM)
+        is_ckpt = (command.op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT,
+                                  Op.DELETE_LOGS)
+                   or command.cause.startswith("ckpt"))
+        blame = command.blame
         tracer = self.sim.tracer
         span = tracer.begin("ssd", command.op.value, parent=command.span,
                             lba=command.lba, nsectors=command.nsectors,
@@ -213,7 +226,14 @@ class SsdController:
         yield self.interface.acquire_slot()
         if span is not None:
             span.attrs["queue_ns"] = self.sim.now - submitted_at
+        if blame is not None:
+            add_ns(blame,
+                   "ckpt_interference" if self._outstanding_ckpt
+                   else "ctrl_queue",
+                   self.sim.now - submitted_at)
         self._outstanding += 1
+        if is_ckpt:
+            self._outstanding_ckpt += 1
         self.queue_depth.adjust(1)
         ns_gauge = (self._ns_queue_depth.get(command.nsid)
                     if command.nsid is not None else None)
@@ -223,16 +243,22 @@ class SsdController:
         if is_user:
             self._outstanding_user += 1
         try:
+            t_stage = self.sim.now if blame is not None else 0
             yield self.interface.command_overhead()
             if command.op in (Op.WRITE, Op.COW, Op.COW_MULTI, Op.CHECKPOINT,
                               Op.LOAD_PROGRAM):
                 yield from self.interface.transfer(command.data_bytes)
+            if blame is not None:
+                add_ns(blame, "ctrl_bus", self.sim.now - t_stage)
+                t_stage = self.sim.now
             yield self._cpu.acquire()
             try:
                 yield (self.config.cpu_command_ns +
                        command.nsectors * self.config.cpu_sector_ns)
             finally:
                 self._cpu.release()
+            if blame is not None:
+                add_ns(blame, "ctrl_cpu", self.sim.now - t_stage)
 
             completion = Completion(command=command, submitted_at=submitted_at,
                                     completed_at=0)
@@ -244,7 +270,10 @@ class SsdController:
                 yield from self._dispatch_with_retry(command, completion, span)
 
             if command.op is Op.READ and completion.ok:
+                t_stage = self.sim.now if blame is not None else 0
                 yield from self.interface.transfer(command.data_bytes)
+                if blame is not None:
+                    add_ns(blame, "ctrl_bus", self.sim.now - t_stage)
             completion.completed_at = self.sim.now
             done.succeed(completion)
         except BaseException as exc:  # noqa: BLE001 - surfaced to submitter
@@ -254,6 +283,8 @@ class SsdController:
                 raise
         finally:
             self._outstanding -= 1
+            if is_ckpt:
+                self._outstanding_ckpt -= 1
             self.queue_depth.adjust(-1)
             if ns_gauge is not None:
                 ns_gauge.adjust(-1)
@@ -279,11 +310,21 @@ class SsdController:
         never a propagated device-internal exception.
         """
         tracer = self.sim.tracer
+        blame = command.blame
         attempts = 0
         while True:
+            before = dict(blame) if blame is not None else None
+            t_try = self.sim.now if blame is not None else 0
             try:
                 yield from self._dispatch(command, completion)
             except MediaError as exc:
+                if blame is not None:
+                    # The whole failed attempt is retry-ladder time: drop
+                    # whatever the dispatch charged mid-flight and charge
+                    # the attempt window to media_retry instead.
+                    blame.clear()
+                    blame.update(before)
+                    add_ns(blame, "media_retry", self.sim.now - t_try)
                 attempts += 1
                 self.stats.counter("cmd.media_retries").add(1)
                 if tracer.enabled:
@@ -300,7 +341,11 @@ class SsdController:
                             "media", "cmd_error", parent=span,
                             op=command.op.value))
                     return
+                if blame is not None:
+                    t_try = self.sim.now
                 yield self.config.media_retry_backoff_ns * attempts
+                if blame is not None:
+                    add_ns(blame, "media_retry", self.sim.now - t_try)
                 continue
             except DeviceFullError as exc:
                 # Out of usable space mid-dispatch: degrade rather than
@@ -328,7 +373,8 @@ class SsdController:
             yield from self._do_flush()
         elif op is Op.TRIM:
             self.write_buffer.discard_range(command.lba, command.nsectors)
-            yield from self.ftl.trim(command.lba, command.nsectors)
+            yield from self.ftl.trim(command.lba, command.nsectors,
+                                     blame=command.blame)
             self._invalidate_cache_range(command.lba, command.nsectors)
         elif op in (Op.COW, Op.COW_MULTI, Op.CHECKPOINT):
             yield from self._do_cow(command, completion)
@@ -346,6 +392,7 @@ class SsdController:
             raise CommandError(f"unsupported opcode {op}")
 
     def _do_read(self, command: Command) -> Generator[Any, Any, List[Any]]:
+        blame = command.blame
         self.stats.counter("host.read_cmds").add(1, num_bytes=command.data_bytes)
         spu = self.ftl.sectors_per_unit
         lpns = self.ftl.lpn_span(command.lba, command.nsectors)
@@ -355,6 +402,8 @@ class SsdController:
         if all(entry is not None for entry in cached.values()):
             self.stats.counter("host.read_cache_hits").add(1)
             yield self.ftl.config.staged_read_ns
+            if blame is not None:
+                add_ns(blame, "flash_read", self.ftl.config.staged_read_ns)
             tags = []
             for sector in range(command.lba, command.lba + command.nsectors):
                 unit = cached[sector // spu]
@@ -365,10 +414,14 @@ class SsdController:
             # Served entirely from the coalescing buffer: no flash access.
             self.stats.counter("host.read_buffer_hits").add(1)
             yield self.ftl.config.staged_read_ns
+            if blame is not None:
+                add_ns(blame, "flash_read", self.ftl.config.staged_read_ns)
             tags = [None] * command.nsectors
             return self.write_buffer.overlay(command.lba, command.nsectors,
                                              tags)
-        tags = yield from self.ftl.read(command.lba, command.nsectors)
+        tags = yield from self.ftl.read(command.lba, command.nsectors,
+                                        blame=blame,
+                                        ckpt=command.cause.startswith("ckpt"))
         if not buffered_hit:
             self._fill_cache(command.lba, command.nsectors, tags)
         return self.write_buffer.overlay(command.lba, command.nsectors, tags)
@@ -388,7 +441,7 @@ class SsdController:
         self._invalidate_cache_range(command.lba, command.nsectors)
         yield from self.device_write(command.lba, command.nsectors,
                                      command.tags, command.stream,
-                                     command.cause)
+                                     command.cause, blame=command.blame)
         if not self.write_buffer.enabled:
             self._fill_cache(command.lba, command.nsectors, command.tags)
         if self.isce is not None and command.stream == "journal":
@@ -400,13 +453,14 @@ class SsdController:
 
         Used by the ISCE so checkpoint sources that are still buffered in
         device DRAM are seen without forcing a drain (and without host
-        command accounting).
+        command accounting).  Always checkpoint-machinery work, so the
+        flash reads run on the array's checkpoint clock.
         """
-        tags = yield from self.ftl.read(lba, nsectors)
+        tags = yield from self.ftl.read(lba, nsectors, ckpt=True)
         return self.write_buffer.overlay(lba, nsectors, tags)
 
     def device_write(self, lba: int, nsectors: int, tags, stream: str,
-                     cause: str) -> Generator[Any, Any, None]:
+                     cause: str, blame=None) -> Generator[Any, Any, None]:
         """Internal write path (no host-command accounting).
 
         Used by the ISCE's copy path so device-side checkpoint copies
@@ -415,21 +469,26 @@ class SsdController:
         """
         if not self.write_buffer.enabled:
             yield from self.ftl.write(lba, nsectors, tags=tags,
-                                      stream=stream, cause=cause)
+                                      stream=stream, cause=cause,
+                                      blame=blame)
             return
         self._invalidate_cache_range(lba, nsectors)
         tracer = self.sim.tracer
         ready = self.write_buffer.merge(lba, nsectors, tags, cause, stream)
         for unit in ready:
             self._in_transit[unit.lpn] = unit
-        yield self.ftl.config.map_update_ns * max(1, len(ready))
+        merge_ns = self.ftl.config.map_update_ns * max(1, len(ready))
+        yield merge_ns
+        if blame is not None:
+            add_ns(blame, "coalescer", merge_ns)
         spu = self.ftl.sectors_per_unit
         span = tracer.begin("coalescer", "flush_full", units=len(ready),
                             bytes=len(ready) * self.ftl.config.mapping_unit) \
             if ready and tracer.enabled else None
         for unit in ready:
             yield from self.ftl.write(unit.lpn * spu, spu, tags=unit.tags,
-                                      stream=unit.stream, cause=unit.cause)
+                                      stream=unit.stream, cause=unit.cause,
+                                      blame=blame)
             self._release_transit(unit)
         if span is not None:
             tracer.end(span)
@@ -438,19 +497,21 @@ class SsdController:
             if evicted and tracer.enabled else None
         for unit in evicted:
             self._in_transit[unit.lpn] = unit
-            yield from self._write_partial_unit(unit)
+            yield from self._write_partial_unit(unit, blame)
             self._release_transit(unit)
         if span is not None:
             tracer.end(span)
 
-    def _write_partial_unit(self, unit: CoalescedUnit) -> Generator[Any, Any, None]:
+    def _write_partial_unit(self, unit: CoalescedUnit,
+                            blame=None) -> Generator[Any, Any, None]:
         """Flush a partially covered coalesced unit (RMW if it was mapped)."""
         spu = self.ftl.sectors_per_unit
         base = unit.lpn * spu
         for offset, length in unit.covered_runs:
             yield from self.ftl.write(base + offset, length,
                                       tags=unit.tags[offset:offset + length],
-                                      stream=unit.stream, cause=unit.cause)
+                                      stream=unit.stream, cause=unit.cause,
+                                      blame=blame)
 
     def _drain_buffered(self, units: List[CoalescedUnit]
                         ) -> Generator[Any, Any, None]:

@@ -231,6 +231,12 @@ class SystemConfig:
     at all — like ``trace``, disabled telemetry costs nothing and the
     counter snapshots stay byte-identical to an instrumented run."""
 
+    blame: bool = False
+    """Attach per-request blame ledgers (see ``repro.obs``).  Off by
+    default: blame only measures existing windows (no extra yields), so
+    even an enabled run executes the identical event sequence — but a
+    disabled run also skips every ledger allocation and clock read."""
+
     tenants: Optional[Tuple[TenantSpec, ...]] = None
     """None = classic single-tenant run.  A tuple (even of length one)
     selects namespace sharding: each tenant gets its own engine, journal

@@ -29,6 +29,8 @@ from repro.common.errors import SimulationError
 from repro.common.rng import SeededRng
 from repro.engine.checkpointer import CheckpointReport
 from repro.engine.engine import StorageEngine
+from repro.obs import blame_enabled, register_blame
+from repro.obs.blame import BlameCollector, BlameRunReport
 from repro.sim.core import Simulator
 from repro.sim.process import Interrupt, Process, spawn
 from repro.ssd.ssd import Ssd
@@ -62,6 +64,8 @@ class TenantRuntime:
     metrics: RunMetrics
     size_model: RecordSizeModel
     sink: LatencySink
+    blame: Optional[BlameCollector] = None
+    """Per-tenant blame collector; None when attribution is off."""
 
 
 @dataclass
@@ -97,6 +101,10 @@ class RunResult:
     tenants: List[TenantResult] = field(default_factory=list)
     """Per-tenant results; a single entry mirroring the aggregate on a
     classic single-tenant run."""
+
+    blame: Optional[BlameRunReport] = None
+    """Per-tenant latency attribution (blame ledgers); None when the
+    run was unblamed."""
 
     wall_seconds: float = 0.0
     """Host wall-clock time :meth:`KvSystem.run` took — the simulator
@@ -172,6 +180,13 @@ class KvSystem:
         """Tenant 0's engine — the whole system's engine on the legacy
         single-tenant path (kept as an attribute for compatibility)."""
         self.size_model = self.tenants[0].size_model
+        self.blame_report: Optional[BlameRunReport] = None
+        if config.blame or blame_enabled():
+            for tenant in self.tenants:
+                tenant.blame = BlameCollector(tenant.name)
+            self.blame_report = register_blame(
+                config.mode,
+                [(tenant.name, tenant.blame) for tenant in self.tenants])
         self.telemetry: Optional[TelemetrySampler] = None
         if config.telemetry is not None or telemetry_enabled():
             telemetry_config = (config.telemetry or
@@ -180,6 +195,13 @@ class KvSystem:
             self.telemetry = build_sampler(self, telemetry_config,
                                            label=config.mode)
             register_sampler(config.mode, self.telemetry)
+            if self.blame_report is not None:
+                # SLO-watchdog events get stamped with the dominant blame
+                # category observed so far — "the SLO broke, and here is
+                # the stage that is eating the time".
+                report = self.blame_report
+                self.telemetry.watchdogs.blame_annotator = \
+                    lambda: report.aggregate().dominant_category()
         self._loaded = False
         self._triggers: List[Process] = []
 
@@ -218,7 +240,8 @@ class KvSystem:
         label = tenant.name if self.config.tenants is not None else ""
         return ClientPool(self.sim, tenant.engine, generators,
                           view.total_queries,
-                          on_complete=tenant.sink, label=label)
+                          on_complete=tenant.sink, label=label,
+                          blame=tenant.blame)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -288,6 +311,7 @@ class KvSystem:
                          if tracer.enabled else None,
                          telemetry=self.telemetry,
                          tenants=tenant_results,
+                         blame=self.blame_report,
                          wall_seconds=time.perf_counter() - wall_started)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:

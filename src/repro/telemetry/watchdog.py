@@ -25,8 +25,8 @@ The five stock conditions (wired by :mod:`repro.telemetry.probes`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.telemetry.registry import AGGREGATE
 
@@ -72,13 +72,17 @@ class TelemetryEvent:
     severity: str = "warn"
     value: float = 0.0
     message: str = ""
+    blame: str = ""
+    """Dominant blame category when the run carries attribution ledgers
+    (see ``repro.obs``); empty on unblamed runs."""
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly rendering (JSONL export)."""
         return {"type": "event", "t_ns": self.t_ns,
                 "watchdog": self.watchdog, "kind": self.kind,
                 "tenant": self.tenant, "severity": self.severity,
-                "value": self.value, "message": self.message}
+                "value": self.value, "message": self.message,
+                "blame": self.blame}
 
 
 class Watchdog:
@@ -192,6 +196,9 @@ class WatchdogBank:
     def __init__(self, watchdogs: Optional[List[Watchdog]] = None) -> None:
         self.watchdogs: List[Watchdog] = list(watchdogs or [])
         self.events: List[TelemetryEvent] = []
+        self.blame_annotator: Optional[Callable[[], str]] = None
+        """When set (blamed runs), every fresh event is stamped with the
+        dominant blame category observed so far."""
 
     def add(self, watchdog: Watchdog) -> Watchdog:
         """Register one more watchdog."""
@@ -204,6 +211,10 @@ class WatchdogBank:
         fresh: List[TelemetryEvent] = []
         for watchdog in self.watchdogs:
             fresh.extend(watchdog.evaluate(t_ns, values))
+        if fresh and self.blame_annotator is not None:
+            dominant = self.blame_annotator()
+            if dominant:
+                fresh = [replace(event, blame=dominant) for event in fresh]
         self.events.extend(fresh)
         return fresh
 

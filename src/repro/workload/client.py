@@ -14,6 +14,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from repro.common.errors import WorkloadError
 from repro.engine.engine import StorageEngine
+from repro.obs.blame import BlameCollector, RequestLedger
 from repro.sim.core import Simulator, all_of
 from repro.sim.process import Process, spawn
 from repro.workload.ycsb import OpKind, Operation, OperationGenerator
@@ -43,7 +44,8 @@ class ClientPool:
                  generators: List[OperationGenerator],
                  total_operations: int,
                  on_complete: Optional[LatencySink] = None,
-                 label: str = "") -> None:
+                 label: str = "",
+                 blame: Optional[BlameCollector] = None) -> None:
         if not generators:
             raise WorkloadError("need at least one client thread")
         if total_operations < 1:
@@ -56,6 +58,9 @@ class ClientPool:
         self.label = label
         """Process-name prefix; multi-tenant runs tag each tenant's
         threads (e.g. "tenant1.client0") for readable traces."""
+        self.blame = blame
+        """When set, every operation carries a blame ledger and lands in
+        this collector at completion (see :mod:`repro.obs.blame`)."""
         self._remaining = total_operations
         self._issued = 0
 
@@ -92,20 +97,31 @@ class ClientPool:
                                 key=operation.key,
                                 during_ckpt=ckpt_at_start) \
                 if tracer.enabled else None
-            yield from self._execute(operation, span)
+            ledger = RequestLedger(
+                op=operation.kind.value, key=operation.key,
+                during_ckpt=ckpt_at_start,
+                span_id=span.span_id if span is not None else None) \
+                if self.blame is not None else None
+            yield from self._execute(operation, span, ledger)
             if span is not None:
                 tracer.end(span)
+            if ledger is not None:
+                ledger.finalize(self.sim.now - started)
+                self.blame.record(ledger)
             self._issued += 1
             if self.on_complete is not None:
                 self.on_complete(operation, self.sim.now - started,
                                  ckpt_at_start)
 
-    def _execute(self, operation: Operation,
-                 span: Any = None) -> Generator[Any, Any, None]:
+    def _execute(self, operation: Operation, span: Any = None,
+                 blame: Any = None) -> Generator[Any, Any, None]:
         if operation.kind is OpKind.READ:
-            yield from self.engine.get(operation.key, trace_parent=span)
+            yield from self.engine.get(operation.key, trace_parent=span,
+                                       blame=blame)
         elif operation.kind is OpKind.UPDATE:
-            yield from self.engine.put(operation.key, trace_parent=span)
+            yield from self.engine.put(operation.key, trace_parent=span,
+                                       blame=blame)
         else:
             yield from self.engine.read_modify_write(operation.key,
-                                                     trace_parent=span)
+                                                     trace_parent=span,
+                                                     blame=blame)

@@ -24,7 +24,9 @@ import regress  # noqa: E402  (benchmarks/regress.py)
 
 @pytest.fixture(scope="module")
 def artifact(tmp_path_factory):
-    result = run_config(tiny_config())
+    # Bench runs always carry blame ledgers (repro bench does the same)
+    # so the artifact includes the gated ckpt_blame_p99_share metric.
+    result = run_config(tiny_config(blame=True))
     bench = {"mode": "checkin", "workload": "A", "threads": 4,
              "queries": 1_500, "distribution": "zipfian"}
     art = bench_artifact(result, bench, stamp="20260101T000000Z")

@@ -87,6 +87,7 @@ class TestMicroRuns:
         for mode in ("baseline", "checkin"):
             assert result.p99_read_us[(mode, "solo")] > 0
             assert result.p99_read_us[(mode, "shared")] > 0
+            assert result.p99_read_us[(mode, "locked")] > 0
             assert result.aggregate_qps[mode] > 0
         # The storm tenant actually checkpointed under contention, and
         # remapping degrades the co-tenant's tail less than host-level
@@ -94,6 +95,14 @@ class TestMicroRuns:
         assert result.storm_checkpoints["checkin"] >= 1
         assert result.remap_beats_host_checkpointing()
         assert "degradation_x" in result.table()
+        # The locked placement carried blame ledgers and produced a
+        # checkpoint-attributable tail share for both modes.  Micro-scale
+        # tails are a handful of requests, so the baseline ≫ checkin
+        # direction is asserted at benchmark scale, not here.
+        assert set(result.ckpt_tail_share) == {"baseline", "checkin"}
+        for share in result.ckpt_tail_share.values():
+            assert 0.0 <= share <= 1.0
+        assert "ckpt_tail_blame" in result.table()
 
 
 class TestSlowerMicroRuns:

@@ -164,8 +164,11 @@ class TestOpsPerSecMeasurement:
         from repro.system.config import SystemConfig
         from repro.system.system import run_config
 
+        # blame=True matches repro bench, so the artifact carries the
+        # full gated-metric set including ckpt_blame_p99_share.
         config = SystemConfig(mode="checkin", workload="A", threads=2,
-                              total_queries=200, verify_reads=False)
+                              total_queries=200, verify_reads=False,
+                              blame=True)
         result = run_config(config)
         assert result.wall_seconds > 0
         metrics = bench_metrics(result)
