@@ -44,6 +44,7 @@ TOLERANCES = {
     "operations": 0.0,
     "ops_per_sec": 0.75,
     "ckpt_blame_p99_share": 0.50,
+    "knee_sustainable_ops": 0.30,
 }
 """Allowed relative drift per gated metric (0.0 = must match exactly).
 
@@ -57,9 +58,15 @@ slower (a hot-path regression), never scheduling jitter.
 configuration it should stay near zero — growth means checkpoints
 started leaking into the tail, the paper's headline regression.  The
 share is a fraction in [0, 1], so the 50% tolerance is *relative* to a
-small baseline, keeping the gate tight in absolute terms."""
+small baseline, keeping the gate tight in absolute terms.
 
-HIGHER_IS_BETTER = {"throughput_qps", "ops_per_sec"}
+``knee_sustainable_ops`` is checkin's open-loop knee (highest offered
+load sustained inside the knee experiment's p99 + shed SLO).  The
+bisection resolves the knee to ~12.5%, so 30% headroom gates real
+capacity collapses without tripping on bracket-boundary wobble."""
+
+HIGHER_IS_BETTER = {"throughput_qps", "ops_per_sec",
+                    "knee_sustainable_ops"}
 """Metrics that only gate in the downward direction; everything else
 gates on getting *bigger* (latency, WAF, redundant writes, stalls)."""
 

@@ -1,0 +1,74 @@
+"""Benchmark: open-loop latency-vs-offered-load knee per checkpoint mode.
+
+Not a paper figure — the paper's closed-loop YCSB clients self-throttle
+at saturation, so "baseline collapses under checkpoint storms" never
+shows up as a number there.  The knee sweep offers load open loop and
+locates the highest rate each mode sustains inside a fixed p99 + shed
+SLO; in-storage checkpointing must move that knee measurably right.
+"""
+
+from repro.experiments.base import QUICK
+from repro.experiments.interference import run_burst_storm
+from repro.experiments.knee import SHED_SLO, run_knee
+
+
+def test_knee_checkin_sustains_more_offered_load(benchmark, record_result):
+    """The PR's acceptance criterion: checkin's knee sits at a measurably
+    higher offered load than baseline's, at the same SLO."""
+    result = benchmark.pedantic(run_knee, kwargs=dict(scale=QUICK),
+                                rounds=1, iterations=1)
+    record_result("knee", result.table(), result)
+
+    for mode in ("baseline", "checkin"):
+        points = result.points[mode]
+        assert points, "knee search probed no points"
+        # Every point ran long enough to see checkpoint activity, and
+        # the admission ledger balanced at each one.
+        for point in points:
+            assert point.checkpoints >= 1
+            assert point.submitted == point.completed + point.shed
+        # Sustained points really met the envelope.
+        sustained = [p for p in points if p.met(result.slo_p99_us)]
+        assert sustained
+        for point in sustained:
+            assert point.shed_rate <= SHED_SLO
+
+    # The headline, with real margin: in-storage checkpointing sustains
+    # at least 2x baseline's offered load under the freeze-consistency
+    # lock (measured ~7x at this scale).
+    assert result.sustainable_ops("baseline") > 0
+    assert result.checkin_beats_baseline()
+    assert result.knee_gain() > 2.0
+
+
+def test_burst_storm_survival(benchmark, record_result):
+    """Checkpoint storm under a flash-crowd burst: both modes survive
+    with typed completions, checkin keeps measurably more goodput, and
+    only baseline trips the overload watchdogs."""
+    result = benchmark.pedantic(run_burst_storm, rounds=1, iterations=1)
+    record_result("burst_storm", result.table(), result)
+
+    for mode in ("baseline", "checkin"):
+        # Survival: bounded waiting room, exact reconciliation.
+        assert result.survived(mode)
+        assert result.admission[mode].submitted > 0
+        # The storm tenant really checkpointed during the burst.
+        assert result.storm_checkpoints[mode] >= 1
+
+    # Goodput is the robust discriminator (shed-rate ordering is
+    # occupancy-timing noise at the crowd spike): checkin clears at
+    # least 2x baseline's goodput at the same offered load.
+    assert result.checkin_keeps_more_load()
+    assert result.goodput_qps["checkin"] > 2.0 * result.goodput_qps["baseline"]
+    # The PR-5 watchdogs double as overload detectors.  At this scale
+    # the 4x crowd spike briefly fills either mode's waiting room
+    # (admission_overload), but the engine-side detectors separate the
+    # modes cleanly: only host-level checkpointing stalls the engine
+    # queue, and it runs checkpoint-overdue far more often.
+    assert result.overload_detected("baseline")
+    base_counts = result.watchdog_counts["baseline"]
+    checkin_counts = result.watchdog_counts["checkin"]
+    assert base_counts.get("queue_stall", 0) > 0
+    assert checkin_counts.get("queue_stall", 0) == 0
+    assert base_counts.get("checkpoint_overdue", 0) > \
+        checkin_counts.get("checkpoint_overdue", 0)

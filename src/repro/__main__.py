@@ -130,6 +130,12 @@ def _emit_telemetry(out: Optional[str]) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.arrivals is not None:
+        if args.experiment is not None:
+            print("run: give either an experiment id or --arrivals, not both",
+                  file=sys.stderr)
+            return 2
+        return _run_arrivals(args)
     if args.tenants is not None:
         if args.experiment is not None:
             print("run: give either an experiment id or --tenants, not both",
@@ -137,8 +143,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         return _run_tenants(args)
     if args.experiment is None:
-        print("run: an experiment id (or --tenants N) is required",
-              file=sys.stderr)
+        print("run: an experiment id, --tenants N or --arrivals RATE "
+              "is required", file=sys.stderr)
         return 2
     scale = FULL if args.scale == "full" else QUICK
     if args.trace:
@@ -168,6 +174,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _emit_telemetry(args.telemetry_out)
     print(f"\n[{args.experiment} at {scale.name} scale: {elapsed:.1f}s]")
     return 0
+
+
+def _run_arrivals(args: argparse.Namespace) -> int:
+    """``repro run --arrivals RATE``: one open-loop run, reconciled.
+
+    Combines with ``--tenants N`` for per-tenant fan-in: every tenant
+    gets its own open-loop dispatcher and front door at the given rate.
+    """
+    from repro.engine.admission import AdmissionConfig
+    from repro.workload.arrivals import ArrivalSpec
+
+    if args.arrivals <= 0:
+        print("run: --arrivals must be a positive ops/s rate",
+              file=sys.stderr)
+        return 2
+    arrivals = ArrivalSpec(rate_ops_per_sec=args.arrivals,
+                           process=args.arrival_process,
+                           schedule=args.arrival_schedule)
+    admission = AdmissionConfig(policy=args.admission_policy,
+                                max_inflight=args.max_inflight,
+                                max_waiting=args.max_waiting)
+    kwargs = dict(
+        mode=args.mode,
+        threads=8,
+        num_keys=1_024,
+        total_queries=4_000,
+        journal_area_bytes=8 * MIB,
+        verify_reads=False,
+        arrivals=arrivals,
+        admission=admission,
+    )
+    if args.tenants is not None:
+        if args.tenants < 1:
+            print("run: --tenants must be >= 1", file=sys.stderr)
+            return 2
+        kwargs["tenants"] = tuple(TenantSpec()
+                                  for _ in range(args.tenants))
+    config = SystemConfig(**kwargs)
+    started = time.time()
+    result = run_config(config)
+    elapsed = time.time() - started
+    rows = []
+    reconciled = True
+    for tenant in result.tenants:
+        report = tenant.admission
+        reconciled = reconciled and report.reconciles()
+        rows.append([
+            tenant.name, report.submitted, tenant.operations,
+            report.shed_total, report.shed_rate,
+            tenant.metrics.latency_all.p(99.0)[99.0] / 1e3,
+            report.max_waiting_seen,
+            "yes" if report.reconciles() else "NO"])
+    print(format_table(
+        ["tenant", "submitted", "completed", "shed", "shed_rate",
+         "p99_us", "peak_queue", "reconciled"],
+        rows, title=f"open loop @ {args.arrivals:,.0f} ops/s "
+                    f"({args.arrival_process}/{args.arrival_schedule}, "
+                    f"policy {args.admission_policy}, mode {args.mode})"))
+    print(f"\n[every submitted op got a typed completion: "
+          f"{'yes' if reconciled else 'NO — ZOMBIE OPS'}; "
+          f"wall {elapsed:.1f}s]")
+    return 0 if reconciled else 1
 
 
 def _run_tenants(args: argparse.Namespace) -> int:
@@ -379,14 +447,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             runstamp,
             write_bench_artifact,
         )
+        from repro.experiments.knee import bench_knee_probe
         bench_params = {"mode": args.mode, "workload": args.workload,
                         "threads": args.threads, "queries": args.queries,
                         "distribution": args.distribution}
+        # The knee probe is its own compact two-mode sweep (simulated
+        # time, deterministic) — the artifact gates the open-loop
+        # sustainable-load headline alongside the closed-loop metrics.
+        knee_started = time.time()
+        knee_ops = bench_knee_probe()
+        print(f"\n[knee probe: checkin sustains {knee_ops:,.0f} open-loop "
+              f"ops/s ({time.time() - knee_started:.1f}s)]")
         stamp = runstamp()
         path = args.artifact or f"BENCH_{stamp}.json"
-        write_bench_artifact(path, bench_artifact(result, bench_params,
-                                                  stamp=stamp))
-        print(f"\n[bench artifact -> {path}]")
+        write_bench_artifact(
+            path, bench_artifact(result, bench_params, stamp=stamp,
+                                 extra_metrics={
+                                     "knee_sustainable_ops": knee_ops}))
+        print(f"[bench artifact -> {path}]")
     clear_blame()
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
           f"{metrics.duration_ns / 1e9:.3f}s, "
@@ -562,6 +640,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--telemetry-out", metavar="PATH", default=None,
                             help="with --telemetry: write the JSONL "
                                  "dump(s) here")
+    run_parser.add_argument("--arrivals", type=float, default=None,
+                            metavar="RATE",
+                            help="instead of an experiment: one open-loop "
+                                 "run at RATE offered ops/s behind the "
+                                 "front-door admission controller "
+                                 "(combine with --tenants for fan-in)")
+    run_parser.add_argument("--arrival-process", default="poisson",
+                            choices=("poisson", "bursts"),
+                            help="open-loop arrival process "
+                                 "(default: poisson)")
+    run_parser.add_argument("--arrival-schedule", default="constant",
+                            choices=("constant", "diurnal", "flash-crowd"),
+                            help="open-loop rate schedule "
+                                 "(default: constant)")
+    run_parser.add_argument("--admission-policy", default="queue",
+                            choices=("queue", "shed", "degrade"),
+                            help="front-door policy for --arrivals runs")
+    run_parser.add_argument("--max-inflight", type=int, default=64,
+                            help="admission in-flight slot limit")
+    run_parser.add_argument("--max-waiting", type=int, default=256,
+                            help="admission waiting-room depth")
     run_parser.set_defaults(handler=_cmd_run)
 
     trace_parser = commands.add_parser(

@@ -40,8 +40,15 @@ GATED_METRICS = (
     "operations",
     "ops_per_sec",
     "ckpt_blame_p99_share",
+    "knee_sustainable_ops",
 )
 """Metrics the regression gate tracks (regress.py assigns tolerances).
+
+``knee_sustainable_ops`` is the open-loop headline: the highest offered
+load (ops/s) the checkin mode sustains inside the knee experiment's
+fixed p99 + shed SLO (see ``repro.experiments.knee.bench_knee_probe``).
+It comes from its own compact sweep, not from the bench run itself, and
+is attached via ``bench_artifact(..., extra_metrics=...)``.
 
 ``ops_per_sec`` is the odd one out: it measures the *simulator* (completed
 operations per host wall-clock second), not the simulated system, so it is
@@ -97,15 +104,26 @@ def bench_metrics(result: Any) -> Dict[str, float]:
 
 
 def bench_artifact(result: Any, bench: Dict[str, Any],
-                   stamp: Optional[str] = None) -> Dict[str, Any]:
-    """Assemble the full artifact dict for one run."""
+                   stamp: Optional[str] = None,
+                   extra_metrics: Optional[Dict[str, float]] = None
+                   ) -> Dict[str, Any]:
+    """Assemble the full artifact dict for one run.
+
+    ``extra_metrics`` lets the caller attach gated metrics that come
+    from companion sweeps rather than the bench run itself (the knee
+    probe's ``knee_sustainable_ops``).  They never enter the config
+    hash, which covers only the bench *parameters*.
+    """
+    metrics = bench_metrics(result)
+    if extra_metrics:
+        metrics.update(extra_metrics)
     return {
         "schema": BENCH_SCHEMA,
         "runstamp": stamp or runstamp(),
         "commit": git_commit(),
         "config_hash": config_hash(bench),
         "bench": dict(bench),
-        "metrics": bench_metrics(result),
+        "metrics": metrics,
     }
 
 

@@ -41,14 +41,17 @@ partial-page copy).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
 from repro.common.units import KIB, MIB, MS, SEC
+from repro.engine.admission import AdmissionConfig, AdmissionReport
 from repro.experiments.base import QUICK, ExperimentScale, paper_config
 from repro.system.metrics import safe_ratio
 from repro.system.config import SystemConfig, TenantSpec
 from repro.system.system import run_config
+from repro.telemetry.sampler import TelemetryConfig
+from repro.workload.arrivals import ArrivalSpec
 
 INTERFERENCE_MODES = ("baseline", "checkin")
 
@@ -202,4 +205,165 @@ def run_interference(scale: ExperimentScale = QUICK) -> InterferenceResult:
                 if collector is not None:
                     result.ckpt_tail_share[mode] = \
                         collector.tail_profile(99.0).ckpt_tail_share
+    return result
+
+
+# ----------------------------------------------------------------------
+# Checkpoint storm under burst: the open-loop overload-survival scenario
+# ----------------------------------------------------------------------
+
+BURST_SPAN_NS = 80 * MS
+"""Simulated exposure of the burst client: ~16 storm-trigger cycles."""
+
+BURST_OVERLOAD_FACTOR = 1.5
+"""The flash crowd offers this multiple of the client's calibrated solo
+capacity — deliberately past sustainable, so survival (bounded queues,
+typed sheds, exact reconciliation) is what's under test, not comfort."""
+
+
+@dataclass
+class BurstStormResult:
+    """A flash-crowd client colliding with a checkpoint storm, per mode.
+
+    The interference experiment asks "how much tail does the storm
+    steal?"; this one asks the harder fleet question: when bursty
+    overload and a checkpoint storm land together, does the system
+    *survive* — bounded queues, typed sheds, every arrival accounted
+    for — and how much load does each checkpointing mode keep serving?
+    """
+
+    client_solo_qps: float = 0.0
+    """The burst client's closed-loop capacity alone on the device."""
+
+    offered_qps: Dict[str, float] = field(default_factory=dict)
+    p99_us: Dict[str, float] = field(default_factory=dict)
+    """Client p99 latency measured from the arrival instant."""
+
+    goodput_qps: Dict[str, float] = field(default_factory=dict)
+    storm_checkpoints: Dict[str, int] = field(default_factory=dict)
+    admission: Dict[str, AdmissionReport] = field(default_factory=dict)
+    watchdog_counts: Dict[str, Dict] = field(default_factory=dict)
+    """Fired overload detectors (queue-stall, journal-saturation,
+    admission-overload) per mode, from the PR-5 watchdog bank."""
+
+    def shed_rate(self, mode: str) -> float:
+        return self.admission[mode].shed_rate
+
+    def survived(self, mode: str) -> bool:
+        """No zombies and no unbounded queues: the front door reconciled
+        exactly and its waiting room never exceeded its bound."""
+        report = self.admission[mode]
+        return report.reconciles() and \
+            report.max_waiting_seen <= report.max_waiting
+
+    def overload_detected(self, mode: str) -> bool:
+        """Did any PR-5 overload detector (queue-stall, admission-
+        overload, journal-saturation, checkpoint-overdue) fire?"""
+        counts = self.watchdog_counts.get(mode, {})
+        detectors = ("queue_stall", "admission_overload",
+                     "journal_saturation", "checkpoint_overdue")
+        return any(counts.get(name, 0) > 0 for name in detectors)
+
+    def checkin_keeps_more_load(self) -> bool:
+        """The headline: under the identical burst, in-storage
+        checkpointing serves a decisively larger share of the offered
+        load.  (Shed *rates* are not compared directly: both modes
+        overflow the same small waiting room at the crowd's 4x spike,
+        so their ordering is occupancy-timing noise — the signal is in
+        how fast admitted work drains.)"""
+        return self.goodput_qps["checkin"] > self.goodput_qps["baseline"]
+
+    def table(self) -> str:
+        rows: List[List] = []
+        for mode in INTERFERENCE_MODES:
+            if mode not in self.admission:
+                continue
+            rows.append([
+                mode,
+                self.offered_qps[mode],
+                self.goodput_qps[mode],
+                self.p99_us[mode],
+                self.shed_rate(mode),
+                self.storm_checkpoints[mode],
+                "yes" if self.survived(mode) else "NO",
+            ])
+        return format_table(
+            ["config", "offered_qps", "goodput_qps", "client_p99_us",
+             "shed_rate", "storm_ckpts", "survived"],
+            rows, title="Burst storm: flash crowd vs checkpoint storm")
+
+
+def burst_storm_config(mode: str, scale: ExperimentScale = QUICK,
+                       offered_qps: Optional[float] = None,
+                       admission: Optional[AdmissionConfig] = None
+                       ) -> SystemConfig:
+    """Storm writer (closed loop) + flash-crowd client (open loop).
+
+    ``offered_qps`` None builds the client-solo calibration config
+    (closed loop, no storm); a rate arms the two-tenant burst run.
+    """
+    threads = max(2, scale.threads // 4)
+    storm = TenantSpec(
+        name="storm",
+        workload="WO",
+        threads=threads,
+        total_queries=scale.scaled_queries(0.25),
+        checkpoint_interval_ns=5 * MS,
+        checkpoint_journal_quota=256 * KIB,
+        journal_area_bytes=16 * MIB,
+    )
+    if offered_qps is None:
+        client = TenantSpec(
+            name="client", workload="B", threads=threads,
+            total_queries=scale.scaled_queries(0.25),
+            seed_offset=READER_SEED_OFFSET,
+            checkpoint_interval_ns=10 * SEC,
+            journal_area_bytes=2 * MIB)
+        tenants: Tuple[TenantSpec, ...] = (client,)
+    else:
+        client = TenantSpec(
+            name="client", workload="B", threads=threads,
+            total_queries=max(1_000,
+                              int(offered_qps * BURST_SPAN_NS / SEC)),
+            seed_offset=READER_SEED_OFFSET,
+            checkpoint_interval_ns=10 * SEC,
+            journal_area_bytes=2 * MIB,
+            arrivals=ArrivalSpec(
+                rate_ops_per_sec=offered_qps,
+                process="bursts",
+                schedule="flash-crowd",
+                crowd_start_ns=20 * MS,
+                crowd_duration_ns=20 * MS),
+            admission=admission or AdmissionConfig(
+                policy="queue", max_inflight=4 * threads,
+                max_waiting=16 * threads))
+        tenants = (storm, client)
+    return paper_config(mode, scale, tenants=tenants,
+                        journal_area_bytes=4 * MIB,
+                        telemetry=TelemetryConfig(),
+                        lock_queries_during_checkpoint=True)
+
+
+def run_burst_storm(scale: ExperimentScale = QUICK,
+                    overload_factor: float = BURST_OVERLOAD_FACTOR
+                    ) -> BurstStormResult:
+    """Calibrate the client's solo capacity, then storm it per mode."""
+    result = BurstStormResult()
+    calibration = run_config(burst_storm_config("baseline", scale))
+    result.client_solo_qps = \
+        calibration.tenant("client").metrics.throughput_qps()
+    offered = overload_factor * result.client_solo_qps
+    for mode in INTERFERENCE_MODES:
+        run = run_config(burst_storm_config(mode, scale,
+                                            offered_qps=offered))
+        client = run.tenant("client")
+        result.offered_qps[mode] = offered
+        result.p99_us[mode] = \
+            client.metrics.summary()["latency_p99_us"]
+        result.goodput_qps[mode] = client.metrics.throughput_qps()
+        result.storm_checkpoints[mode] = \
+            len(run.tenant("storm").checkpoint_reports)
+        result.admission[mode] = client.admission
+        result.watchdog_counts[mode] = \
+            dict(run.telemetry.watchdogs.counts())
     return result

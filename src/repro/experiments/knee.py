@@ -1,0 +1,265 @@
+"""Latency-vs-offered-load knee curves per checkpoint mode.
+
+The paper's closed-loop YCSB threads self-throttle: past saturation the
+clients simply slow down, so "baseline collapses under checkpoint storms"
+never shows up as a number.  The knee experiment re-validates Check-In's
+headline under *open-loop* load (JASS showed checkpoint overhead is
+highly sensitive to offered load):
+
+1. calibrate each mode's closed-loop throughput under an aggressive
+   checkpoint cadence (the storm regime where modes differ most) — the
+   search anchor;
+2. probe offered-load points with open-loop Poisson arrivals behind a
+   bounded front door, each point exposed for the same fixed simulated
+   span so every point sees the same number of checkpoint cycles;
+3. a point is *sustained* when client-visible p99 (measured from the
+   arrival instant, queueing included) stays under one fixed SLO and
+   the shed rate stays under 1%;
+4. the knee — the highest sustained offered load — is located by
+   doubling until a point fails, then bisecting the bracket.
+
+``sustainable_ops(mode)`` is the located knee; the acceptance claim is
+``sustainable_ops("checkin") > sustainable_ops("baseline")`` —
+in-storage checkpointing moves the knee right.  :func:`bench_knee_probe`
+distills the same search into the single gated ``knee_sustainable_ops``
+bench metric.
+
+Everything runs in simulated time, so results are seed-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.units import KIB, MIB, MS, SEC
+from repro.engine.admission import AdmissionConfig
+from repro.experiments.base import QUICK, ExperimentScale, paper_config
+from repro.system.config import SystemConfig
+from repro.system.system import run_config
+from repro.workload.arrivals import ArrivalSpec
+
+KNEE_MODES = ("baseline", "checkin")
+
+SLO_P99_US = 10_000.0
+"""Fixed client-visible p99 SLO (10 ms, measured from the arrival
+instant).  Absolute rather than relative: flash latencies are absolute
+in the simulator, so one SLO is comparable across scales and modes —
+roughly two checkpoint intervals' worth of queueing."""
+
+SHED_SLO = 0.01
+"""A sustained point may shed at most 1% of offered load."""
+
+POINT_SPAN_NS = 80 * MS
+"""Simulated exposure per offered-load point: every point sees the same
+~16 checkpoint-trigger cycles, so short runs can't hide a storm."""
+
+BISECT_ROUNDS = 3
+"""Bracket-halving rounds after the doubling phase (12.5% resolution)."""
+
+
+def knee_config(mode: str, scale: ExperimentScale,
+                **overrides) -> SystemConfig:
+    """The storm-regime config the knee is measured under.
+
+    Aggressive checkpoint cadence (small interval and quota against a
+    small journal) keeps checkpoints continuously in the picture, and
+    queries take the checkpoint lock — the freeze-consistency semantics
+    under which checkpoint stalls are fully client-visible.  This is the
+    regime where the paper's modes diverge hardest: the host-level
+    journal round-trip freezes the front door for the whole checkpoint,
+    while the in-storage remap keeps the freeze window tiny.
+    """
+    params = dict(
+        total_queries=scale.scaled_queries(0.25),
+        threads=max(8, scale.threads // 2),
+        checkpoint_interval_ns=5 * MS,
+        checkpoint_journal_quota=256 * KIB,
+        journal_area_bytes=8 * MIB,
+        lock_queries_during_checkpoint=True)
+    params.update(overrides)
+    return paper_config(mode, scale, **params)
+
+
+@dataclass
+class KneePoint:
+    """One (mode, offered-load) measurement."""
+
+    offered_qps: float
+    submitted: int
+    completed: int
+    shed: int
+    p99_us: float
+    goodput_qps: float
+    checkpoints: int
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    def met(self, slo_p99_us: float) -> bool:
+        """Did this offered load stay inside the SLO envelope?"""
+        return self.p99_us <= slo_p99_us and self.shed_rate <= SHED_SLO
+
+
+@dataclass
+class KneeResult:
+    """The full knee search across checkpoint modes."""
+
+    scale: str
+    modes: Tuple[str, ...]
+    capacity_qps: Dict[str, float]
+    """Closed-loop calibrated throughput per mode (the search anchor)."""
+
+    slo_p99_us: float
+    """The fixed p99 SLO every mode is held to."""
+
+    points: Dict[str, List[KneePoint]] = field(default_factory=dict)
+    """Every probed point per mode, sorted by offered load — the curve."""
+
+    knee_qps: Dict[str, float] = field(default_factory=dict)
+    """The located knee (highest sustained offered load) per mode."""
+
+    def sustainable_ops(self, mode: str) -> float:
+        """Highest offered load the mode sustained inside the SLO."""
+        return self.knee_qps[mode]
+
+    def checkin_beats_baseline(self) -> bool:
+        """The headline: in-storage checkpointing moves the knee right."""
+        return self.sustainable_ops("checkin") > \
+            self.sustainable_ops("baseline")
+
+    def knee_gain(self) -> float:
+        """checkin's sustainable load as a multiple of baseline's."""
+        base = self.sustainable_ops("baseline")
+        return self.sustainable_ops("checkin") / base if base \
+            else float("inf")
+
+    def table(self) -> str:
+        lines = [f"knee search ({self.scale} scale, "
+                 f"SLO p99 <= {self.slo_p99_us:.0f} us, "
+                 f"shed <= {SHED_SLO:.0%})",
+                 f"{'mode':>10} {'offered/s':>10} {'p99 us':>9} "
+                 f"{'shed %':>7} {'goodput/s':>10} {'ckpts':>5} "
+                 f"{'in SLO':>6}"]
+        for mode in self.modes:
+            for point in sorted(self.points[mode],
+                                key=lambda p: p.offered_qps):
+                lines.append(
+                    f"{mode:>10} {point.offered_qps:>10.0f} "
+                    f"{point.p99_us:>9.1f} {point.shed_rate:>6.1%} "
+                    f"{point.goodput_qps:>10.0f} {point.checkpoints:>5} "
+                    f"{'yes' if point.met(self.slo_p99_us) else 'NO':>6}")
+            lines.append(f"{mode:>10} sustainable: "
+                         f"{self.sustainable_ops(mode):.0f} ops/s")
+        lines.append(f"knee gain (checkin / baseline): "
+                     f"{self.knee_gain():.2f}x")
+        return "\n".join(lines)
+
+
+def _probe_point(mode: str, scale: ExperimentScale, offered: float,
+                 threads: int) -> KneePoint:
+    """Run one offered-load point in open loop and summarise it."""
+    queries = max(1_000, int(offered * POINT_SPAN_NS / SEC))
+    config = knee_config(
+        mode, scale,
+        total_queries=queries,
+        arrivals=ArrivalSpec(rate_ops_per_sec=offered),
+        admission=AdmissionConfig(policy="queue", max_inflight=threads,
+                                  max_waiting=4 * threads))
+    result = run_config(config)
+    report = result.admission
+    summary = result.metrics.summary()
+    return KneePoint(
+        offered_qps=offered,
+        submitted=report.submitted,
+        completed=report.completed,
+        shed=report.shed_total,
+        p99_us=summary["latency_p99_us"],
+        goodput_qps=summary["throughput_qps"],
+        checkpoints=result.checkpoint_count)
+
+
+def _find_knee(mode: str, scale: ExperimentScale, anchor_qps: float,
+               slo_p99_us: float, threads: int
+               ) -> Tuple[float, List[KneePoint]]:
+    """Locate the knee by doubling to a failing bracket, then bisecting."""
+    probed: List[KneePoint] = []
+    cache: Dict[float, KneePoint] = {}
+
+    def sustained(offered: float) -> bool:
+        # The walkdown and doubling phases can land on the same load;
+        # the sweep is deterministic, so re-running it is pure waste.
+        point = cache.get(offered)
+        if point is None:
+            point = _probe_point(mode, scale, offered, threads)
+            cache[offered] = point
+            probed.append(point)
+        return point.met(slo_p99_us)
+
+    lo = max(1_000.0, 0.5 * anchor_qps)
+    # The anchor should be comfortably sustainable; if the closed-loop
+    # estimate was optimistic, walk down until a point holds.
+    for _ in range(3):
+        if sustained(lo):
+            break
+        lo *= 0.5
+    else:
+        return 0.0, probed
+    hi = lo
+    for _ in range(4):
+        hi *= 2.0
+        if not sustained(hi):
+            break
+    else:
+        # Never failed inside the doubling budget: report the last
+        # sustained load rather than pretending the search converged.
+        return hi, probed
+    for _ in range(BISECT_ROUNDS):
+        mid = (lo + hi) / 2.0
+        if sustained(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, probed
+
+
+def run_knee(scale: ExperimentScale = QUICK,
+             modes: Tuple[str, ...] = KNEE_MODES,
+             slo_p99_us: float = SLO_P99_US) -> KneeResult:
+    """Calibrate per-mode anchors, then bisect each mode's knee."""
+    threads = max(8, scale.threads // 2)
+    capacity: Dict[str, float] = {}
+    for mode in modes:
+        calibration = run_config(knee_config(mode, scale))
+        capacity[mode] = calibration.metrics.summary()["throughput_qps"]
+    points: Dict[str, List[KneePoint]] = {}
+    knees: Dict[str, float] = {}
+    for mode in modes:
+        knee, probed = _find_knee(mode, scale, capacity[mode],
+                                  slo_p99_us, threads)
+        knees[mode] = knee
+        points[mode] = probed
+    return KneeResult(scale=scale.name, modes=modes,
+                      capacity_qps=capacity, slo_p99_us=slo_p99_us,
+                      points=points, knee_qps=knees)
+
+
+KNEE_PROBE_SCALE = ExperimentScale(name="knee-probe", queries=10_000,
+                                   keys=1_024, threads=8,
+                                   thread_sweep=(8,))
+"""Compact scale for the bench-artifact probe and tier-1 tests: small
+enough to ride along every ``repro bench`` invocation, large enough that
+the knee separation is stable across seeds."""
+
+
+def bench_knee_probe(modes: Tuple[str, ...] = KNEE_MODES) -> float:
+    """The gated ``knee_sustainable_ops`` bench metric.
+
+    Returns checkin's sustainable offered load (ops/s) from a compact
+    two-mode knee search — the number the paper's headline rides on.
+    Fully deterministic (simulated time), so ``benchmarks/regress.py``
+    can hold it to a tolerance band.
+    """
+    result = run_knee(scale=KNEE_PROBE_SCALE, modes=modes)
+    return result.sustainable_ops("checkin")

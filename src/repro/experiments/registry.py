@@ -17,7 +17,8 @@ from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13a, run_fig13b
-from repro.experiments.interference import run_interference
+from repro.experiments.interference import run_burst_storm, run_interference
+from repro.experiments.knee import run_knee
 from repro.experiments.table1 import run_table1
 
 EXPERIMENT_ALIASES: Dict[str, str] = {
@@ -41,6 +42,8 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
     "fig13b": run_fig13b,
     "table1": run_table1,
     "interference": run_interference,
+    "knee": run_knee,
+    "burst_storm": run_burst_storm,
 }
 """Every reproducible table/figure, keyed by its paper id."""
 

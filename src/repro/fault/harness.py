@@ -26,6 +26,11 @@ from typing import Any, Dict, Generator, List, Tuple
 from repro.common.errors import RecoveryError, SimulationError
 from repro.common.rng import SeededRng
 from repro.common.units import MIB
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+)
 from repro.engine.engine import StorageEngine
 from repro.engine.recovery import check_durability
 from repro.fault.crash import CrashReport, power_cut, recover_device
@@ -37,6 +42,7 @@ from repro.sim.process import spawn
 from repro.system.config import SystemConfig, TenantSpec, tiny_config
 from repro.system.system import KvSystem
 from repro.trace.tracer import Tracer
+from repro.workload.arrivals import ArrivalSpec, arrival_times
 
 
 @dataclass
@@ -249,5 +255,261 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
                 break
         else:
             result.recovered_digest = "+".join(digests)
+        sweep.results.append(result)
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Open-loop crash sweep: admission control under power loss.
+#
+# The classic sweep above drives the engine closed-loop; this variant
+# pushes a bursty open-loop arrival stream through a deliberately tiny
+# front door (AdmissionController), so some arrivals are shed *before*
+# ever touching the engine, then pulls the plug mid-stream.  The two
+# durability claims under test:
+#
+# * an op that was shed was never acked — shed and acked index sets are
+#   disjoint at every crash instant;
+# * an op that WAS acked survives recovery — the standard
+#   ``acked <= recovered <= current`` durability check, with ``acked``
+#   containing only admitted-and-completed writes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpenLoopCrashPoint:
+    """One open-loop crash/recover/verify cycle."""
+
+    index: int
+    crash_step: int
+    sim_time_ns: int
+    submitted: int
+    completed: int
+    shed: int
+    pending: int
+    """Ops past the front door but unfinished at the crash instant
+    (``inflight + waiting`` on the controller)."""
+
+    acked_keys: int
+    report: CrashReport
+    shed_acked_overlap: int = 0
+    """Ops both shed and acked — must be zero (the no-zombie claim)."""
+
+    reconciled: bool = True
+    """``submitted == completed + shed + pending`` at the crash instant
+    — the typed-completion ledger balances even mid-flight."""
+
+    mapping_mismatches: int = 0
+    invariant_violations: List[str] = field(default_factory=list)
+    durability_error: str = ""
+    recovered_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when recovery was exact and the admission ledger clean."""
+        return (self.shed_acked_overlap == 0
+                and self.reconciled
+                and self.mapping_mismatches == 0
+                and not self.invariant_violations
+                and not self.durability_error)
+
+
+@dataclass
+class OpenLoopSweepResult:
+    """All crash points of one open-loop (mode, seed) sweep."""
+
+    mode: str
+    seed: int
+    total_steps: int
+    results: List[OpenLoopCrashPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> List[OpenLoopCrashPoint]:
+        return [result for result in self.results if not result.ok]
+
+    def total_shed(self) -> int:
+        """Sheds summed across crash points — the sweep only exercises
+        the shed/acked disjointness claim when this is positive."""
+        return sum(result.shed for result in self.results)
+
+    def digest(self) -> str:
+        """Stable fingerprint of the sweep (determinism checks)."""
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(f"{result.crash_step}:{result.shed}:"
+                          f"{result.recovered_digest}".encode())
+        return digest.hexdigest()[:16]
+
+
+def _open_loop_put(engine: StorageEngine, admission: AdmissionController,
+                   ticket: AdmissionTicket, key: int, index: int,
+                   acked: Dict[int, int], acked_indices: set
+                   ) -> Generator[Any, Any, None]:
+    if ticket.queued:
+        yield ticket.event
+    version = yield from engine.put(key)
+    admission.release()
+    if version is not None:
+        acked[key] = version
+        acked_indices.add(index)
+
+
+def _open_loop_dispatcher(system: KvSystem, engine: StorageEngine,
+                          admission: AdmissionController,
+                          times: List[int], num_keys: int,
+                          acked: Dict[int, int], acked_indices: set,
+                          shed_indices: set, workers: List[Any]
+                          ) -> Generator[Any, Any, None]:
+    base = system.sim.now
+    for index, instant in enumerate(times):
+        target = base + instant
+        if target > system.sim.now:
+            yield target - system.sim.now
+        ticket = admission.try_admit(is_read=False)
+        if ticket.shed:
+            shed_indices.add(index)
+            continue
+        workers.append(spawn(
+            system.sim,
+            _open_loop_put(engine, admission, ticket,
+                           (index * 7) % num_keys, index, acked,
+                           acked_indices),
+            name=f"ol-put{index}"))
+
+
+def _open_loop_checkpointer(engine: StorageEngine, count: int,
+                            gap_ns: int) -> Generator[Any, Any, None]:
+    for _ in range(count):
+        yield gap_ns
+        yield from engine.checkpoint()
+
+
+def _start_open_loop(config: SystemConfig, spec: ArrivalSpec, ops: int,
+                     admission_config: AdmissionConfig) -> Dict[str, Any]:
+    """Build a started system running the open-loop crash workload."""
+    system = KvSystem(config)
+    system.load()
+    tenant = system.tenants[0]
+    tenant.engine.start()
+    ckpt_violations: List[str] = []
+    tenant.engine.on_checkpoint.append(
+        lambda engine, _report: ckpt_violations.extend(
+            check_ftl_invariants(engine.ssd.ftl)))
+    admission = AdmissionController(system.sim, admission_config,
+                                    label="open-crash")
+    times = arrival_times(
+        spec, SeededRng(config.seed).fork("open-crash/arrivals"), ops)
+    span = times[-1] if times else 0
+    acked: Dict[int, int] = {}
+    acked_indices: set = set()
+    shed_indices: set = set()
+    workers: List[Any] = []
+    dispatcher = spawn(
+        system.sim,
+        _open_loop_dispatcher(system, tenant.engine, admission, times,
+                              tenant.view.num_keys, acked, acked_indices,
+                              shed_indices, workers),
+        name="ol-dispatch")
+    checkpointer = spawn(
+        system.sim,
+        _open_loop_checkpointer(tenant.engine, 3, max(1, span // 4)),
+        name="ol-ckpt")
+    return dict(system=system, tenant=tenant, admission=admission,
+                acked=acked, acked_indices=acked_indices,
+                shed_indices=shed_indices, workers=workers,
+                dispatcher=dispatcher, checkpointer=checkpointer,
+                ckpt_violations=ckpt_violations)
+
+
+def _open_loop_drained(run: Dict[str, Any]) -> bool:
+    return (run["dispatcher"].triggered and run["checkpointer"].triggered
+            and all(worker.triggered for worker in run["workers"]))
+
+
+def open_loop_crash_sweep(mode: str, crash_points: int = 12, seed: int = 7,
+                          ops: int = 160, num_keys: int = 64,
+                          rate_ops_per_sec: float = 150_000.0,
+                          max_inflight: int = 2, max_waiting: int = 3
+                          ) -> OpenLoopSweepResult:
+    """Power-cut a bursty open-loop stream behind a tiny front door.
+
+    The burst arrival process against ``max_inflight=2 / max_waiting=3``
+    guarantees sheds (asserted via :meth:`OpenLoopSweepResult.total_shed`
+    by the battery), and the seeded crash instants land before, inside
+    and after checkpoints.  Every crash point asserts the shed/acked
+    sets are disjoint, the admission ledger reconciles mid-flight, and
+    acked writes survive SPOR recovery.
+    """
+    config = tiny_config(mode=mode, seed=seed, num_keys=num_keys,
+                         track_op_log=True, snapshot_metadata=True)
+    spec = ArrivalSpec(rate_ops_per_sec=rate_ops_per_sec, process="bursts")
+    admission_config = AdmissionConfig(policy="queue",
+                                       max_inflight=max_inflight,
+                                       max_waiting=max_waiting)
+
+    # Reference run: learn the workload's event-step count T.
+    run = _start_open_loop(config, spec, ops, admission_config)
+    total_steps = 0
+    while not _open_loop_drained(run):
+        if not run["system"].sim.step():
+            raise SimulationError(
+                "open-loop crash sweep reference run drained early")
+        total_steps += 1
+    for proc in [run["dispatcher"], run["checkpointer"]] + run["workers"]:
+        if not proc.ok:
+            raise proc.exception
+    if run["ckpt_violations"]:
+        raise SimulationError(
+            f"invariants already broken in reference run: "
+            f"{run['ckpt_violations'][:3]}")
+
+    sweep = OpenLoopSweepResult(mode=mode, seed=seed,
+                                total_steps=total_steps)
+    rng = SeededRng(seed).fork(f"open-crash/{mode}")
+    for index in range(crash_points):
+        point_rng = rng.fork(f"point{index}")
+        crash_step = point_rng.randint(1, total_steps)
+        run = _start_open_loop(config, spec, ops, admission_config)
+        system = run["system"]
+        for _ in range(crash_step):
+            if _open_loop_drained(run):
+                break
+            if not system.sim.step():
+                raise SimulationError(
+                    "open-loop crash sweep crash run drained early")
+
+        admission = run["admission"]
+        acked_at_crash = dict(run["acked"])
+        current = {record.key: record.version
+                   for record in run["tenant"].engine.kvmap.records()}
+        pre_crash_mapping = system.ssd.ftl.mapping.snapshot()
+        shed_total = sum(admission.shed.values())
+        pending = admission.inflight + admission.waiting
+
+        report = power_cut(system, point_rng.fork("tear"))
+        rebuilt = recover_device(system)
+
+        result = OpenLoopCrashPoint(
+            index=index, crash_step=crash_step, sim_time_ns=system.sim.now,
+            submitted=admission.submitted, completed=admission.completed,
+            shed=shed_total, pending=pending,
+            acked_keys=len(acked_at_crash), report=report,
+            shed_acked_overlap=len(
+                run["shed_indices"] & run["acked_indices"]),
+            reconciled=(admission.submitted
+                        == admission.completed + shed_total + pending))
+        result.mapping_mismatches = sum(
+            1 for lpn in set(pre_crash_mapping) | set(rebuilt)
+            if pre_crash_mapping.get(lpn) != rebuilt.get(lpn))
+        result.invariant_violations = check_ftl_invariants(system.ssd.ftl)
+        try:
+            recovered = check_durability(run["tenant"].engine,
+                                         acked_at_crash, current)
+            result.recovered_digest = _state_digest(recovered.versions)
+        except RecoveryError as exc:
+            result.durability_error = str(exc)
         sweep.results.append(result)
     return sweep

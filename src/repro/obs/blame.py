@@ -47,6 +47,7 @@ class BlameError(SimulationError):
 
 
 CATEGORIES = (
+    "admission",           # front-door admission wait / shed decision
     "ckpt_freeze_stall",   # engine query gate + journal rotation wait
     "journal_queue",       # group-commit gathering + committer backlog
     "journal_full_stall",  # journal half full, waiting on a checkpoint
@@ -72,6 +73,10 @@ running — the checkpoint-attributable share of a request's latency."""
 
 RESIDUAL = "host_cpu"
 """Category absorbing the unmeasured remainder at finalize time."""
+
+ADMISSION = "admission"
+"""Stage charged for time spent queued at (or shed by) the front-door
+admission controller, before the engine ever sees the request."""
 
 
 def add_ns(blame: Dict[str, int], category: str, ns: int) -> None:

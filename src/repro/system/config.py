@@ -33,7 +33,9 @@ from repro.ssd.interface import (
     NamespaceRange,
 )
 from repro.ssd.ssd import SsdSpec
+from repro.engine.admission import AdmissionConfig
 from repro.telemetry.sampler import TelemetryConfig
+from repro.workload.arrivals import ArrivalSpec
 from repro.workload.records import (
     FixedSize,
     RecordSizeModel,
@@ -119,6 +121,8 @@ class TenantSpec:
     checkpoint_interval_ns: Optional[int] = None
     checkpoint_journal_quota: Optional[int] = None
     journal_area_bytes: Optional[int] = None
+    arrivals: Optional[ArrivalSpec] = None
+    admission: Optional[AdmissionConfig] = None
 
     def label(self, index: int) -> str:
         """Display name of the tenant at ``index``."""
@@ -128,7 +132,7 @@ class TenantSpec:
 _TENANT_OVERRIDE_FIELDS = (
     "workload", "distribution", "threads", "num_keys", "total_queries",
     "size_spec", "checkpoint_interval_ns", "checkpoint_journal_quota",
-    "journal_area_bytes")
+    "journal_area_bytes", "arrivals", "admission")
 
 
 @dataclass(frozen=True)
@@ -237,6 +241,20 @@ class SystemConfig:
     even an enabled run executes the identical event sequence — but a
     disabled run also skips every ledger allocation and clock read."""
 
+    arrivals: Optional[ArrivalSpec] = None
+    """Open-loop arrival process (see ``repro.workload.arrivals``).  None
+    (the default) keeps the classic closed-loop client threads; a spec
+    replaces them with a single dispatcher firing ``total_queries``
+    operations at externally generated instants.  Like ``trace`` and
+    ``telemetry``, leaving this off costs nothing: an arrivals-off run is
+    byte-identical to the pre-open-loop behaviour."""
+
+    admission: Optional[AdmissionConfig] = None
+    """Front-door admission control (see ``repro.engine.admission``).
+    None + arrivals set means a default bounded-queue controller (open
+    loop without a front door would queue unboundedly past saturation);
+    None with closed-loop clients means no front door at all."""
+
     tenants: Optional[Tuple[TenantSpec, ...]] = None
     """None = classic single-tenant run.  A tuple (even of length one)
     selects namespace sharding: each tenant gets its own engine, journal
@@ -269,6 +287,18 @@ class SystemConfig:
     def with_mode(self, mode: str) -> "SystemConfig":
         """The same experiment under a different configuration."""
         return replace(self, mode=mode)
+
+    def effective_admission(self) -> Optional[AdmissionConfig]:
+        """The front-door config actually in force.
+
+        Open-loop runs always get a front door (explicit or default);
+        closed-loop runs only get one when asked.
+        """
+        if self.admission is not None:
+            return self.admission
+        if self.arrivals is not None:
+            return AdmissionConfig()
+        return None
 
     def size_model(self) -> RecordSizeModel:
         """Instantiate the record-size model from ``size_spec``.

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List, Optional, Union
 
 from repro.common.errors import SimulationError
 from repro.common.rng import SeededRng
+from repro.engine.admission import AdmissionController, AdmissionReport
 from repro.engine.checkpointer import CheckpointReport
 from repro.engine.engine import StorageEngine
 from repro.obs import blame_enabled, register_blame
@@ -45,7 +46,12 @@ from repro.telemetry import (
 from repro.telemetry.sampler import TelemetryConfig, TelemetrySampler
 from repro.trace import install_tracer, summarize, tracing_enabled
 from repro.trace.metrics import TraceSummary
-from repro.workload.client import ClientPool, LatencySink
+from repro.workload.arrivals import arrival_times
+from repro.workload.client import (
+    ClientPool,
+    LatencySink,
+    OpenLoopClientPool,
+)
 from repro.workload.distributions import make_distribution
 from repro.workload.records import RecordSizeModel
 from repro.workload.ycsb import OperationGenerator, workload_by_name
@@ -67,6 +73,9 @@ class TenantRuntime:
     blame: Optional[BlameCollector] = None
     """Per-tenant blame collector; None when attribution is off."""
 
+    admission: Optional[AdmissionController] = None
+    """Front-door controller; None when the tenant has no front door."""
+
 
 @dataclass
 class TenantResult:
@@ -76,6 +85,8 @@ class TenantResult:
     config: SystemConfig
     metrics: RunMetrics
     checkpoint_reports: List[CheckpointReport] = field(default_factory=list)
+    admission: Optional[AdmissionReport] = None
+    """Front-door reconciliation snapshot; None without a controller."""
 
     @property
     def operations(self) -> int:
@@ -136,6 +147,12 @@ class RunResult:
                 return entry
         raise KeyError(f"no tenant named {name!r}")
 
+    @property
+    def admission(self) -> Optional[AdmissionReport]:
+        """Tenant 0's front-door report (the aggregate on single-tenant
+        runs); None when no admission controller was in force."""
+        return self.tenants[0].admission if self.tenants else None
+
 
 class KvSystem:
     """One configured key-value store system instance."""
@@ -176,6 +193,11 @@ class KvSystem:
                     engine=engine, metrics=metrics,
                     size_model=view.size_model(),
                     sink=self._tenant_sink(metrics)))
+        for tenant in self.tenants:
+            admission_cfg = tenant.view.effective_admission()
+            if admission_cfg is not None:
+                tenant.admission = AdmissionController(
+                    self.sim, admission_cfg, label=tenant.name)
         self.engine = self.tenants[0].engine
         """Tenant 0's engine — the whole system's engine on the legacy
         single-tenant path (kept as an attribute for compatibility)."""
@@ -222,13 +244,32 @@ class KvSystem:
         self._loaded = True
 
     def make_client_pool(self, tenant: Optional[TenantRuntime] = None
-                         ) -> ClientPool:
-        """Build the closed-loop client pool for one tenant (default: 0)."""
+                         ) -> Union[ClientPool, OpenLoopClientPool]:
+        """Build the client pool for one tenant (default: 0).
+
+        Closed-loop YCSB threads by default; an :class:`ArrivalSpec` on
+        the tenant's view swaps in an open-loop dispatcher.  The RNG
+        lineages of the two paths are disjoint forks of the same root, so
+        enabling arrivals never perturbs a closed-loop run's streams.
+        """
         if tenant is None:
             tenant = self.tenants[0]
         view = tenant.view
         root = SeededRng(view.seed)
         spec = workload_by_name(view.workload)
+        label = tenant.name if self.config.tenants is not None else ""
+        if view.arrivals is not None:
+            open_rng = root.fork("open-loop")
+            keys = make_distribution(view.distribution, view.num_keys,
+                                     open_rng.fork("keys"))
+            generator = OperationGenerator(spec, keys,
+                                           open_rng.fork("ops"))
+            times = arrival_times(view.arrivals, root.fork("arrivals"),
+                                  view.total_queries)
+            return OpenLoopClientPool(self.sim, tenant.engine, generator,
+                                      times, admission=tenant.admission,
+                                      on_complete=tenant.sink, label=label,
+                                      blame=tenant.blame)
         generators = []
         for thread in range(view.threads):
             thread_rng = root.fork(f"thread{thread}")
@@ -237,11 +278,10 @@ class KvSystem:
                                      thread_rng.fork("keys"))
             generators.append(OperationGenerator(spec, keys,
                                                  thread_rng.fork("ops")))
-        label = tenant.name if self.config.tenants is not None else ""
         return ClientPool(self.sim, tenant.engine, generators,
                           view.total_queries,
                           on_complete=tenant.sink, label=label,
-                          blame=tenant.blame)
+                          blame=tenant.blame, admission=tenant.admission)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -304,7 +344,9 @@ class KvSystem:
             all_reports.extend(reports)
             tenant_results.append(TenantResult(
                 name=tenant.name, config=tenant.view,
-                metrics=tenant.metrics, checkpoint_reports=reports))
+                metrics=tenant.metrics, checkpoint_reports=reports,
+                admission=tenant.admission.report(tenant.name)
+                if tenant.admission is not None else None))
         return RunResult(config=self.config, metrics=self.metrics,
                          checkpoint_reports=all_reports,
                          trace_summary=summarize(tracer)

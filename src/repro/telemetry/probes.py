@@ -66,6 +66,17 @@ def _tenant_probes(registry: MetricRegistry, system: Any,
                        lambda c=controller, n=tenant.index:
                        c.namespace_queue_depth(n).level,
                        tenant=scope)
+    admission = getattr(tenant, "admission", None)
+    if admission is not None:
+        registry.gauge("admission.inflight", "admission",
+                       lambda a=admission: float(a.inflight), tenant=scope)
+        registry.gauge("admission.waiting", "admission",
+                       lambda a=admission: float(a.waiting), tenant=scope)
+        registry.counter("admission.submitted", "admission",
+                         lambda a=admission: a.submitted, tenant=scope)
+        registry.counter("admission.shed_ops", "admission",
+                         lambda a=admission: sum(a.shed.values()),
+                         tenant=scope)
 
 
 def build_registry(system: Any) -> MetricRegistry:
@@ -130,6 +141,23 @@ def build_registry(system: Any) -> MetricRegistry:
     registry.stat_counter(stats, names.MEDIA_READ_RETRY, "media")
     registry.stat_counter(stats, names.MEDIA_PROGRAM_FAIL, "media")
 
+    # -- front-door admission (only when some tenant has a controller) ---
+    admitted = [t for t in tenants
+                if getattr(t, "admission", None) is not None]
+    if admitted:
+        registry.gauge("admission.inflight", "admission",
+                       lambda ts=admitted: float(
+                           sum(t.admission.inflight for t in ts)))
+        registry.gauge("admission.waiting", "admission",
+                       lambda ts=admitted: float(
+                           sum(t.admission.waiting for t in ts)))
+        registry.counter("admission.submitted", "admission",
+                         lambda ts=admitted:
+                         sum(t.admission.submitted for t in ts))
+        registry.counter("admission.shed_ops", "admission",
+                         lambda ts=admitted:
+                         sum(sum(t.admission.shed.values()) for t in ts))
+
     # -- per-tenant scopes -------------------------------------------------
     for tenant in tenants:
         _tenant_probes(registry, system, tenant, tenant.name)
@@ -160,6 +188,14 @@ def build_watchdogs(system: Any, config: TelemetryConfig) -> WatchdogBank:
             tenant=tenant.name,
             overdue_ns=int(thresholds.checkpoint_overdue_factor
                            * view.checkpoint_interval_ns)))
+        admission = getattr(tenant, "admission", None)
+        if admission is not None:
+            # Sustained full waiting room = the front door is the only
+            # thing standing between this tenant and unbounded queueing.
+            bank.add(ThresholdWatchdog(
+                "admission_overload", "admission.waiting",
+                threshold=float(max(1, admission.config.max_waiting)),
+                tenant=tenant.name, consecutive=2))
     return bank
 
 

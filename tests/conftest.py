@@ -4,14 +4,41 @@ The ``test_system*`` files all build the same tiny-device system and
 drive it with the same step loop; these fixtures keep that boilerplate
 in one place.  Config-only unit tests keep importing ``tiny_config``
 directly — the fixtures are for tests that *run* a system.
+
+Also home to the shared scale/config constants several files used to
+define for themselves (``MICRO``, ``TWO_TENANTS``, ``summaries``) —
+``tests`` is a package, so ``from tests.conftest import MICRO`` works.
 """
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.common.units import MIB
+from repro.experiments import ExperimentScale
 from repro.sim import spawn
-from repro.system import KvSystem, run_config, tiny_config
+from repro.system import KvSystem, TenantSpec, run_config, tiny_config
+
+MICRO = ExperimentScale(name="micro", queries=1_800, keys=512, threads=4,
+                        thread_sweep=(2, 4))
+"""Smallest scale the experiment harness runs end to end — the smoke
+scale for ``test_experiments.py`` and the overload battery."""
+
+TWO_TENANTS = dict(journal_area_bytes=1 * MIB, num_keys=128,
+                   total_queries=600,
+                   tenants=(TenantSpec(), TenantSpec()))
+"""Canonical two-tenant tiny config (``test_system_tenants.py`` et al)."""
+
+
+def summaries(result):
+    """Byte-stable fingerprint of a run: aggregate + per-tenant metrics."""
+    return json.dumps(
+        [result.metrics.summary()] +
+        [[tenant.name, tenant.metrics.summary()]
+         for tenant in result.tenants],
+        sort_keys=True)
 
 
 @pytest.fixture
@@ -60,3 +87,32 @@ def drive():
         assert proc.ok, proc.exception
         return proc
     return _drive
+
+
+@pytest.fixture
+def open_loop_config():
+    """Factory: a tiny config driven by open-loop arrivals + admission.
+
+    ``rate`` is the offered load (ops/s); admission keyword arguments
+    (``policy``, ``max_inflight``, ``max_waiting``) configure the front
+    door; everything else is forwarded to :func:`tiny_config`.  The
+    returned config runs through the ordinary ``run_config`` /
+    ``KvSystem`` path — the open-loop dispatch is selected by the
+    ``arrivals`` field.
+    """
+    from repro.engine.admission import AdmissionConfig
+    from repro.workload.arrivals import ArrivalSpec
+
+    def _make(rate: float = 100_000.0, process: str = "poisson",
+              schedule: str = "constant", policy: str = "queue",
+              max_inflight: int = 8, max_waiting: int = 32,
+              **overrides):
+        overrides.setdefault("total_queries", 800)
+        return tiny_config(
+            arrivals=ArrivalSpec(rate_ops_per_sec=rate, process=process,
+                                 schedule=schedule),
+            admission=AdmissionConfig(policy=policy,
+                                      max_inflight=max_inflight,
+                                      max_waiting=max_waiting),
+            **overrides)
+    return _make

@@ -1,0 +1,135 @@
+"""Unit tests for the front-door admission controller.
+
+Pure controller-level coverage: policies, slot accounting, FIFO slot
+transfer, typed shed reasons and the reconciliation ledger.  The
+system-level overload battery lives in ``test_overload.py``.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine.admission import (
+    ACCEPT,
+    POLICIES,
+    QUEUED,
+    SHED_QUEUE_FULL,
+    SHED_REASONS,
+    SHED_WAITING_ROOM_FULL,
+    SHED_WRITE_DEGRADED,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+)
+from repro.sim import Simulator
+
+
+def controller(policy="queue", max_inflight=2, max_waiting=2):
+    return AdmissionController(
+        Simulator(),
+        AdmissionConfig(policy=policy, max_inflight=max_inflight,
+                        max_waiting=max_waiting))
+
+
+class TestConfig:
+    def test_policies(self):
+        for policy in POLICIES:
+            AdmissionConfig(policy=policy)
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(policy="bounce")
+
+    def test_bad_limits(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_waiting=-1)
+
+
+class TestTicket:
+    def test_outcome_flags(self):
+        assert AdmissionTicket(ACCEPT).accepted
+        assert AdmissionTicket(QUEUED).queued
+        for reason in SHED_REASONS:
+            ticket = AdmissionTicket(reason)
+            assert ticket.shed
+            assert not ticket.accepted and not ticket.queued
+
+
+class TestQueuePolicy:
+    def test_accept_until_full_then_queue_then_shed(self):
+        front = controller(max_inflight=2, max_waiting=2)
+        outcomes = [front.try_admit(is_read=False).outcome
+                    for _ in range(5)]
+        assert outcomes == [ACCEPT, ACCEPT, QUEUED, QUEUED,
+                            SHED_WAITING_ROOM_FULL]
+        assert front.inflight == 2 and front.waiting == 2
+
+    def test_release_transfers_slot_fifo(self):
+        front = controller(max_inflight=1, max_waiting=2)
+        front.try_admit(is_read=False)
+        first = front.try_admit(is_read=False)
+        second = front.try_admit(is_read=False)
+        front.release()
+        # The freed slot goes to the oldest waiter, in order; inflight
+        # never dips (the slot transfers, it is not returned to the pool).
+        assert first.event.triggered and not second.event.triggered
+        assert front.inflight == 1 and front.waiting == 1
+        front.release()
+        assert second.event.triggered
+        assert front.inflight == 1 and front.waiting == 0
+        front.release()
+        assert front.inflight == 0
+
+    def test_release_without_admit_raises(self):
+        with pytest.raises(ConfigError):
+            controller().release()
+
+
+class TestShedPolicy:
+    def test_sheds_at_capacity_no_waiting_room(self):
+        front = controller(policy="shed", max_inflight=1)
+        assert front.try_admit(is_read=False).accepted
+        ticket = front.try_admit(is_read=False)
+        assert ticket.outcome == SHED_QUEUE_FULL
+        assert front.waiting == 0
+
+
+class TestDegradePolicy:
+    def test_reads_wait_writes_shed(self):
+        front = controller(policy="degrade", max_inflight=1, max_waiting=4)
+        assert front.try_admit(is_read=True).accepted
+        assert front.try_admit(is_read=True).queued
+        ticket = front.try_admit(is_read=False)
+        assert ticket.outcome == SHED_WRITE_DEGRADED
+
+    def test_reads_shed_when_waiting_room_full(self):
+        front = controller(policy="degrade", max_inflight=1, max_waiting=1)
+        front.try_admit(is_read=True)
+        front.try_admit(is_read=True)
+        ticket = front.try_admit(is_read=True)
+        assert ticket.outcome == SHED_WAITING_ROOM_FULL
+
+
+class TestReconciliation:
+    def test_ledger_balances_and_reports(self):
+        front = controller(max_inflight=2, max_waiting=1)
+        tickets = [front.try_admit(is_read=False) for _ in range(5)]
+        executing = [t for t in tickets if not t.shed]
+        for _ in executing:
+            front.release()
+        report = front.report("t0")
+        assert report.submitted == 5
+        assert report.completed == 3
+        assert report.shed == {SHED_QUEUE_FULL: 0, SHED_WRITE_DEGRADED: 0,
+                               SHED_WAITING_ROOM_FULL: 2}
+        assert report.shed_total == 2
+        assert report.shed_rate == pytest.approx(0.4)
+        assert report.reconciles()
+        assert report.max_inflight_seen == 2
+        assert report.max_waiting_seen == 1
+
+    def test_empty_report_reconciles(self):
+        report = controller().report("idle")
+        assert report.reconciles()
+        assert report.shed_rate == 0.0

@@ -6,11 +6,9 @@ coherent result object; the benchmarks do the real (paper-shape) runs.
 
 import pytest
 
-from repro.experiments import ExperimentScale, paper_config
+from repro.experiments import paper_config
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-
-MICRO = ExperimentScale(name="micro", queries=1_800, keys=512, threads=4,
-                        thread_sweep=(2, 4))
+from tests.conftest import MICRO
 
 
 class TestBase:
@@ -33,7 +31,8 @@ class TestRegistry:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig3a", "fig3b", "fig3c", "fig8a", "fig8b", "fig9", "fig10",
-            "fig11", "fig12", "fig13a", "fig13b", "table1", "interference"}
+            "fig11", "fig12", "fig13a", "fig13b", "table1", "interference",
+            "knee", "burst_storm"}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -107,6 +106,33 @@ class TestMicroRuns:
 
 class TestSlowerMicroRuns:
     """Sweep experiments (still micro, a few seconds each)."""
+
+    def test_knee(self):
+        result = run_experiment("knee", MICRO)
+        # The acceptance headline: under open-loop load with the freeze-
+        # consistency lock, in-storage checkpointing sustains measurably
+        # more offered load inside the fixed SLO than the host journal.
+        assert result.sustainable_ops("baseline") > 0
+        assert result.checkin_beats_baseline()
+        assert result.knee_gain() > 1.5
+        for mode in ("baseline", "checkin"):
+            assert result.points[mode], "no probed points"
+            for point in result.points[mode]:
+                assert point.submitted >= point.completed
+        assert "sustainable" in result.table()
+
+    def test_burst_storm(self):
+        result = run_experiment("burst_storm", MICRO)
+        for mode in ("baseline", "checkin"):
+            # Typed completions reconcile and the waiting room stayed
+            # bounded, even at 1.5x the calibrated solo capacity.
+            assert result.survived(mode)
+        assert result.checkin_keeps_more_load()
+        # The PR-5 watchdogs double as overload detectors: the host-
+        # journal mode trips them under the flash crowd, checkin doesn't.
+        assert result.overload_detected("baseline")
+        assert not result.overload_detected("checkin")
+        assert "goodput" in result.table()
 
     def test_fig3b(self):
         result = run_experiment("fig3b", MICRO)

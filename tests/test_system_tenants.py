@@ -13,19 +13,7 @@ from repro.common.errors import ConfigError, NamespaceError
 from repro.common.units import MIB
 from repro.ssd import Command, Op
 from repro.system import KvSystem, TenantSpec, run_config, tiny_config
-
-TWO_TENANTS = dict(journal_area_bytes=1 * MIB, num_keys=128,
-                   total_queries=600,
-                   tenants=(TenantSpec(), TenantSpec()))
-
-
-def summaries(result):
-    """Byte-stable fingerprint of a run: aggregate + per-tenant metrics."""
-    return json.dumps(
-        [result.metrics.summary()] +
-        [[tenant.name, tenant.metrics.summary()]
-         for tenant in result.tenants],
-        sort_keys=True)
+from tests.conftest import TWO_TENANTS, summaries
 
 
 class TestTenantConfig:
