@@ -45,6 +45,7 @@ TOLERANCES = {
     "ops_per_sec": 0.75,
     "ckpt_blame_p99_share": 0.50,
     "knee_sustainable_ops": 0.30,
+    "rto_warm_replica_ns": 0.50,
 }
 """Allowed relative drift per gated metric (0.0 = must match exactly).
 
@@ -63,7 +64,13 @@ small baseline, keeping the gate tight in absolute terms.
 ``knee_sustainable_ops`` is checkin's open-loop knee (highest offered
 load sustained inside the knee experiment's p99 + shed SLO).  The
 bisection resolves the knee to ~12.5%, so 30% headroom gates real
-capacity collapses without tripping on bracket-boundary wobble."""
+capacity collapses without tripping on bracket-boundary wobble.
+
+``rto_warm_replica_ns`` is the mean warm-promote failover RTO of the
+compact seeded kill campaign — lower is better, so it gates on growth:
+50% headroom lets the failover-detection constant or drain behaviour be
+tuned intentionally while catching a promote path that stopped being
+warm (an order-of-magnitude jump toward snapshot-restore territory)."""
 
 HIGHER_IS_BETTER = {"throughput_qps", "ops_per_sec",
                     "knee_sustainable_ops"}

@@ -1,0 +1,41 @@
+"""Extension benchmark: the RPO/RTO recovery matrix.
+
+Not a paper figure — the robustness extension's headline: a warm
+replica promoted on failure must serve its first read well before a
+cold node can fetch, install and replay a snapshot.  The acceptance
+bar is a >= 2x mean-RTO advantage at QUICK scale, with zero acked-write
+loss at every seeded crash point (the campaign raises otherwise).
+"""
+
+from repro.experiments.base import QUICK
+from repro.experiments.recovery_matrix import run_recovery_matrix
+
+
+def test_recovery_matrix(benchmark, record_result):
+    result = benchmark.pedantic(run_recovery_matrix, args=(QUICK,),
+                                rounds=1, iterations=1)
+    record_result("recovery_matrix", result.table())
+
+    warm = result.row("warm_replica")
+    cold = result.row("snapshot_replay")
+    spor = result.row("spor_local")
+    # Warm promote: continuously-replayed state, nothing to install.
+    assert result.warm_speedup() >= 2.0
+    # Warm RPO can only be the unshipped tail; cold additionally loses
+    # acked-but-unexported ops, so it can never have *less* exposure.
+    assert warm.rpo_ops <= cold.rpo_ops
+    # The paper's local-restart story: nothing lost, but the journal
+    # replay makes it slower to first read than a warm promote.
+    assert spor.rpo_ops == 0.0
+    assert warm.rto_ns < spor.rto_ns
+
+
+def test_rto_metric_is_gated():
+    """The bench artifact must carry and gate ``rto_warm_replica_ns``."""
+    import regress
+
+    from repro.analysis.benchfile import GATED_METRICS
+    assert "rto_warm_replica_ns" in GATED_METRICS
+    assert "rto_warm_replica_ns" in regress.TOLERANCES
+    # Lower is better: the gate must fire on *growth*.
+    assert "rto_warm_replica_ns" not in regress.HIGHER_IS_BETTER

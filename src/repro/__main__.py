@@ -448,6 +448,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             write_bench_artifact,
         )
         from repro.experiments.knee import bench_knee_probe
+        from repro.experiments.recovery_matrix import bench_rto_probe
         bench_params = {"mode": args.mode, "workload": args.workload,
                         "threads": args.threads, "queries": args.queries,
                         "distribution": args.distribution}
@@ -458,12 +459,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         knee_ops = bench_knee_probe()
         print(f"\n[knee probe: checkin sustains {knee_ops:,.0f} open-loop "
               f"ops/s ({time.time() - knee_started:.1f}s)]")
+        # Likewise the warm-failover probe: a compact seeded
+        # kill-the-primary campaign whose mean promote RTO gates the
+        # replication subsystem's first-read latency after failover.
+        rto_started = time.time()
+        rto_ns = bench_rto_probe()
+        print(f"[rto probe: warm replica promote serves in "
+              f"{rto_ns / 1e6:.3f} ms ({time.time() - rto_started:.1f}s)]")
         stamp = runstamp()
         path = args.artifact or f"BENCH_{stamp}.json"
         write_bench_artifact(
             path, bench_artifact(result, bench_params, stamp=stamp,
                                  extra_metrics={
-                                     "knee_sustainable_ops": knee_ops}))
+                                     "knee_sustainable_ops": knee_ops,
+                                     "rto_warm_replica_ns": rto_ns}))
         print(f"[bench artifact -> {path}]")
     clear_blame()
     print(f"\n[wall: {elapsed:.1f}s, simulated: "
@@ -596,6 +605,86 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
         rows, title=f"fault sweep (seed {args.seed})"))
     print(f"\n[{sum(r[1] for r in rows)} crash points: {elapsed:.1f}s]")
     return 1 if failed else 0
+
+
+def _replicate_link(args: argparse.Namespace):
+    from repro.replication.ship import LinkSpec
+    return LinkSpec(latency_ns=int(args.latency_us * 1_000),
+                    gbit_per_s=args.gbps, batch_ops=args.batch_ops,
+                    queue_depth=args.queue_depth)
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.common.rng import SeededRng
+    from repro.replication.campaign import (
+        campaign_config,
+        cold_restore,
+        kill_primary_campaign,
+    )
+    from repro.replication.replica import ReplicatedPair
+
+    link = _replicate_link(args)
+    strategies = ("warm", "snapshot") if args.strategy == "both" \
+        else (args.strategy,)
+    started = time.time()
+
+    if args.campaign is not None:
+        campaign = kill_primary_campaign(
+            mode=args.mode, crash_points=args.campaign, seed=args.seed,
+            ops=args.ops, num_keys=args.keys, link=link,
+            strategies=strategies)
+        rows = []
+        for strategy in strategies:
+            rows.append([strategy, len(campaign.points),
+                         campaign.mean_rto_ns(strategy) / 1e6,
+                         campaign.mean_rpo_ops(strategy)])
+        print(format_table(
+            ["strategy", "crash_points", "rto_mean_ms", "rpo_mean_ops"],
+            rows, title=f"kill-the-primary campaign (mode {args.mode}, "
+                        f"seed {args.seed}, digest {campaign.digest()})"))
+        if len(strategies) == 2:
+            print(f"\nwarm promote vs snapshot+replay RTO: "
+                  f"{campaign.rto_speedup():.2f}x faster")
+        print(f"[{len(campaign.points)} kills, zero acked-write loss: "
+              f"{time.time() - started:.1f}s]")
+        return 0 if campaign.ok else 1
+
+    # Single kill-and-promote run.
+    config = campaign_config(mode=args.mode, seed=args.seed, ops=args.ops,
+                             num_keys=args.keys)
+    kill_step = args.kill_at
+    if kill_step is None:
+        reference = ReplicatedPair(config, link=link)
+        reference.start()
+        total_steps, _ = reference.run_workload()
+        reference.stop()
+        kill_step = max(1, int(total_steps * args.kill_frac))
+    pair = ReplicatedPair(config, link=link, semi_sync=args.semi_sync)
+    pair.start()
+    pair.run_workload(kill_step=kill_step)
+    pair.kill_primary(SeededRng(args.seed).fork("replicate-cli"))
+    print(f"primary killed at step {kill_step} "
+          f"(t={pair.primary.sim.now / 1e6:.3f} ms): "
+          f"{len(pair.log)} committed ops, "
+          f"shipped {pair.shipper.shipped_offset}, "
+          f"acked {pair.shipper.acked_offset}")
+    ok = True
+    if "warm" in strategies:
+        warm = pair.promote()
+        ok &= warm.contract_ok
+        print(f"  warm promote    : RTO {warm.rto_ns / 1e6:8.3f} ms, "
+              f"RPO {warm.rpo_ops} ops, applied {warm.applied_offset}, "
+              f"{warm.verified_reads} reads verified, "
+              f"contract {'OK' if warm.contract_ok else 'VIOLATED'}")
+    if "snapshot" in strategies:
+        cold = cold_restore(pair)
+        ok &= cold.contract_ok
+        print(f"  snapshot+replay : RTO {cold.rto_ns / 1e6:8.3f} ms, "
+              f"RPO {cold.rpo_ops} ops, installed {cold.installed} + "
+              f"replayed {cold.replayed_ops}, "
+              f"contract {'OK' if cold.contract_ok else 'VIOLATED'}")
+    print(f"[wall: {time.time() - started:.1f}s]")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -828,6 +917,43 @@ def build_parser() -> argparse.ArgumentParser:
                               help="program-fail base rates for the "
                                    "media-error grid")
     fault_parser.set_defaults(handler=_cmd_fault_sweep)
+
+    repl_parser = commands.add_parser(
+        "replicate",
+        help="kill-the-primary drill: journal shipping, promote-on-"
+             "failure, snapshot+replay — RTO/RPO per strategy")
+    repl_parser.add_argument("--mode", default="checkin",
+                             choices=("baseline", "isc_a", "isc_b",
+                                      "isc_c", "checkin"))
+    repl_parser.add_argument("--ops", type=int, default=160)
+    repl_parser.add_argument("--keys", type=int, default=64)
+    repl_parser.add_argument("--seed", type=int, default=7)
+    repl_parser.add_argument("--kill-at", type=int, default=None,
+                             metavar="STEP",
+                             help="kill the primary after this many "
+                                  "merged-time steps (default: "
+                                  "--kill-frac of the full run)")
+    repl_parser.add_argument("--kill-frac", type=float, default=0.6,
+                             help="kill point as a fraction of the "
+                                  "reference run's steps")
+    repl_parser.add_argument("--latency-us", type=float, default=50.0,
+                             help="one-way link latency")
+    repl_parser.add_argument("--gbps", type=float, default=10.0,
+                             help="link bandwidth (Gbit/s)")
+    repl_parser.add_argument("--batch-ops", type=int, default=64)
+    repl_parser.add_argument("--queue-depth", type=int, default=4,
+                             help="in-flight ship batches before the "
+                                  "shipper stalls")
+    repl_parser.add_argument("--campaign", type=int, default=None,
+                             metavar="N",
+                             help="instead of one kill: N seeded crash "
+                                  "points, every strategy, mean RTO/RPO")
+    repl_parser.add_argument("--strategy", default="both",
+                             choices=("warm", "snapshot", "both"))
+    repl_parser.add_argument("--semi-sync", action="store_true",
+                             help="writers wait for the ship ack "
+                                  "(single-kill runs only)")
+    repl_parser.set_defaults(handler=_cmd_replicate)
     return parser
 
 

@@ -41,6 +41,7 @@ GATED_METRICS = (
     "ops_per_sec",
     "ckpt_blame_p99_share",
     "knee_sustainable_ops",
+    "rto_warm_replica_ns",
 )
 """Metrics the regression gate tracks (regress.py assigns tolerances).
 
@@ -49,6 +50,12 @@ load (ops/s) the checkin mode sustains inside the knee experiment's
 fixed p99 + shed SLO (see ``repro.experiments.knee.bench_knee_probe``).
 It comes from its own compact sweep, not from the bench run itself, and
 is attached via ``bench_artifact(..., extra_metrics=...)``.
+
+``rto_warm_replica_ns`` gates failover: mean simulated time from a
+primary power-cut to the promoted replica's first served read, over the
+compact seeded kill campaign in
+``repro.experiments.recovery_matrix.bench_rto_probe``.  Like the knee it
+rides along via ``extra_metrics``.
 
 ``ops_per_sec`` is the odd one out: it measures the *simulator* (completed
 operations per host wall-clock second), not the simulated system, so it is

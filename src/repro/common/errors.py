@@ -83,3 +83,23 @@ class CheckpointMediaError(EngineError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification or generator state."""
+
+
+class ReplicationError(ReproError):
+    """Replication-layer failure (snapshot export, shipping, promote)."""
+
+
+class SnapshotFrameError(ReplicationError):
+    """A snapshot or journal-shipping frame failed validation.
+
+    Typed so a replica can *refuse* a bad stream and re-fetch instead of
+    applying silently-corrupt state.  The two concrete cases:
+    """
+
+
+class TruncatedFrameError(SnapshotFrameError):
+    """The stream ended mid-frame (or a frame was cut short)."""
+
+
+class CorruptFrameError(SnapshotFrameError):
+    """A frame's checksum, magic, version or sequencing did not verify."""

@@ -221,6 +221,14 @@ class StorageEngine:
         self.on_checkpoint: List[Any] = []
         """Callbacks ``f(engine, report)`` invoked after each completed
         checkpoint — the fault harness hooks its invariant checker here."""
+        self.repl_log: Optional[Any] = None
+        """Replication hook ``f(key, version, nbytes) -> offset`` called
+        after each locally-committed update; None when the engine is not
+        a replication primary (zero-overhead-when-disabled)."""
+        self.repl_wait: Optional[Any] = None
+        """Semi-sync hook ``f(offset) -> Optional[Event]``: when set, a
+        put blocks until its replication-log offset has been acked by
+        the replica (the returned event; None means already acked)."""
 
     def _make_formatter(self) -> JournalFormatter:
         if self.config.uses_aligned_journaling:
@@ -301,6 +309,66 @@ class StorageEngine:
             return None
         self.mem_cache.insert(key, version)
         self._update_counter.add(1, num_bytes=record.size_bytes)
+        if self.repl_log is not None:
+            offset = self.repl_log(key, version, record.size_bytes)
+            if self.repl_wait is not None:
+                ack = self.repl_wait(offset)
+                if ack is not None:
+                    t0 = self.sim.now if blame is not None else 0
+                    yield ack
+                    if blame is not None:
+                        blame.charge("repl_ship", self.sim.now - t0)
+        if span is not None:
+            tracer.end(span, bytes=record.size_bytes)
+        return version
+
+    def apply_replicated(self, key: int, version: int,
+                         trace_parent: Any = None
+                         ) -> Generator[Any, Any, Optional[int]]:
+        """Apply one shipped update on a replica at an explicit version.
+
+        The replica-side twin of :meth:`put`: same gate, CPU cost and
+        journal path, but the version comes from the primary's
+        replication log instead of a local bump, so a promoted replica's
+        reads observe exactly the versions the primary acked.  Duplicate
+        deliveries (a re-shipped batch after a NACK overlaps the applied
+        prefix) are recognised by version and skipped idempotently.
+
+        Returns the applied version, or None when the update was a
+        duplicate or the replica engine is degraded.
+        """
+        tracer = self.sim.tracer
+        span = tracer.begin("engine", "apply_replicated",
+                            parent=trace_parent, key=key) \
+            if tracer.enabled else None
+        yield from self._pass_gate()
+        yield self._cpu_query_ns
+        if self.degraded or self.journal.degraded:
+            self._note_degraded(self.journal.degraded_reason)
+            if span is not None:
+                tracer.end(span, rejected=True)
+            return None
+        record = self.kvmap.get(key)
+        if version <= record.version:
+            # Already applied (re-shipped overlap) — idempotent skip.
+            self.stats.counter("query.replicated_dup").add(1)
+            if span is not None:
+                tracer.end(span, duplicate=True)
+            return None
+        record.version = version
+        request = UpdateRequest(key=key, version=version,
+                                value_bytes=record.size_bytes,
+                                target_lba=record.lba,
+                                target_nsectors=record.nsectors)
+        entry = yield self.journal.submit(request)
+        if entry is None:
+            self._note_degraded(self.journal.degraded_reason)
+            if span is not None:
+                tracer.end(span, rejected=True)
+            return None
+        self.mem_cache.insert(key, version)
+        self.stats.counter("query.replicated").add(1,
+                                                   num_bytes=record.size_bytes)
         if span is not None:
             tracer.end(span, bytes=record.size_bytes)
         return version

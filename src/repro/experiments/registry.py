@@ -19,6 +19,7 @@ from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13a, run_fig13b
 from repro.experiments.interference import run_burst_storm, run_interference
 from repro.experiments.knee import run_knee
+from repro.experiments.recovery_matrix import run_recovery_matrix
 from repro.experiments.table1 import run_table1
 
 EXPERIMENT_ALIASES: Dict[str, str] = {
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], Any]] = {
     "interference": run_interference,
     "knee": run_knee,
     "burst_storm": run_burst_storm,
+    "recovery_matrix": run_recovery_matrix,
 }
 """Every reproducible table/figure, keyed by its paper id."""
 

@@ -174,6 +174,26 @@ def _state_digest(versions: Dict[int, int]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def iter_crash_points(seed: int, total_steps: int, crash_points: int,
+                      namespace: str
+                      ) -> Generator[Tuple[int, int, SeededRng], None, None]:
+    """Enumerate seeded crash instants: yields ``(index, step, rng)``.
+
+    The reusable core of every crash campaign: one root seed forked
+    through ``namespace`` yields per-point RNGs, each choosing a crash
+    step uniformly in ``[1, total_steps]``.  The yielded ``rng`` is the
+    point's private lineage — fork it again (e.g. ``rng.fork("tear")``)
+    for any further randomness so points stay independent.  Both sweeps
+    below and the replication kill-the-primary campaign derive their
+    crash points here, so identical (seed, namespace, total_steps)
+    always reproduce identical instants.
+    """
+    rng = SeededRng(seed).fork(namespace)
+    for index in range(crash_points):
+        point_rng = rng.fork(f"point{index}")
+        yield index, point_rng.randint(1, total_steps), point_rng
+
+
 def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
                 ops: int = 120, num_keys: int = 64,
                 ckpt_every: int = 40, tenants: int = 1) -> SweepResult:
@@ -205,10 +225,8 @@ def fault_sweep(mode: str, crash_points: int = 20, seed: int = 7,
 
     sweep = SweepResult(mode=mode, seed=seed, total_steps=total_steps)
     wall = Tracer.wallclock()  # recovery runs outside simulated time
-    rng = SeededRng(seed).fork(f"fault/{mode}")
-    for index in range(crash_points):
-        point_rng = rng.fork(f"point{index}")
-        crash_step = point_rng.randint(1, total_steps)
+    for index, crash_step, point_rng in iter_crash_points(
+            seed, total_steps, crash_points, f"fault/{mode}"):
         system, ackeds, procs, ckpt_violations = _start(config, ops,
                                                         ckpt_every)
         for _ in range(crash_step):
@@ -468,10 +486,8 @@ def open_loop_crash_sweep(mode: str, crash_points: int = 12, seed: int = 7,
 
     sweep = OpenLoopSweepResult(mode=mode, seed=seed,
                                 total_steps=total_steps)
-    rng = SeededRng(seed).fork(f"open-crash/{mode}")
-    for index in range(crash_points):
-        point_rng = rng.fork(f"point{index}")
-        crash_step = point_rng.randint(1, total_steps)
+    for index, crash_step, point_rng in iter_crash_points(
+            seed, total_steps, crash_points, f"open-crash/{mode}"):
         run = _start_open_loop(config, spec, ops, admission_config)
         system = run["system"]
         for _ in range(crash_step):

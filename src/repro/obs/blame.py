@@ -52,6 +52,7 @@ CATEGORIES = (
     "journal_queue",       # group-commit gathering + committer backlog
     "journal_full_stall",  # journal half full, waiting on a checkpoint
     "journal_commit",      # journal txn device write (host-side residual)
+    "repl_ship",           # semi-sync wait for the replication shipper
     "ckpt_interference",   # device admission wait behind checkpoint cmds
     "ctrl_queue",          # device admission wait (no checkpoint active)
     "ctrl_bus",            # host-interface command overhead + transfers

@@ -69,6 +69,10 @@ MEDIA_RELOCATIONS = "media.relocations"
 CMD_MEDIA_RETRIES = "cmd.media_retries"
 CMD_MEDIA_ERRORS = "cmd.media_errors"
 
+REPL_SHIP_LAG_BYTES = "replication.ship_lag_bytes"
+REPL_SHIP_LAG_OPS = "replication.ship_lag_ops"
+REPL_REPLAY_APPLIED = "replication.replay_applied"
+
 # ---------------------------------------------------------------------------
 # Checkpoint phase vocabulary (child spans of the "ckpt" root span)
 # ---------------------------------------------------------------------------

@@ -199,6 +199,42 @@ def build_watchdogs(system: Any, config: TelemetryConfig) -> WatchdogBank:
     return bank
 
 
+def register_replication_probes(sampler: TelemetrySampler, shipper: Any,
+                                applier: Any,
+                                max_lag_ops: int = 256) -> None:
+    """Attach replication gauges + the ``replication_lag`` SLO watchdog.
+
+    Called after the pair is wired (the sampler is built during
+    ``KvSystem.__init__``, before any shipper exists) — the sampler's
+    ``registry`` and ``watchdogs`` are public mutable attrs for exactly
+    this kind of post-hoc subsystem registration.  ``max_lag_ops`` is
+    the SLO: sustained committed-but-unacked backlog beyond it trips
+    the watchdog, naming the replication link as the system's current
+    durability exposure.
+    """
+    from repro.telemetry.registry import Series
+    registry = sampler.registry
+    probes = [
+        registry.gauge(names.REPL_SHIP_LAG_BYTES, "replication",
+                       lambda s=shipper: float(s.ship_lag_bytes)),
+        registry.gauge(names.REPL_SHIP_LAG_OPS, "replication",
+                       lambda s=shipper: float(s.ship_lag_ops)),
+        registry.counter(names.REPL_REPLAY_APPLIED, "replication",
+                         lambda a=applier: a.replay_applied),
+    ]
+    # The sampler snapshots the registry into its series dict at build
+    # time; probes registered afterwards need their series added too or
+    # the next sample tick would KeyError.
+    for probe in probes:
+        if probe.key not in sampler.series:
+            sampler.series[probe.key] = Series(
+                name=probe.name, layer=probe.layer, kind=probe.kind,
+                tenant=probe.tenant, maxlen=sampler.config.max_points)
+    sampler.watchdogs.add(ThresholdWatchdog(
+        "replication_lag", names.REPL_SHIP_LAG_OPS,
+        threshold=float(max_lag_ops), consecutive=2))
+
+
 def build_sampler(system: Any, config: TelemetryConfig,
                   label: str = "run") -> TelemetrySampler:
     """Registry + watchdogs + health log, assembled into one sampler."""

@@ -26,13 +26,15 @@ import regress  # noqa: E402  (benchmarks/regress.py)
 def artifact(tmp_path_factory):
     # Bench runs always carry blame ledgers (repro bench does the same)
     # so the artifact includes the gated ckpt_blame_p99_share metric,
-    # and attach the knee probe's companion metric — a fixed stand-in
-    # here, since the real sweep is benchmark-scale work.
+    # and attach the probe-backed companion metrics (knee, warm-replica
+    # RTO) — fixed stand-ins here, since the real sweeps are
+    # benchmark-scale work.
     result = run_config(tiny_config(blame=True))
     bench = {"mode": "checkin", "workload": "A", "threads": 4,
              "queries": 1_500, "distribution": "zipfian"}
     art = bench_artifact(result, bench, stamp="20260101T000000Z",
-                         extra_metrics={"knee_sustainable_ops": 48_000.0})
+                         extra_metrics={"knee_sustainable_ops": 48_000.0,
+                                        "rto_warm_replica_ns": 550_000.0})
     path = tmp_path_factory.mktemp("bench") / "BENCH_base.json"
     write_bench_artifact(str(path), art)
     return path

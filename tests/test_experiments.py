@@ -32,7 +32,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig3a", "fig3b", "fig3c", "fig8a", "fig8b", "fig9", "fig10",
             "fig11", "fig12", "fig13a", "fig13b", "table1", "interference",
-            "knee", "burst_storm"}
+            "knee", "burst_storm", "recovery_matrix"}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -133,6 +133,16 @@ class TestSlowerMicroRuns:
         assert result.overload_detected("baseline")
         assert not result.overload_detected("checkin")
         assert "goodput" in result.table()
+
+    def test_recovery_matrix(self):
+        result = run_experiment("recovery_matrix", MICRO)
+        # Three strategies over the same seeded kill campaign: local
+        # SPOR loses nothing, the warm replica promotes fastest.
+        assert result.row("spor_local").rpo_ops == 0.0
+        assert result.row("warm_replica").rto_ns < \
+            result.row("spor_local").rto_ns
+        assert result.warm_speedup() > 1.0
+        assert "rto" in result.table().lower()
 
     def test_fig3b(self):
         result = run_experiment("fig3b", MICRO)
