@@ -411,6 +411,150 @@ def _cmd_blame(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_incident(args: argparse.Namespace) -> int:
+    """Black-box forensics: trip a seeded incident and reconstruct it.
+
+    The default run is the burst-storm-into-gated-checkpoints scenario:
+    open-loop bursty arrivals behind a bounded front door, checkpoints
+    freezing queries (the Figure-10 gate), flight recorder armed.  The
+    escalated SLO watchdog turns the breach into an incident trigger;
+    the bundle is dumped, validated, and replayed as one merged causal
+    timeline naming the dominant blame stage.
+    """
+    from repro.common.jsonl import read_json
+    from repro.obs import (
+        dominant_stage,
+        load_incident_file,
+        resolve_against_trace,
+        timeline_table,
+        validate_incident_file,
+        write_incident_jsonl,
+    )
+
+    if args.validate_file:
+        problems = validate_incident_file(args.validate_file)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{args.validate_file}: "
+              + ("ok" if not problems else f"{len(problems)} problems"))
+        return 1 if problems else 0
+    if args.show_file:
+        records = load_incident_file(args.show_file)
+        print(timeline_table(records))
+        stage = dominant_stage(records)
+        print(f"[dominant blame stage: {stage or '-'}]")
+        return 0
+
+    clear_blame()
+    clear_samplers()
+    clear_runs()
+    started = time.time()
+
+    if args.kill_at is not None:
+        records, result = _run_pair_incident(args)
+    else:
+        records, result = _run_node_incident(args)
+    elapsed = time.time() - started
+
+    print(timeline_table(records))
+    header = records[0]
+    stage = dominant_stage(records)
+    print(f"\n[trigger: {header.get('trigger_reason') or 'none'}; "
+          f"dominant blame stage: {stage or '-'}]")
+
+    exit_code = 0
+    if args.out:
+        count = write_incident_jsonl(args.out, records)
+        problems = validate_incident_file(args.out)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        status = "valid" if not problems else f"{len(problems)} problems"
+        print(f"[incident: {count} records -> {args.out} ({status})]")
+        if problems:
+            exit_code = 1
+    if args.trace_out:
+        count = write_chrome_trace(args.trace_out, collected_runs())
+        document, junk = read_json(args.trace_out)
+        problems = junk + resolve_against_trace(records, document)
+        for problem in problems:
+            print(f"UNRESOLVED: {problem}", file=sys.stderr)
+        status = "all flight span ids resolve" if not problems \
+            else f"{len(problems)} problems"
+        print(f"[trace: {count} events -> {args.trace_out} ({status})]")
+        if problems:
+            exit_code = 1
+    if args.assert_trigger and header.get("trigger_reason") is None:
+        print("ASSERT: no incident trigger fired", file=sys.stderr)
+        exit_code = 1
+    if args.assert_stage is not None and stage != args.assert_stage:
+        print(f"ASSERT: dominant stage {stage or '-'} != "
+              f"{args.assert_stage}", file=sys.stderr)
+        exit_code = 1
+    flights = header.get("flight_events", 0)
+    print(f"[{flights} flight events / {header.get('triggers', 0)} "
+          f"trigger(s); wall {elapsed:.1f}s]")
+    clear_blame()
+    clear_samplers()
+    clear_runs()
+    return exit_code
+
+
+def _run_node_incident(args: argparse.Namespace) -> Tuple[Any, Any]:
+    """One flight-recorded gated system under a seeded burst storm."""
+    from repro.engine.admission import AdmissionConfig
+    from repro.obs import incident_records
+    from repro.system import KvSystem
+    from repro.workload.arrivals import ArrivalSpec
+
+    kwargs = dict(
+        mode=args.mode, workload=args.workload, threads=args.threads,
+        total_queries=args.queries, seed=args.seed, verify_reads=False,
+        blame=True, trace=True, flightrec=True,
+        lock_queries_during_checkpoint=args.gate,
+        telemetry=TelemetryConfig(
+            interval_ns=parse_duration_ns(args.interval)),
+        checkpoint_interval_ns=parse_duration_ns(args.ckpt_interval),
+        journal_area_bytes=args.journal_mib * MIB,
+        checkpoint_journal_quota=args.journal_mib * MIB // 8)
+    if args.burst:
+        kwargs["arrivals"] = ArrivalSpec(
+            rate_ops_per_sec=args.arrival_rate, process="bursts",
+            schedule="flash-crowd")
+        kwargs["admission"] = AdmissionConfig(
+            policy="queue", max_inflight=args.threads,
+            max_waiting=args.max_waiting)
+    system = KvSystem(SystemConfig(**kwargs))
+    for name in args.escalate.split(","):
+        if name:
+            system.telemetry.watchdogs.escalate(name.strip())
+    result = system.run()
+    records = incident_records(
+        system, window_ns=parse_duration_ns(args.window),
+        k=args.exemplars)
+    return records, result
+
+
+def _run_pair_incident(args: argparse.Namespace) -> Tuple[Any, Any]:
+    """Cross-node incident: kill the primary mid-ship, then promote."""
+    from repro.common.rng import SeededRng
+    from repro.obs import pair_incident_records
+    from repro.replication.campaign import campaign_config
+    from repro.replication.replica import ReplicatedPair
+
+    config = campaign_config(mode=args.mode, seed=args.seed,
+                             ops=args.queries, flightrec=True)
+    pair = ReplicatedPair(config)
+    pair.start()
+    pair.run_workload(kill_step=args.kill_at)
+    pair.kill_primary(SeededRng(args.seed).fork("incident-cli"))
+    report = pair.promote()
+    print(f"primary killed at step {args.kill_at}; warm promote RTO "
+          f"{report.rto_ns / 1e6:.3f} ms, RPO {report.rpo_ops} ops")
+    records = pair_incident_records(
+        pair, window_ns=parse_duration_ns(args.window), k=args.exemplars)
+    return records, report
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Bench runs always carry blame ledgers: the artifact's gated
     # ckpt_blame_p99_share metric comes from them, and blame adds no
@@ -506,7 +650,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.out:
-        stats.dump_stats(args.out)
+        from repro.common.jsonl import ensure_parent_dir
+        stats.dump_stats(ensure_parent_dir(args.out))
         print(f"[profile data -> {args.out}]")
     print(f"[{result.metrics.operations} operations, "
           f"wall {result.wall_seconds:.2f}s, "
@@ -862,6 +1007,92 @@ def build_parser() -> argparse.ArgumentParser:
                               help="validate an existing blame JSONL "
                                    "instead of running anything")
     blame_parser.set_defaults(handler=_cmd_blame)
+
+    incident_parser = commands.add_parser(
+        "incident",
+        help="trip a seeded incident, dump the repro-incident/v1 "
+             "bundle and reconstruct the cross-plane causal timeline")
+    incident_parser.add_argument("--mode", default="baseline",
+                                 choices=("baseline", "isc_a", "isc_b",
+                                          "isc_c", "checkin"))
+    incident_parser.add_argument("--workload", default="WO",
+                                 choices=("A", "B", "C", "F", "WO"))
+    incident_parser.add_argument("--threads", type=int, default=8)
+    incident_parser.add_argument("--queries", type=int, default=1_500)
+    incident_parser.add_argument("--seed", type=int, default=7)
+    incident_parser.add_argument("--gate", action="store_true",
+                                 help="freeze queries during checkpoints "
+                                      "(makes ckpt_freeze_stall the "
+                                      "dominant blame stage)")
+    incident_parser.add_argument("--burst", action="store_true",
+                                 help="drive the run with an open-loop "
+                                      "flash-crowd burst storm behind a "
+                                      "bounded front door")
+    incident_parser.add_argument("--arrival-rate", type=float,
+                                 default=120_000.0, metavar="OPS",
+                                 help="burst-storm base arrival rate "
+                                      "(ops per simulated second)")
+    incident_parser.add_argument("--max-waiting", type=int, default=64,
+                                 help="front-door waiting-room depth "
+                                      "for the burst storm")
+    incident_parser.add_argument("--ckpt-interval", metavar="DUR",
+                                 default="10ms",
+                                 help="checkpoint interval in simulated "
+                                      "time (default 10ms)")
+    incident_parser.add_argument("--journal-mib", type=int, default=2,
+                                 metavar="N",
+                                 help="journal area size in MiB "
+                                      "(default 2: checkpoints often)")
+    incident_parser.add_argument("--interval", metavar="DUR",
+                                 default="1ms",
+                                 help="telemetry sampling interval")
+    incident_parser.add_argument("--window", metavar="DUR", default="10ms",
+                                 help="telemetry bracket around the "
+                                      "trigger in the bundle")
+    incident_parser.add_argument("--exemplars", type=int, default=8,
+                                 metavar="K",
+                                 help="worst-K blame exemplars to embed")
+    incident_parser.add_argument("--escalate", metavar="NAMES",
+                                 default="admission_overload,"
+                                         "journal_saturation,"
+                                         "checkpoint_overdue",
+                                 help="comma-separated watchdogs to "
+                                      "escalate to error severity (an "
+                                      "error-edge breach trips the "
+                                      "incident dump)")
+    incident_parser.add_argument("--kill-at", type=int, default=None,
+                                 metavar="STEP",
+                                 help="cross-node incident instead: "
+                                      "replicated pair, primary killed "
+                                      "after STEP merged-time steps, "
+                                      "then promoted")
+    incident_parser.add_argument("--out", metavar="PATH", default=None,
+                                 help="write the repro-incident/v1 JSONL "
+                                      "bundle here (re-validated after "
+                                      "writing)")
+    incident_parser.add_argument("--trace-out", metavar="PATH",
+                                 default=None,
+                                 help="also dump the Chrome trace and "
+                                      "check every flight span id "
+                                      "resolves in it")
+    incident_parser.add_argument("--assert-trigger", action="store_true",
+                                 help="exit nonzero unless an incident "
+                                      "trigger fired (CI smoke)")
+    incident_parser.add_argument("--assert-stage", metavar="STAGE",
+                                 default=None,
+                                 help="exit nonzero unless the dominant "
+                                      "blame stage matches (e.g. "
+                                      "ckpt_freeze_stall)")
+    incident_parser.add_argument("--validate", dest="validate_file",
+                                 metavar="PATH", default=None,
+                                 help="validate an existing incident "
+                                      "bundle instead of running")
+    incident_parser.add_argument("--show", dest="show_file",
+                                 metavar="PATH", default=None,
+                                 help="reconstruct the timeline from an "
+                                      "existing bundle instead of "
+                                      "running")
+    incident_parser.set_defaults(handler=_cmd_incident)
 
     telemetry_parser = commands.add_parser(
         "telemetry",

@@ -136,7 +136,8 @@ def bench_artifact(result: Any, bench: Dict[str, Any],
 
 def write_bench_artifact(path: str, artifact: Dict[str, Any]) -> str:
     """Write one artifact as pretty JSON; returns ``path``."""
-    with open(path, "w") as handle:
+    from repro.common.jsonl import ensure_parent_dir
+    with open(ensure_parent_dir(path), "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path

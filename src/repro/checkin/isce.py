@@ -55,6 +55,12 @@ class InStorageCheckpointEngine:
         result = yield from self.processor.process(entries)
         if span is not None:
             tracer.end(span, remapped=result[0], copied=result[1])
+        recorder = self.sim.flightrec
+        if recorder is not None:
+            recorder.record(self.sim.now, "isce", "cow_batch",
+                            span.span_id if span is not None else None,
+                            {"entries": len(entries),
+                             "remapped": result[0], "copied": result[1]})
         return result
 
     def checkpoint_complete(self) -> Generator[Any, Any, None]:

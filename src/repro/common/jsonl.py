@@ -1,0 +1,180 @@
+"""Shared JSONL dump plumbing for the observability exporters.
+
+Every observability plane (telemetry, blame, incident) dumps the same
+shape of file: one self-describing JSON object per line, a ``header``
+record carrying a ``schema`` version string, typed body records, and a
+``footer`` with per-type counts so truncation is detectable.  The three
+exporters used to each carry a copy-pasted read/validate skeleton; this
+module is the single implementation they now share:
+
+* :func:`write_jsonl` — dump records, creating missing parent
+  directories (every CLI ``--out`` goes through it or
+  :func:`ensure_parent_dir`);
+* :func:`read_jsonl` — the tolerant line-by-line reader, accumulating
+  per-line problems instead of aborting;
+* :func:`load_jsonl` — the strict reader used programmatically: raises
+  :class:`UnknownSchemaError` when the header's schema version is not
+  the expected one;
+* :func:`validate_jsonl_file` — the common validation skeleton
+  (header/schema, required keys per type, footer count reconciliation)
+  with a per-format callback for domain checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+
+
+class UnknownSchemaError(ReproError):
+    """A JSONL dump declares a schema version this build cannot read."""
+
+    def __init__(self, found: Any, expected: str, path: str = "") -> None:
+        self.found = found
+        self.expected = expected
+        self.path = path
+        where = f" in {path}" if path else ""
+        super().__init__(
+            f"unknown schema {found!r}{where} (expected {expected!r})")
+
+
+def ensure_parent_dir(path: str) -> str:
+    """Create ``path``'s parent directory if missing; returns ``path``.
+
+    Every CLI ``--out`` destination goes through this so that
+    ``--out artifacts/run1/dump.jsonl`` works without a prior ``mkdir``
+    instead of failing with a raw :class:`FileNotFoundError`.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
+
+
+def write_jsonl(path: str, records: Sequence[Mapping[str, Any]]) -> int:
+    """Write one JSON object per line to ``path``; returns the count."""
+    with open(ensure_parent_dir(path), "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Tolerant JSONL reader: ``(records, problems)``.
+
+    Unreadable files and undecodable lines become problem strings, never
+    exceptions — validators report, they do not crash.
+    """
+    problems: List[str] = []
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    problems.append(f"line {lineno}: invalid JSON ({exc})")
+    except OSError as exc:
+        return [], [f"cannot read {path}: {exc}"]
+    return records, problems
+
+
+def read_json(path: str) -> Tuple[Any, List[str]]:
+    """Tolerant whole-file JSON reader: ``(document, problems)``.
+
+    The single-document sibling of :func:`read_jsonl`, for the trace
+    export (Chrome trace JSON is one object, not JSONL) — load failures
+    become problem strings so validators report instead of crashing.
+    """
+    try:
+        with open(path) as handle:
+            return json.load(handle), []
+    except (OSError, ValueError) as exc:
+        return None, [f"cannot load {path}: {exc}"]
+
+
+def load_jsonl(path: str, schema: str) -> List[Dict[str, Any]]:
+    """Strict loader: records of a dump whose header matches ``schema``.
+
+    Raises :class:`UnknownSchemaError` for a missing or mismatched
+    schema version and :class:`ReproError` for unreadable input, so
+    programmatic consumers (timeline reconstruction, report renderers)
+    fail with a typed error instead of mis-parsing a foreign dump.
+    """
+    records, problems = read_jsonl(path)
+    if problems:
+        raise ReproError(f"{path}: {problems[0]}")
+    if not records:
+        raise ReproError(f"{path}: empty dump")
+    header = records[0]
+    if header.get("type") != "header" or header.get("schema") != schema:
+        raise UnknownSchemaError(header.get("schema"), schema, path)
+    return records
+
+
+# Domain-check callback: (index, record, header, problems) -> None.
+RecordCheck = Callable[[int, Dict[str, Any], Dict[str, Any], List[str]],
+                       None]
+
+
+def validate_jsonl_file(
+        path: str,
+        *,
+        schema: str,
+        required: Mapping[str, Sequence[str]],
+        counted: Mapping[str, str],
+        what: str,
+        tolerated: Sequence[str] = (),
+        record_check: Optional[RecordCheck] = None) -> List[str]:
+    """The shared structural validation skeleton; returns problems found.
+
+    ``required`` maps record type to its required keys; ``counted`` maps
+    a body record type to the footer key claiming its count; ``what``
+    names the format in messages ("blame", "telemetry", ...);
+    ``tolerated`` lists extra known types with no required-key contract;
+    ``record_check`` adds per-format domain checks (conservation,
+    monotonicity, span links).
+    """
+    records, problems = read_jsonl(path)
+    if not records:
+        return problems or [f"empty {what} file"]
+
+    header = records[0]
+    if header.get("type") != "header":
+        problems.append("first record is not a header")
+    elif header.get("schema") != schema:
+        problems.append(f"schema {header.get('schema')!r} != {schema!r}")
+    if records[-1].get("type") != "footer":
+        problems.append("last record is not a footer")
+
+    counts = {kind: 0 for kind in counted}
+    for index, record in enumerate(records):
+        kind = record.get("type")
+        keys = required.get(kind)
+        if keys is None:
+            if kind not in ("header", "footer") and kind not in tolerated:
+                problems.append(f"record {index}: unknown type {kind!r}")
+            continue
+        for key in keys:
+            if key not in record:
+                problems.append(f"record {index} ({kind}): missing {key!r}")
+        if kind in counts:
+            counts[kind] += 1
+        if record_check is not None:
+            record_check(index, record, header, problems)
+
+    footer = records[-1]
+    if footer.get("type") == "footer":
+        for kind, footer_key in counted.items():
+            claimed = footer.get(footer_key)
+            if claimed is not None and claimed != counts[kind]:
+                problems.append(
+                    f"footer claims {claimed} {kind} records, "
+                    f"found {counts[kind]}")
+    return problems

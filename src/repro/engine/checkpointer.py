@@ -112,14 +112,26 @@ class CheckpointStrategy(abc.ABC):
 
     def _phase(self, parent: Any, name: str, **attrs: Any) -> Any:
         """Open one named checkpoint-phase span (None when untraced)."""
+        recorder = self.sim.flightrec
         if parent is None:
+            if recorder is not None:
+                recorder.record(self.sim.now, "ckpt", "phase_begin", None,
+                                {"phase": name})
             return None
-        return self.sim.tracer.begin("ckpt", name, parent=parent, **attrs)
+        span = self.sim.tracer.begin("ckpt", name, parent=parent, **attrs)
+        if recorder is not None:
+            recorder.record(self.sim.now, "ckpt", "phase_begin",
+                            span.span_id, {"phase": name})
+        return span
 
     def _phase_end(self, span: Any, **attrs: Any) -> None:
         """Close a phase span opened by :meth:`_phase`."""
         if span is not None:
             self.sim.tracer.end(span, **attrs)
+            recorder = self.sim.flightrec
+            if recorder is not None:
+                recorder.record(self.sim.now, "ckpt", "phase_end",
+                                span.span_id, {"phase": span.name})
 
     OFFLOAD_PROGRAM_SECTORS = 128
     """Size of the offload execution code image (64 KiB)."""

@@ -12,7 +12,11 @@ Public surface:
 * the **global blame switch** below, mirroring ``repro.trace``: the CLI
   flips the process-wide switch and every system constructed while it
   is on builds per-tenant collectors and registers its run report here
-  for one merged export.
+  for one merged export;
+* the **flight recorder** (:mod:`repro.obs.flightrec`) and the
+  ``repro-incident/v1`` forensics bundle (:mod:`repro.obs.incident`):
+  the always-on black box every layer appends high-signal events to,
+  and the cross-plane dump triggered when something goes wrong.
 """
 
 from __future__ import annotations
@@ -41,6 +45,24 @@ from repro.obs.export import (
     validate_blame_file,
     write_blame_jsonl,
 )
+from repro.obs.flightrec import (
+    FlightRecorder,
+    disable_flightrec,
+    enable_flightrec,
+    flightrec_capacity,
+    flightrec_enabled,
+)
+from repro.obs.incident import (
+    build_timeline,
+    dominant_stage,
+    incident_records,
+    load_incident_file,
+    pair_incident_records,
+    resolve_against_trace,
+    timeline_table,
+    validate_incident_file,
+    write_incident_jsonl,
+)
 
 __all__ = [
     "CATEGORIES", "CKPT_FAMILY", "RESIDUAL",
@@ -50,6 +72,12 @@ __all__ = [
     "SCHEMA", "blame_records", "validate_blame_file", "write_blame_jsonl",
     "enable_blame", "disable_blame", "blame_enabled",
     "register_blame", "collected_blame", "clear_blame",
+    "FlightRecorder", "enable_flightrec", "disable_flightrec",
+    "flightrec_enabled", "flightrec_capacity",
+    "incident_records", "pair_incident_records", "write_incident_jsonl",
+    "validate_incident_file", "load_incident_file",
+    "resolve_against_trace", "build_timeline", "dominant_stage",
+    "timeline_table",
 ]
 
 _GLOBAL_ENABLED = False

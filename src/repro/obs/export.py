@@ -21,9 +21,9 @@ it on a fresh dump.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List
 
+from repro.common.jsonl import validate_jsonl_file, write_jsonl
 from repro.obs.blame import CATEGORIES, BlameRunReport
 
 SCHEMA = "repro-blame/v1"
@@ -107,88 +107,47 @@ def blame_records(report: BlameRunReport,
 def write_blame_jsonl(path: str, report: BlameRunReport,
                       p: float = 99.0) -> int:
     """Dump one run report to ``path``; returns the record count."""
-    records = blame_records(report, p)
-    with open(path, "w") as handle:
-        for record in records:
-            handle.write(json.dumps(record) + "\n")
-    return len(records)
+    return write_jsonl(path, blame_records(report, p))
+
+
+def _check_blame_record(index: int, record: Dict[str, Any],
+                        header: Dict[str, Any],
+                        problems: List[str]) -> None:
+    """Blame-specific domain checks layered on the shared skeleton."""
+    kind = record.get("type")
+    if kind == "tenant":
+        totals = record.get("totals", {})
+        known = set(header.get("categories", CATEGORIES))
+        unknown = set(totals) - known
+        if unknown:
+            problems.append(
+                f"tenant {record.get('tenant')}: unknown categories "
+                f"{sorted(unknown)}")
+        # Conservation survives serialisation: the per-category
+        # totals of a tenant must sum exactly to its total_ns.
+        if sum(totals.values()) != record.get("total_ns", 0):
+            problems.append(
+                f"tenant {record.get('tenant')}: category totals "
+                f"{sum(totals.values())} != total_ns "
+                f"{record.get('total_ns')}")
+    elif kind == "exemplar":
+        total = record.get("total_ns", 0)
+        if sum(record.get("charges", {}).values()) != total:
+            problems.append(
+                f"exemplar {record.get('tenant')}#{record.get('rank')}"
+                f": charges do not sum to total_ns")
+    elif kind == "hist":
+        for bucket in record.get("buckets", []):
+            if not (isinstance(bucket, list) and len(bucket) == 2):
+                problems.append(
+                    f"hist {record.get('category')}: malformed bucket")
+                break
 
 
 def validate_blame_file(path: str) -> List[str]:
     """Structural validation of a JSONL dump; returns problems found."""
-    problems: List[str] = []
-    records: List[Dict[str, Any]] = []
-    try:
-        with open(path) as handle:
-            for lineno, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    problems.append(f"line {lineno}: invalid JSON ({exc})")
-    except OSError as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not records:
-        return ["empty blame file"]
-
-    header = records[0]
-    if header.get("type") != "header":
-        problems.append("first record is not a header")
-    elif header.get("schema") != SCHEMA:
-        problems.append(f"schema {header.get('schema')!r} != {SCHEMA!r}")
-    if records[-1].get("type") != "footer":
-        problems.append("last record is not a footer")
-    known = set(header.get("categories", CATEGORIES))
-
-    counts = {"tenant": 0, "exemplar": 0, "hist": 0}
-    for index, record in enumerate(records):
-        kind = record.get("type")
-        required = _REQUIRED.get(kind)
-        if required is None:
-            if kind not in ("header", "footer"):
-                problems.append(f"record {index}: unknown type {kind!r}")
-            continue
-        for key in required:
-            if key not in record:
-                problems.append(f"record {index} ({kind}): missing {key!r}")
-        if kind in counts:
-            counts[kind] += 1
-        if kind == "tenant":
-            totals = record.get("totals", {})
-            unknown = set(totals) - known
-            if unknown:
-                problems.append(
-                    f"tenant {record.get('tenant')}: unknown categories "
-                    f"{sorted(unknown)}")
-            # Conservation survives serialisation: the per-category
-            # totals of a tenant must sum exactly to its total_ns.
-            if sum(totals.values()) != record.get("total_ns", 0):
-                problems.append(
-                    f"tenant {record.get('tenant')}: category totals "
-                    f"{sum(totals.values())} != total_ns "
-                    f"{record.get('total_ns')}")
-        if kind == "exemplar":
-            total = record.get("total_ns", 0)
-            if sum(record.get("charges", {}).values()) != total:
-                problems.append(
-                    f"exemplar {record.get('tenant')}#{record.get('rank')}"
-                    f": charges do not sum to total_ns")
-        if kind == "hist":
-            for bucket in record.get("buckets", []):
-                if not (isinstance(bucket, list) and len(bucket) == 2):
-                    problems.append(
-                        f"hist {record.get('category')}: malformed bucket")
-                    break
-    footer = records[-1]
-    if footer.get("type") == "footer":
-        expected = {"tenant": footer.get("tenants"),
-                    "exemplar": footer.get("exemplars"),
-                    "hist": footer.get("hists")}
-        for kind, count in counts.items():
-            if expected[kind] is not None and expected[kind] != count:
-                problems.append(
-                    f"footer claims {expected[kind]} {kind} records, "
-                    f"found {count}")
-    return problems
+    return validate_jsonl_file(
+        path, schema=SCHEMA, required=_REQUIRED,
+        counted={"tenant": "tenants", "exemplar": "exemplars",
+                 "hist": "hists"},
+        what="blame", record_check=_check_blame_record)

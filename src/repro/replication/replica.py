@@ -143,6 +143,12 @@ class ReplicaApplier:
         tracer = self.system.sim.tracer
         if tracer.enabled:
             tracer.end(tracer.begin("repl", "refuse", reason=reason[:80]))
+        recorder = self.system.sim.flightrec
+        if recorder is not None:
+            recorder.record(self.system.sim.now, "repl", "refuse", None,
+                            {"reason": reason[:80],
+                             "applied_offset": self.applied_offset,
+                             "frames_refused": self.frames_refused})
         self.feedback("nack", self.applied_offset)
 
     def run(self) -> Generator[Any, Any, None]:
@@ -380,6 +386,13 @@ class ReplicatedPair:
     def kill_primary(self, rng: Any) -> CrashReport:
         """Power-cut the primary at the current event boundary."""
         self._t_kill = self.primary.sim.now
+        recorder = self.replica.sim.flightrec
+        if recorder is not None:
+            # The primary's recorder dies with it (power_cut records the
+            # forensic event there); the surviving node logs the loss.
+            recorder.record(self.replica.sim.now, "repl", "primary_lost",
+                            None, {"t_kill_ns": self._t_kill,
+                                   "ship_lag_ops": self.shipper.ship_lag_ops})
         self.shipper.abandon_waiters()
         return power_cut(self.primary, rng)
 
@@ -445,6 +458,16 @@ class ReplicatedPair:
                     f"{acked_state[key]}, promoted replica served "
                     f"{read.value}")
             reads_done += 1
+        recorder = replica.sim.flightrec
+        if recorder is not None:
+            recorder.record(promoted_ns, "repl", "promote", None,
+                            {"rto_ns": promoted_ns - t_kill,
+                             "rpo_ops": len(self.log) - applied,
+                             "applied_offset": applied,
+                             "acked_offset": acked})
+            recorder.trip(promoted_ns, "promote",
+                          {"rto_ns": promoted_ns - t_kill,
+                           "rpo_ops": len(self.log) - applied})
         return PromoteReport(
             kill_ns=t_kill, promoted_ns=promoted_ns,
             rto_ns=promoted_ns - t_kill,

@@ -214,9 +214,17 @@ class JournalShipper:
         self.nacks += 1
         if self._stats is not None:
             self._stats.counter("repl.nacks").add(1)
+        rewound = 0
         if offset < self.shipped_offset:
-            self.reshipped_ops += self.shipped_offset - offset
+            rewound = self.shipped_offset - offset
+            self.reshipped_ops += rewound
             self.shipped_offset = offset
+        recorder = self.sim.flightrec
+        if recorder is not None:
+            recorder.record(self.sim.now, "repl", "nack_rewind", None,
+                            {"offset": offset, "rewound_ops": rewound,
+                             "nacks": self.nacks,
+                             "ship_lag_ops": self.ship_lag_ops})
         self._in_flight = 0
         self.notify()
 

@@ -48,6 +48,10 @@ class Simulator:
         self.tracer: Any = NULL_TRACER
         """Span recorder every component reads; :data:`NULL_TRACER` until a
         real :class:`repro.trace.Tracer` is installed (``--trace``)."""
+        self.flightrec: Any = None
+        """Black-box flight recorder (:mod:`repro.obs.flightrec`);
+        ``None`` unless armed — every hook guards on it, so disabled
+        runs allocate nothing."""
 
     @property
     def now(self) -> int:

@@ -327,19 +327,37 @@ class SsdController:
                     add_ns(blame, "media_retry", self.sim.now - t_try)
                 attempts += 1
                 self.stats.counter("cmd.media_retries").add(1)
+                retry_span = None
                 if tracer.enabled:
-                    tracer.end(tracer.begin(
+                    retry_span = tracer.begin(
                         "media", "cmd_retry", parent=span,
-                        op=command.op.value, attempt=attempts))
+                        op=command.op.value, attempt=attempts)
+                    tracer.end(retry_span)
+                recorder = self.sim.flightrec
+                if recorder is not None:
+                    recorder.record(
+                        self.sim.now, "media", "cmd_retry",
+                        retry_span.span_id if retry_span is not None
+                        else None,
+                        {"op": command.op.value, "attempt": attempts})
                 if attempts > self.config.media_retry_limit:
                     completion.status = Status.MEDIA_ERROR
                     completion.retries = attempts - 1
                     completion.error = str(exc)
                     self.stats.counter("cmd.media_errors").add(1)
+                    error_span = None
                     if tracer.enabled:
-                        tracer.end(tracer.begin(
+                        error_span = tracer.begin(
                             "media", "cmd_error", parent=span,
-                            op=command.op.value))
+                            op=command.op.value)
+                        tracer.end(error_span)
+                    if recorder is not None:
+                        recorder.record(
+                            self.sim.now, "media", "cmd_error",
+                            error_span.span_id if error_span is not None
+                            else None,
+                            {"op": command.op.value,
+                             "attempts": attempts})
                     return
                 if blame is not None:
                     t_try = self.sim.now

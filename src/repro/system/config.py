@@ -241,6 +241,14 @@ class SystemConfig:
     even an enabled run executes the identical event sequence — but a
     disabled run also skips every ledger allocation and clock read."""
 
+    flightrec: bool = False
+    """Arm the black-box flight recorder (see ``repro.obs.flightrec``):
+    a bounded ring of high-signal events (watchdog edges, sheds,
+    checkpoint phases, media retries, GC picks, replication NACKs,
+    degraded entry) plus incident triggers.  Appends are synchronous
+    plain-tuple pushes — zero added yields — and a disabled run
+    allocates nothing (``sim.flightrec`` stays ``None``)."""
+
     arrivals: Optional[ArrivalSpec] = None
     """Open-loop arrival process (see ``repro.workload.arrivals``).  None
     (the default) keeps the classic closed-loop client threads; a spec

@@ -32,6 +32,11 @@ from repro.engine.checkpointer import CheckpointReport
 from repro.engine.engine import StorageEngine
 from repro.obs import blame_enabled, register_blame
 from repro.obs.blame import BlameCollector, BlameRunReport
+from repro.obs.flightrec import (
+    FlightRecorder,
+    flightrec_capacity,
+    flightrec_enabled,
+)
 from repro.sim.core import Simulator
 from repro.sim.process import Interrupt, Process, spawn
 from repro.ssd.ssd import Ssd
@@ -117,6 +122,10 @@ class RunResult:
     """Per-tenant latency attribution (blame ledgers); None when the
     run was unblamed."""
 
+    flightrec: Optional[FlightRecorder] = None
+    """The run's black-box flight recorder (event ring + incident
+    triggers); None when the recorder was unarmed."""
+
     wall_seconds: float = 0.0
     """Host wall-clock time :meth:`KvSystem.run` took — the simulator
     speed measurement behind the bench artifact's ``ops_per_sec``."""
@@ -163,6 +172,10 @@ class KvSystem:
         self.sim = Simulator()
         if config.trace or tracing_enabled():
             install_tracer(self.sim, label=config.mode)
+        self.flightrec: Optional[FlightRecorder] = None
+        if config.flightrec or flightrec_enabled():
+            self.flightrec = FlightRecorder(flightrec_capacity())
+            self.sim.flightrec = self.flightrec
         self.ssd = Ssd(self.sim, config.ssd_spec())
         self.metrics = RunMetrics(self.sim, self.ssd.stats)
         self.tenants: List[TenantRuntime] = []
@@ -354,6 +367,7 @@ class KvSystem:
                          telemetry=self.telemetry,
                          tenants=tenant_results,
                          blame=self.blame_report,
+                         flightrec=self.flightrec,
                          wall_seconds=time.perf_counter() - wall_started)
 
     def checkpoint_now(self) -> Optional[CheckpointReport]:

@@ -18,9 +18,9 @@ telemetry smoke job runs it on a fresh dump.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List
 
+from repro.common.jsonl import validate_jsonl_file, write_jsonl
 from repro.telemetry.sampler import TelemetrySampler
 
 SCHEMA = "repro-telemetry/v1"
@@ -70,77 +70,37 @@ def telemetry_records(sampler: TelemetrySampler) -> List[Dict[str, Any]]:
 
 def write_telemetry_jsonl(path: str, sampler: TelemetrySampler) -> int:
     """Dump one sampler to ``path``; returns the record count."""
-    records = telemetry_records(sampler)
-    with open(path, "w") as handle:
-        for record in records:
-            handle.write(json.dumps(record) + "\n")
-    return len(records)
+    return write_jsonl(path, telemetry_records(sampler))
+
+
+def _check_telemetry_record(index: int, record: Dict[str, Any],
+                            header: Dict[str, Any],
+                            problems: List[str]) -> None:
+    """Telemetry-specific domain checks (series point monotonicity)."""
+    if record.get("type") != "series":
+        return
+    last_t = None
+    for point in record.get("points", []):
+        if not (isinstance(point, list) and len(point) == 2):
+            problems.append(
+                f"series {record.get('name')}: malformed point")
+            break
+        if last_t is not None and point[0] < last_t:
+            problems.append(
+                f"series {record.get('name')}: timestamps not "
+                "monotonic")
+            break
+        last_t = point[0]
 
 
 def validate_telemetry_file(path: str) -> List[str]:
     """Structural validation of a JSONL dump; returns problems found."""
-    problems: List[str] = []
-    records: List[Dict[str, Any]] = []
-    try:
-        with open(path) as handle:
-            for lineno, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    problems.append(f"line {lineno}: invalid JSON ({exc})")
-    except OSError as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not records:
-        return ["empty telemetry file"]
-
-    header = records[0]
-    if header.get("type") != "header":
-        problems.append("first record is not a header")
-    elif header.get("schema") != SCHEMA:
-        problems.append(f"schema {header.get('schema')!r} != {SCHEMA!r}")
-    if records[-1].get("type") != "footer":
-        problems.append("last record is not a footer")
-
-    counts = {"series": 0, "event": 0, "health": 0}
-    for index, record in enumerate(records):
-        kind = record.get("type")
-        required = _REQUIRED.get(kind)
-        if required is None:
-            if kind not in ("header", "footer", "health_report"):
-                problems.append(f"record {index}: unknown type {kind!r}")
-            continue
-        for key in required:
-            if key not in record:
-                problems.append(f"record {index} ({kind}): missing {key!r}")
-        if kind in counts:
-            counts[kind] += 1
-        if kind == "series":
-            last_t = None
-            for point in record.get("points", []):
-                if not (isinstance(point, list) and len(point) == 2):
-                    problems.append(
-                        f"series {record.get('name')}: malformed point")
-                    break
-                if last_t is not None and point[0] < last_t:
-                    problems.append(
-                        f"series {record.get('name')}: timestamps not "
-                        "monotonic")
-                    break
-                last_t = point[0]
-    footer = records[-1]
-    if footer.get("type") == "footer":
-        expected = {"series": footer.get("series"),
-                    "event": footer.get("events"),
-                    "health": footer.get("health_frames")}
-        for kind, count in counts.items():
-            if expected[kind] is not None and expected[kind] != count:
-                problems.append(
-                    f"footer claims {expected[kind]} {kind} records, "
-                    f"found {count}")
-    return problems
+    return validate_jsonl_file(
+        path, schema=SCHEMA, required=_REQUIRED,
+        counted={"series": "series", "event": "events",
+                 "health": "health_frames"},
+        what="telemetry", tolerated=("health_report",),
+        record_check=_check_telemetry_record)
 
 
 # ----------------------------------------------------------------------

@@ -110,7 +110,25 @@ class TelemetrySampler:
         if self.health is not None and \
                 self.samples % self.config.health_every == 0:
             self.health.record(t_ns)
-        return self.watchdogs.evaluate(t_ns, values)
+        edges = self.watchdogs.evaluate(t_ns, values)
+        recorder = self.sim.flightrec
+        if recorder is not None and edges:
+            for edge in edges:
+                recorder.record(edge.t_ns, "telemetry",
+                                f"watchdog_{edge.kind}", None,
+                                {"watchdog": edge.watchdog,
+                                 "tenant": edge.tenant,
+                                 "severity": edge.severity,
+                                 "value": edge.value,
+                                 "blame": edge.blame})
+                # An error-severity FIRED edge is an incident trigger:
+                # the SLO did not wobble, something broke.
+                if edge.severity == "error" and edge.kind == "fired":
+                    recorder.trip(edge.t_ns, "watchdog_error",
+                                  {"watchdog": edge.watchdog,
+                                   "tenant": edge.tenant,
+                                   "value": edge.value})
+        return edges
 
     # ------------------------------------------------------------------
     # queries

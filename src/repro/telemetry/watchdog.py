@@ -205,6 +205,20 @@ class WatchdogBank:
         self.watchdogs.append(watchdog)
         return watchdog
 
+    def escalate(self, name: str, severity: str = "error") -> int:
+        """Raise every ``name``d watchdog to ``severity``; returns hits.
+
+        "Page on this SLO": an error-severity FIRED edge is an incident
+        trigger (the sampler trips the flight recorder on it), so
+        escalating a watchdog turns its breach into a forensic dump.
+        """
+        hits = 0
+        for watchdog in self.watchdogs:
+            if watchdog.name == name:
+                watchdog.severity = severity
+                hits += 1
+        return hits
+
     def evaluate(self, t_ns: int,
                  values: Dict[Tuple[str, str], float]) -> List[TelemetryEvent]:
         """Run every watchdog against one sample; collect edge events."""

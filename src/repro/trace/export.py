@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.common.jsonl import ensure_parent_dir, read_json
 from repro.trace.tracer import INSTANT_KIND, Tracer
 
 COMPONENT_ORDER = ("client", "engine", "aligner", "journal", "ckpt", "ssd",
@@ -75,9 +76,11 @@ def trace_events(runs: Sequence[Tuple[str, Tracer]]) -> List[Dict[str, Any]]:
                 "tid": span.track,
                 "ts": span.start_ns / 1000.0,
             }
-            if span.attrs:
-                event["args"] = {key: _clean(value)
-                                 for key, value in span.attrs.items()}
+            # span_id rides along in args: it is the cross-plane link the
+            # incident bundle's flight-recorder events resolve against.
+            event["args"] = {key: _clean(value)
+                             for key, value in span.attrs.items()}
+            event["args"]["span_id"] = span.span_id
             if span.kind == INSTANT_KIND:
                 event["ph"] = "i"
                 event["s"] = "t"
@@ -105,7 +108,7 @@ def write_chrome_trace(path: str,
                        runs: Sequence[Tuple[str, Tracer]]) -> int:
     """Write the Chrome trace JSON; returns the number of events."""
     document = trace_document(runs)
-    with open(path, "w") as handle:
+    with open(ensure_parent_dir(path), "w") as handle:
         json.dump(document, handle, separators=(",", ":"))
     return len(document["traceEvents"])
 
@@ -160,9 +163,7 @@ def validate_trace(document: Any) -> List[str]:
 
 def validate_trace_file(path: str) -> List[str]:
     """Parse and validate a trace JSON file."""
-    try:
-        with open(path) as handle:
-            document = json.load(handle)
-    except (OSError, ValueError) as exc:
-        return [f"cannot load {path}: {exc}"]
+    document, problems = read_json(path)
+    if problems:
+        return problems
     return validate_trace(document)

@@ -41,3 +41,70 @@ class TestReportAssembly:
         module = load_module()
         monkeypatch.setattr(module, "RESULTS", tmp_path / "nope")
         assert module.main() == 1
+
+
+class TestIncidentHtml:
+    def make_bundle(self, tmp_path):
+        import json
+        records = [
+            {"type": "header", "schema": "repro-incident/v1",
+             "label": "baseline", "node": None, "triggers": 1,
+             "flight_events": 2, "window_ns": 10_000_000,
+             "trigger_t_ns": 5_000_000,
+             "trigger_reason": "watchdog_error"},
+            {"type": "trigger", "t_ns": 5_000_000,
+             "reason": "watchdog_error", "node": None,
+             "detail": {"watchdog": "checkpoint_overdue"}},
+            {"type": "flight", "t_ns": 4_000_000, "layer": "ckpt",
+             "kind": "begin", "span_id": 7, "node": None,
+             "detail": {"gated": True}},
+            {"type": "flight", "t_ns": 6_000_000, "layer": "repl",
+             "kind": "nack_rewind", "span_id": None, "node": "primary",
+             "detail": {"offset": 3}},
+            {"type": "event", "t_ns": 5_000_000,
+             "watchdog": "checkpoint_overdue", "kind": "fired",
+             "tenant": "", "severity": "error", "value": 2.0,
+             "message": "", "blame": ""},
+            {"type": "blame", "tenant": "aggregate",
+             "dominant_stage": "ckpt_freeze_stall", "p": 99.0,
+             "ckpt_tail_share": 0.9, "node": None},
+            {"type": "exemplar", "tenant": "aggregate", "rank": 1,
+             "op": "update", "key": 5, "total_ns": 2_000_000,
+             "during_ckpt": True, "span_id": 7,
+             "charges": {"ckpt_freeze_stall": 1_900_000}},
+            {"type": "health", "t_ns": 6_000_000, "wear_pct": 1.5,
+             "node": None},
+            {"type": "repl", "node": "primary", "ship_lag_ops": 4,
+             "ship_lag_bytes": 4096, "nacks": 1, "applied_offset": 2,
+             "kill_t_ns": None},
+            {"type": "footer", "triggers": 1, "flight_events": 2,
+             "spans": 0, "series": 0, "events": 1, "exemplars": 1},
+        ]
+        path = tmp_path / "incident.jsonl"
+        path.write_text("".join(json.dumps(record) + "\n"
+                                for record in records))
+        return path
+
+    def test_incident_html_renders_all_sections(self, tmp_path):
+        module = load_module()
+        source = self.make_bundle(tmp_path)
+        target = tmp_path / "incident.html"
+        assert module.main(["--incident", str(source),
+                            "--html", str(target)]) == 0
+        text = target.read_text()
+        assert "Causal timeline" in text
+        assert "Dominant blame stage" in text
+        assert "ckpt_freeze_stall" in text
+        assert "watchdog_error" in text
+        assert "span=7" in text
+        assert "ship_lag=4ops/4096B" in text
+        assert "Worst-request exemplars" in text
+        assert "Device health" in text
+
+    def test_timeline_rows_sorted_and_trigger_highlighted(self, tmp_path):
+        module = load_module()
+        groups = module.load_incident_records(self.make_bundle(tmp_path))
+        rows = module._incident_timeline_rows(groups)
+        assert [row[0] for row in rows] == \
+            sorted(row[0] for row in rows)
+        assert any(row[2] == "trigger" for row in rows)

@@ -1,0 +1,165 @@
+"""Watchdog edge semantics and post-build probe registration.
+
+Regression coverage for two classes of bug the observability planes
+have actually had:
+
+* a probe registered *after* the sampler was built (replication wires
+  itself post-``KvSystem.__init__``) whose series was missing from the
+  sampler's dict, so the next sample tick raised ``KeyError``;
+* edge-detection state machines (debounce streaks, re-arm after clear,
+  terminal watchdogs) silently drifting — each transition is pinned
+  here sample by sample.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import AGGREGATE
+from repro.telemetry.watchdog import (
+    CLEARED,
+    FIRED,
+    DegradedEntryWatchdog,
+    ThresholdWatchdog,
+    WatchdogBank,
+)
+
+
+def edge_kinds(events):
+    return [event.kind for event in events]
+
+
+class TestDebounce:
+    def make(self, consecutive):
+        return ThresholdWatchdog("wd", "metric", threshold=10.0,
+                                 consecutive=consecutive)
+
+    def test_fires_only_after_n_consecutive_breaches(self):
+        watchdog = self.make(consecutive=3)
+        for t_ns, value in ((1, 50.0), (2, 50.0)):
+            assert watchdog.evaluate(t_ns, {(AGGREGATE, "metric"): value}) \
+                == []
+        events = watchdog.evaluate(3, {(AGGREGATE, "metric"): 50.0})
+        assert edge_kinds(events) == [FIRED]
+
+    def test_streak_resets_on_recovery_sample(self):
+        watchdog = self.make(consecutive=3)
+        samples = [50.0, 50.0, 5.0, 50.0, 50.0]
+        for t_ns, value in enumerate(samples, 1):
+            assert watchdog.evaluate(
+                t_ns, {(AGGREGATE, "metric"): value}) == []
+        # Only the third consecutive breach after the reset fires.
+        events = watchdog.evaluate(6, {(AGGREGATE, "metric"): 50.0})
+        assert edge_kinds(events) == [FIRED]
+
+    def test_rearms_after_clear(self):
+        watchdog = self.make(consecutive=1)
+        feed = [(1, 50.0, [FIRED]), (2, 50.0, []), (3, 1.0, [CLEARED]),
+                (4, 1.0, []), (5, 50.0, [FIRED])]
+        for t_ns, value, expected in feed:
+            events = watchdog.evaluate(
+                t_ns, {(AGGREGATE, "metric"): value})
+            assert edge_kinds(events) == expected, (t_ns, value)
+
+    def test_missing_metric_reads_zero_not_keyerror(self):
+        watchdog = ThresholdWatchdog("wd", "absent", threshold=1.0,
+                                     above=False)
+        events = watchdog.evaluate(1, {})
+        assert edge_kinds(events) == [FIRED]  # 0.0 <= 1.0
+
+
+class TestTerminalWatchdog:
+    def test_degraded_entry_never_clears(self):
+        watchdog = DegradedEntryWatchdog()
+        assert watchdog.severity == "error"
+        fired = watchdog.evaluate(1, {(AGGREGATE, "ftl.degraded"): 1.0})
+        assert edge_kinds(fired) == [FIRED]
+        # Metric recovering must not emit a CLEARED edge: terminal.
+        assert watchdog.evaluate(
+            2, {(AGGREGATE, "ftl.degraded"): 0.0}) == []
+        assert watchdog.active
+
+
+class TestEscalate:
+    def test_escalate_raises_severity_of_matching_watchdogs(self):
+        bank = WatchdogBank([
+            ThresholdWatchdog("overload", "m", threshold=1.0),
+            ThresholdWatchdog("overload", "m", threshold=1.0,
+                              tenant="t1", metric_tenant="t1"),
+            ThresholdWatchdog("other", "m", threshold=1.0)])
+        assert bank.escalate("overload") == 2
+        severities = [w.severity for w in bank.watchdogs]
+        assert severities == ["error", "error", "warn"]
+
+    def test_escalated_edge_carries_error_severity(self):
+        bank = WatchdogBank([ThresholdWatchdog("overload", "m",
+                                               threshold=1.0)])
+        bank.escalate("overload")
+        events = bank.evaluate(1, {(AGGREGATE, "m"): 5.0})
+        assert [(e.kind, e.severity) for e in events] == [(FIRED, "error")]
+
+    def test_escalating_unknown_name_hits_nothing(self):
+        bank = WatchdogBank([ThresholdWatchdog("overload", "m",
+                                               threshold=1.0)])
+        assert bank.escalate("nonexistent") == 0
+        assert bank.watchdogs[0].severity == "warn"
+
+
+class TestPostBuildProbeRegistration:
+    """PR-9 regression: late-registered probes must get a series too."""
+
+    class _Shipper:
+        ship_lag_bytes = 512
+        ship_lag_ops = 2
+
+    class _Applier:
+        replay_applied = 3
+
+    def sampled_system(self, make_system):
+        from repro.common.units import MS
+        from repro.telemetry import TelemetryConfig
+        return make_system(
+            telemetry=TelemetryConfig(interval_ns=1 * MS))
+
+    def test_sample_tick_after_late_registration(self, make_system):
+        from repro.telemetry.probes import register_replication_probes
+        system = self.sampled_system(make_system)
+        sampler = system.telemetry
+        register_replication_probes(sampler, self._Shipper(),
+                                    self._Applier())
+        # The bug: sampler.series lacked the late keys -> KeyError here.
+        sampler.sample_once()
+        lag_series = [series for series in sampler.all_series()
+                      if series.layer == "replication"]
+        assert len(lag_series) == 3
+        assert any(points and points[-1][1] == 2.0
+                   for points in (list(s.points) for s in lag_series))
+
+    def test_double_registration_is_rejected(self, make_system):
+        import pytest
+
+        from repro.common.errors import ConfigError
+        from repro.telemetry.probes import register_replication_probes
+        system = self.sampled_system(make_system)
+        sampler = system.telemetry
+        register_replication_probes(sampler, self._Shipper(),
+                                    self._Applier())
+        with pytest.raises(ConfigError):
+            register_replication_probes(sampler, self._Shipper(),
+                                        self._Applier())
+        sampler.sample_once()
+
+    def test_replication_lag_watchdog_fires_on_sustained_backlog(
+            self, make_system):
+        from repro.telemetry.probes import register_replication_probes
+
+        class _LaggedShipper:
+            ship_lag_bytes = 1 << 20
+            ship_lag_ops = 10_000
+
+        system = self.sampled_system(make_system)
+        sampler = system.telemetry
+        register_replication_probes(sampler, _LaggedShipper(),
+                                    self._Applier(), max_lag_ops=256)
+        sampler.sample_once()  # streak 1 of 2: debounced, no edge yet
+        assert not sampler.watchdogs.fired("replication_lag")
+        sampler.sample_once()
+        assert sampler.watchdogs.fired("replication_lag")
